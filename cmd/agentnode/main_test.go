@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/stable"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("a=h1:1, b=h2:2,c=h3:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 3 || peers["b"] != "h2:2" {
+		t.Errorf("peers = %v", peers)
+	}
+	if got, err := parsePeers(""); err != nil || len(got) != 0 {
+		t.Errorf("empty: %v, %v", got, err)
+	}
+	for _, bad := range []string{"noequals", "=addr", "name="} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("bad peer %q accepted", bad)
+		}
+	}
+}
+
+func TestParseResources(t *testing.T) {
+	factories, err := parseResources("bank=b1,shop=s1,dir=d1,exchange=e1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(factories) != 4 {
+		t.Fatalf("factories = %d, want 4", len(factories))
+	}
+	store := stable.NewMemStore(nil)
+	names := map[string]string{}
+	for _, f := range factories {
+		r, err := f(store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names[r.Name()] = r.Kind()
+	}
+	want := map[string]string{"b1": "bank", "s1": "shop", "d1": "directory", "e1": "exchange"}
+	for n, k := range want {
+		if names[n] != k {
+			t.Errorf("resource %q kind = %q, want %q", n, names[n], k)
+		}
+	}
+	if _, err := parseResources("alien=x"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := parseResources("nokind"); err == nil {
+		t.Error("malformed spec accepted")
+	}
+}
+
+func TestRunRequiresFlags(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing flags accepted")
+	}
+	if err := run([]string{"-name", "A"}); err == nil {
+		t.Error("missing listen/data accepted")
+	}
+}

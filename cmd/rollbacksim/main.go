@@ -1,0 +1,59 @@
+// Command rollbacksim regenerates the experiments of EXPERIMENTS.md on the
+// simulated cluster: one table per paper figure plus the §4.2/§4.3 prose
+// claims (see DESIGN.md for the mapping).
+//
+// Usage:
+//
+//	rollbacksim                 # run every experiment
+//	rollbacksim -exp f5         # run one experiment (f1..f6, tlog, tft)
+//	rollbacksim -list           # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rollbacksim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rollbacksim", flag.ContinueOnError)
+	exp := fs.String("exp", "", "run a single experiment (f1..f6, tlog, tft, tperf)")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println("f1    Figure 1: step execution cost vs agent payload")
+		fmt.Println("f2    Figure 2: rollback log layout and size")
+		fmt.Println("f3    Figures 3-4: rollback cost vs steps rolled back")
+		fmt.Println("f4    Figure 4: rollback under node crash + recovery")
+		fmt.Println("f5    Figure 5: basic vs optimized rollback")
+		fmt.Println("f6    Figure 6: log size, flat vs itinerary-managed")
+		fmt.Println("tlog  §4.2: state vs transition logging")
+		fmt.Println("tft   §4.3: rollback with an unreachable node")
+		fmt.Println("tperf §4.4.1: remote-compensation strategy model ([16])")
+		return nil
+	}
+	if *exp == "" {
+		return experiments.All(os.Stdout)
+	}
+	fn, ok := experiments.ByName(*exp)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (use -list)", *exp)
+	}
+	tbl, err := fn()
+	if err != nil {
+		return err
+	}
+	tbl.Fprint(os.Stdout)
+	return nil
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "bogus"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestSingleCheapExperiment(t *testing.T) {
+	for _, exp := range []string{"f2", "tlog", "tperf"} {
+		if err := run([]string{"-exp", exp}); err != nil {
+			t.Errorf("experiment %s: %v", exp, err)
+		}
+	}
+}

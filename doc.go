@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "System Mechanisms
+// for Partial Rollback of Mobile Agent Execution" (Straßer & Rothermel,
+// ICDCS 2000): a mobile-agent runtime with exactly-once step execution,
+// compensation-based partial rollback (basic and optimized algorithms),
+// hierarchical itineraries with automatic savepoint management, and all
+// substrates (simulated network, stable storage, distributed transactions,
+// transactional resources) built on the standard library only.
+//
+// See README.md for the architecture, DESIGN.md for the system inventory
+// and experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate one experiment per paper
+// figure; cmd/rollbacksim prints the full tables.
+package repro

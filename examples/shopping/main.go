@@ -1,0 +1,275 @@
+// Shopping: the paper's running e-commerce scenario (§3.2, §4.1, §4.4.1) —
+// an agent withdraws digital cash, converts currency at an exchange (a
+// *mixed* compensation), buys goods at a shop (refund charges a fee), then
+// discovers a bad review and partially rolls back. The compensations leave
+// the agent with equivalent-but-not-identical state: fresh coin serials,
+// less money, and a note telling it what happened.
+//
+//	go run ./examples/shopping
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/itinerary"
+	"repro/internal/node"
+	"repro/internal/resource"
+	"repro/internal/stable"
+	"repro/internal/txn"
+)
+
+const walletKey = "wallet"
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func getWallet(sp *agent.Space) (resource.Cash, error) {
+	var c resource.Cash
+	if _, err := sp.Get(walletKey, &c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func run() error {
+	cl := cluster.New(cluster.Options{Optimized: true, RetryDelay: 2 * time.Millisecond})
+	defer cl.Close()
+	if err := cl.AddNode("bankcity", node.ResourceFactory(func(s stable.Store) (resource.Resource, error) {
+		return resource.NewBank(s, "bank", false)
+	})); err != nil {
+		return err
+	}
+	if err := cl.AddNode("fxcity", node.ResourceFactory(func(s stable.Store) (resource.Resource, error) {
+		return resource.NewExchange(s, "fx", 10) // 1% spread
+	})); err != nil {
+		return err
+	}
+	if err := cl.AddNode("mall", node.ResourceFactory(func(s stable.Store) (resource.Resource, error) {
+		return resource.NewShop(s, "shop", resource.ShopConfig{Currency: "EUR", Mode: resource.RefundCash, FeePercent: 5})
+	})); err != nil {
+		return err
+	}
+
+	reg := cl.Registry()
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	must(reg.RegisterStep("withdraw", func(ctx agent.StepContext) error {
+		r, _ := ctx.Resource("bank")
+		cash, err := r.(*resource.Bank).IssueCash(ctx.Tx(), "me", "USD", 1000)
+		if err != nil {
+			return err
+		}
+		if err := ctx.WRO().Set(walletKey, cash); err != nil {
+			return err
+		}
+		fmt.Printf("withdraw: got %d USD cash (serials %v)\n", cash.Total("USD"), cash.Serials())
+		ctx.LogComp(core.OpMixed, "comp.withdraw", core.NewParams())
+		return nil
+	}))
+
+	must(reg.RegisterStep("exchange", func(ctx agent.StepContext) error {
+		w, err := getWallet(ctx.WRO())
+		if err != nil {
+			return err
+		}
+		if w.Total("USD") == 0 {
+			fmt.Println("exchange: no USD left, skipping")
+			return nil
+		}
+		r, _ := ctx.Resource("fx")
+		eur, err := r.(*resource.Exchange).Convert(ctx.Tx(), "USD", "EUR", w)
+		if err != nil {
+			return err
+		}
+		var rest resource.Cash
+		for _, c := range w {
+			if c.Currency != "USD" {
+				rest = append(rest, c)
+			}
+		}
+		if err := ctx.WRO().Set(walletKey, append(rest, eur...)); err != nil {
+			return err
+		}
+		fmt.Printf("exchange: USD -> %d EUR\n", eur.Total("EUR"))
+		// The paper's mixed-compensation example (§4.4.1): changing the
+		// money back needs the wallet AND the exchange.
+		ctx.LogComp(core.OpMixed, "comp.exchange", core.NewParams())
+		return nil
+	}))
+
+	must(reg.RegisterStep("buy", func(ctx agent.StepContext) error {
+		if noted, err := ctx.WRO().Has("note"); err != nil {
+			return err
+		} else if noted {
+			fmt.Println("buy: refund note present, buying nothing this time")
+			return ctx.SRO().Set("outcome", "aborted purchase after rollback")
+		}
+		w, err := getWallet(ctx.WRO())
+		if err != nil {
+			return err
+		}
+		r, _ := ctx.Resource("shop")
+		change, err := r.(*resource.Shop).Buy(ctx.Tx(), "gadget", 1, w)
+		if err != nil {
+			return err
+		}
+		if err := ctx.WRO().Set(walletKey, change); err != nil {
+			return err
+		}
+		fmt.Printf("buy: bought gadget, %d EUR left\n", change.Total("EUR"))
+		ctx.LogComp(core.OpMixed, "comp.buy", core.NewParams().Set("paid", int64(500)))
+		return nil
+	}))
+
+	must(reg.RegisterStep("research", func(ctx agent.StepContext) error {
+		if noted, err := ctx.WRO().Has("note"); err != nil {
+			return err
+		} else if noted {
+			return ctx.SRO().Set("done", true)
+		}
+		fmt.Println("research: gadget has terrible reviews — roll everything back!")
+		return ctx.RollbackCurrentSub()
+	}))
+
+	must(reg.RegisterComp("comp.withdraw", func(ctx agent.CompContext) error {
+		wro, err := ctx.WRO()
+		if err != nil {
+			return err
+		}
+		w, err := getWallet(wro)
+		if err != nil {
+			return err
+		}
+		r, err := ctx.Resource("bank")
+		if err != nil {
+			return err
+		}
+		if err := r.(*resource.Bank).RedeemCash(ctx.Tx(), "me", "USD", w); err != nil {
+			return err
+		}
+		fmt.Printf("compensate withdraw: redeemed %d USD back into the account\n", w.Total("USD"))
+		return wro.Set(walletKey, resource.Cash{})
+	}))
+
+	must(reg.RegisterComp("comp.exchange", func(ctx agent.CompContext) error {
+		wro, err := ctx.WRO()
+		if err != nil {
+			return err
+		}
+		w, err := getWallet(wro)
+		if err != nil {
+			return err
+		}
+		r, err := ctx.Resource("fx")
+		if err != nil {
+			return err
+		}
+		usd, err := r.(*resource.Exchange).Convert(ctx.Tx(), "EUR", "USD", w)
+		if err != nil {
+			return err
+		}
+		var rest resource.Cash
+		for _, c := range w {
+			if c.Currency != "EUR" {
+				rest = append(rest, c)
+			}
+		}
+		fmt.Printf("compensate exchange: EUR -> %d USD (spread lost twice)\n", usd.Total("USD"))
+		return wro.Set(walletKey, append(rest, usd...))
+	}))
+
+	must(reg.RegisterComp("comp.buy", func(ctx agent.CompContext) error {
+		var paid int64
+		if err := ctx.Params().Get("paid", &paid); err != nil {
+			return err
+		}
+		r, err := ctx.Resource("shop")
+		if err != nil {
+			return err
+		}
+		refund, _, err := r.(*resource.Shop).Refund(ctx.Tx(), "gadget", 1, paid)
+		if err != nil {
+			return err
+		}
+		wro, err := ctx.WRO()
+		if err != nil {
+			return err
+		}
+		w, err := getWallet(wro)
+		if err != nil {
+			return err
+		}
+		if err := wro.Set(walletKey, append(w, refund...)); err != nil {
+			return err
+		}
+		fmt.Printf("compensate buy: refunded %d EUR (5%% fee kept by the shop, fresh serials %v)\n",
+			refund.Total("EUR"), refund.Serials())
+		return wro.Set("note", "purchase was rolled back")
+	}))
+
+	if err := cl.Start(); err != nil {
+		return err
+	}
+	must(cl.WithTx("bankcity", func(tx *txn.Tx, n *node.Node) error {
+		r, _ := n.Resource("bank")
+		return r.(*resource.Bank).OpenAccount(tx, "me", 2000)
+	}))
+	must(cl.WithTx("fxcity", func(tx *txn.Tx, n *node.Node) error {
+		r, _ := n.Resource("fx")
+		return r.(*resource.Exchange).SetRate(tx, "USD", "EUR", 900, 1_000_000)
+	}))
+	must(cl.WithTx("mall", func(tx *txn.Tx, n *node.Node) error {
+		r, _ := n.Resource("shop")
+		return r.(*resource.Shop).Restock(tx, "gadget", 3, 500)
+	}))
+
+	it, err := itinerary.New(&itinerary.Sub{ID: "shopping-trip", Entries: []itinerary.Entry{
+		itinerary.Step{Method: "withdraw", Loc: "bankcity"},
+		itinerary.Step{Method: "exchange", Loc: "fxcity"},
+		itinerary.Step{Method: "buy", Loc: "mall"},
+		itinerary.Step{Method: "research", Loc: "bankcity"},
+	}})
+	if err != nil {
+		return err
+	}
+	a, entered, err := agent.New("shopper", "", it)
+	if err != nil {
+		return err
+	}
+	res, err := cl.Run(a, entered, "bankcity", 30*time.Second)
+	if err != nil {
+		return err
+	}
+	if res.Failed {
+		return fmt.Errorf("agent failed: %s", res.Reason)
+	}
+
+	var balance int64
+	nd, _ := cl.Node("bankcity")
+	must(cl.WithTx("bankcity", func(tx *txn.Tx, _ *node.Node) error {
+		r, _ := nd.Resource("bank")
+		var err error
+		balance, err = r.(*resource.Bank).Balance(tx, "me")
+		return err
+	}))
+	w, err := getWallet(res.Agent.WRO)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nfinal account: %d (started with 2000; the difference is fees and spread — the\n"+
+		"augmented state is equivalent, not identical, to the initial one, exactly as §3.2 predicts)\n", balance)
+	fmt.Printf("final wallet: USD %d, EUR %d\n", w.Total("USD"), w.Total("EUR"))
+	return nil
+}

@@ -1,0 +1,214 @@
+// Sysadmin: a systems-management agent (one of the paper's motivating
+// application areas) sweeps a fleet, collects inventory into strongly
+// reversible objects, and applies a configuration change on every host
+// with a *resource* compensation logged for each. A final verification
+// step detects a regression and partially rolls back — and because no
+// step needs a mixed compensation, the optimized algorithm (Figure 5)
+// un-applies every change WITHOUT moving the agent once: the resource
+// compensation entries are shipped to the hosts instead. The example runs
+// both algorithms and prints the transfer counts side by side.
+//
+//	go run ./examples/sysadmin
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/itinerary"
+	"repro/internal/node"
+	"repro/internal/resource"
+	"repro/internal/stable"
+	"repro/internal/txn"
+)
+
+const fleet = 5
+
+func main() {
+	basic, err := run(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optimized, err := run(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== agent transfers (whole run, incl. identical forward sweeps) ===")
+	fmt.Printf("  basic     (Fig. 4): %d transfers, %d KB moved\n", basic.transfers, basic.kb)
+	fmt.Printf("  optimized (Fig. 5): %d transfers, %d KB moved\n", optimized.transfers, optimized.kb)
+	fmt.Printf("  saved by shipping compensation entries instead of the agent: %d transfers\n",
+		basic.transfers-optimized.transfers)
+}
+
+type outcome struct {
+	transfers int64
+	kb        int64
+}
+
+func hostName(i int) string { return fmt.Sprintf("host%d", i) }
+
+func run(optimized bool) (outcome, error) {
+	mode := "basic"
+	if optimized {
+		mode = "optimized"
+	}
+	fmt.Printf("\n--- sweep with the %s rollback algorithm ---\n", mode)
+	cl := cluster.New(cluster.Options{Optimized: optimized, RetryDelay: 2 * time.Millisecond})
+	defer cl.Close()
+	for i := 0; i < fleet; i++ {
+		if err := cl.AddNode(hostName(i), node.ResourceFactory(func(s stable.Store) (resource.Resource, error) {
+			return resource.NewDirectory(s, "sysconf")
+		})); err != nil {
+			return outcome{}, err
+		}
+	}
+	if err := cl.AddNode("console"); err != nil {
+		return outcome{}, err
+	}
+
+	reg := cl.Registry()
+	if err := reg.RegisterStep("patch", func(ctx agent.StepContext) error {
+		r, _ := ctx.Resource("sysconf")
+		conf := r.(*resource.Directory)
+		// Inventory into SROs (no compensation needed for reads).
+		old, _, err := conf.Lookup(ctx.Tx(), "loglevel")
+		if err != nil {
+			return err
+		}
+		if err := ctx.SRO().Set("inventory/"+ctx.NodeName(), old); err != nil {
+			return err
+		}
+		var target string
+		if _, err := ctx.WRO().Get("target", &target); err != nil {
+			return err
+		}
+		if target == "" {
+			return nil // second pass after the rollback: observe only
+		}
+		if err := conf.Put(ctx.Tx(), "loglevel", target); err != nil {
+			return err
+		}
+		// Pure resource compensation: the old value travels in the
+		// parameters, the agent is not needed to undo this.
+		ctx.LogComp(core.OpResource, "unpatch", core.NewParams().
+			Set("key", "loglevel").Set("old", old))
+		return nil
+	}); err != nil {
+		return outcome{}, err
+	}
+	if err := reg.RegisterStep("verify", func(ctx agent.StepContext) error {
+		var target string
+		if _, err := ctx.WRO().Get("target", &target); err != nil {
+			return err
+		}
+		if target == "" {
+			fmt.Println("verify: fleet back on the old configuration, sweep finished")
+			return ctx.SRO().Set("verdict", "rolled back")
+		}
+		fmt.Println("verify: regression detected after the change — rolling the fleet back")
+		return ctx.RollbackCurrentSub()
+	}); err != nil {
+		return outcome{}, err
+	}
+	if err := reg.RegisterComp("unpatch", func(ctx agent.CompContext) error {
+		var key, old string
+		if err := ctx.Params().Get("key", &key); err != nil {
+			return err
+		}
+		if err := ctx.Params().Get("old", &old); err != nil {
+			return err
+		}
+		r, err := ctx.Resource("sysconf")
+		if err != nil {
+			return err
+		}
+		return r.(*resource.Directory).Put(ctx.Tx(), key, old)
+	}); err != nil {
+		return outcome{}, err
+	}
+	// The agent learns the rollback happened via an agent compensation.
+	if err := reg.RegisterComp("clear-target", func(ctx agent.CompContext) error {
+		wro, err := ctx.WRO()
+		if err != nil {
+			return err
+		}
+		return wro.Set("target", "")
+	}); err != nil {
+		return outcome{}, err
+	}
+	if err := reg.RegisterStep("arm", func(ctx agent.StepContext) error {
+		ctx.LogComp(core.OpAgent, "clear-target", core.NewParams())
+		return nil
+	}); err != nil {
+		return outcome{}, err
+	}
+
+	if err := cl.Start(); err != nil {
+		return outcome{}, err
+	}
+	for i := 0; i < fleet; i++ {
+		name := hostName(i)
+		nd, _ := cl.Node(name)
+		if err := cl.WithTx(name, func(tx *txn.Tx, _ *node.Node) error {
+			r, _ := nd.Resource("sysconf")
+			return r.(*resource.Directory).Put(tx, "loglevel", "info")
+		}); err != nil {
+			return outcome{}, err
+		}
+	}
+
+	entries := []itinerary.Entry{itinerary.Step{Method: "arm", Loc: "console"}}
+	for i := 0; i < fleet; i++ {
+		entries = append(entries, itinerary.Step{Method: "patch", Loc: hostName(i)})
+	}
+	entries = append(entries, itinerary.Step{Method: "verify", Loc: "console"})
+	it, err := itinerary.New(&itinerary.Sub{ID: "sweep", Entries: entries})
+	if err != nil {
+		return outcome{}, err
+	}
+	a, entered, err := agent.New("sysadmin-"+mode, "", it)
+	if err != nil {
+		return outcome{}, err
+	}
+	if err := a.WRO.Set("target", "debug"); err != nil {
+		return outcome{}, err
+	}
+
+	before := cl.Counters().Snapshot()
+	res, err := cl.Run(a, entered, "console", 30*time.Second)
+	if err != nil {
+		return outcome{}, err
+	}
+	if res.Failed {
+		return outcome{}, fmt.Errorf("agent failed: %s", res.Reason)
+	}
+	delta := cl.Counters().Snapshot().Sub(before)
+
+	// All hosts must be back on the old configuration.
+	for i := 0; i < fleet; i++ {
+		name := hostName(i)
+		nd, _ := cl.Node(name)
+		var lvl string
+		if err := cl.WithTx(name, func(tx *txn.Tx, _ *node.Node) error {
+			r, _ := nd.Resource("sysconf")
+			var err error
+			lvl, _, err = r.(*resource.Directory).Lookup(tx, "loglevel")
+			return err
+		}); err != nil {
+			return outcome{}, err
+		}
+		if lvl != "info" {
+			return outcome{}, fmt.Errorf("%s loglevel = %q, want info", name, lvl)
+		}
+	}
+	fmt.Printf("all %d hosts back on loglevel=info; inventory of %d hosts retained in the agent\n",
+		fleet, fleet)
+	return outcome{
+		transfers: delta.AgentTransfers,
+		kb:        delta.AgentTransferByte / 1024,
+	}, nil
+}

@@ -1,0 +1,263 @@
+// Travelbooker: a trip-booking saga with partial rollback. The agent books
+// a flight, then tries to book the Grand Hotel — which is full (the §3.2
+// out-of-stock situation). Instead of abandoning the whole trip it rolls
+// back the *booking* sub-itinerary only (the already-completed research
+// sub-itinerary stays), the flight is compensated for a cancellation fee,
+// and the second pass books the hostel instead.
+//
+//	go run ./examples/travelbooker
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/itinerary"
+	"repro/internal/node"
+	"repro/internal/resource"
+	"repro/internal/stable"
+	"repro/internal/txn"
+)
+
+const walletKey = "wallet"
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func getWallet(sp *agent.Space) (resource.Cash, error) {
+	var c resource.Cash
+	if _, err := sp.Get(walletKey, &c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func shopOf(ctx agent.StepContext, name string) (*resource.Shop, error) {
+	r, ok := ctx.Resource(name)
+	if !ok {
+		return nil, fmt.Errorf("no resource %q on %s", name, ctx.NodeName())
+	}
+	return r.(*resource.Shop), nil
+}
+
+func run() error {
+	cl := cluster.New(cluster.Options{RetryDelay: 2 * time.Millisecond})
+	defer cl.Close()
+	shop := func(name string, fee int64) node.ResourceFactory {
+		return func(s stable.Store) (resource.Resource, error) {
+			return resource.NewShop(s, name, resource.ShopConfig{Currency: "USD", Mode: resource.RefundCash, FeePercent: fee})
+		}
+	}
+	if err := cl.AddNode("home", node.ResourceFactory(func(s stable.Store) (resource.Resource, error) {
+		return resource.NewDirectory(s, "guide")
+	})); err != nil {
+		return err
+	}
+	if err := cl.AddNode("airport", shop("airline", 20)); err != nil {
+		return err
+	}
+	if err := cl.AddNode("resort", shop("grandhotel", 0), shop("hostel", 0)); err != nil {
+		return err
+	}
+
+	reg := cl.Registry()
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Research sub-itinerary: gather destination info into strongly
+	// reversible objects. No compensations needed at all.
+	must(reg.RegisterStep("research", func(ctx agent.StepContext) error {
+		r, _ := ctx.Resource("guide")
+		best, _, err := r.(*resource.Directory).Lookup(ctx.Tx(), "best-destination")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("research: the guide recommends %q\n", best)
+		return ctx.SRO().Set("destination", best)
+	}))
+
+	must(reg.RegisterStep("book-flight", func(ctx agent.StepContext) error {
+		airline, err := shopOf(ctx, "airline")
+		if err != nil {
+			return err
+		}
+		w, err := getWallet(ctx.WRO())
+		if err != nil {
+			return err
+		}
+		change, err := airline.Buy(ctx.Tx(), "seat", 1, w)
+		if err != nil {
+			return err
+		}
+		if err := ctx.WRO().Set(walletKey, change); err != nil {
+			return err
+		}
+		fmt.Printf("book-flight: seat booked, %d USD left\n", change.Total("USD"))
+		ctx.LogComp(core.OpMixed, "cancel-flight", core.NewParams().Set("paid", int64(300)))
+		return nil
+	}))
+
+	must(reg.RegisterStep("book-hotel", func(ctx agent.StepContext) error {
+		hotel := "grandhotel"
+		if fellBack, err := ctx.WRO().Has("hotel-fallback"); err != nil {
+			return err
+		} else if fellBack {
+			hotel = "hostel"
+		}
+		s, err := shopOf(ctx, hotel)
+		if err != nil {
+			return err
+		}
+		w, err := getWallet(ctx.WRO())
+		if err != nil {
+			return err
+		}
+		change, err := s.Buy(ctx.Tx(), "room", 1, w)
+		if err != nil {
+			fmt.Printf("book-hotel: %s is full — rolling back the booking sub-itinerary\n", hotel)
+			return ctx.RollbackCurrentSub()
+		}
+		if err := ctx.WRO().Set(walletKey, change); err != nil {
+			return err
+		}
+		if err := ctx.SRO().Set("hotel", hotel); err != nil {
+			return err
+		}
+		fmt.Printf("book-hotel: %s booked, %d USD left\n", hotel, change.Total("USD"))
+		ctx.LogComp(core.OpMixed, "cancel-hotel", core.NewParams().
+			Set("hotel", hotel).Set("paid", int64(100)))
+		return nil
+	}))
+
+	must(reg.RegisterComp("cancel-flight", func(ctx agent.CompContext) error {
+		var paid int64
+		if err := ctx.Params().Get("paid", &paid); err != nil {
+			return err
+		}
+		r, err := ctx.Resource("airline")
+		if err != nil {
+			return err
+		}
+		refund, _, err := r.(*resource.Shop).Refund(ctx.Tx(), "seat", 1, paid)
+		if err != nil {
+			return err
+		}
+		wro, err := ctx.WRO()
+		if err != nil {
+			return err
+		}
+		w, err := getWallet(wro)
+		if err != nil {
+			return err
+		}
+		if err := wro.Set(walletKey, append(w, refund...)); err != nil {
+			return err
+		}
+		fmt.Printf("compensate: flight cancelled, %d USD back (20%% cancellation fee)\n", refund.Total("USD"))
+		// Tell the re-run to try the cheaper hotel.
+		return wro.Set("hotel-fallback", true)
+	}))
+	must(reg.RegisterComp("cancel-hotel", func(ctx agent.CompContext) error {
+		var hotel string
+		var paid int64
+		if err := ctx.Params().Get("hotel", &hotel); err != nil {
+			return err
+		}
+		if err := ctx.Params().Get("paid", &paid); err != nil {
+			return err
+		}
+		r, err := ctx.Resource(hotel)
+		if err != nil {
+			return err
+		}
+		refund, _, err := r.(*resource.Shop).Refund(ctx.Tx(), "room", 1, paid)
+		if err != nil {
+			return err
+		}
+		wro, err := ctx.WRO()
+		if err != nil {
+			return err
+		}
+		w, err := getWallet(wro)
+		if err != nil {
+			return err
+		}
+		return wro.Set(walletKey, append(w, refund...))
+	}))
+
+	if err := cl.Start(); err != nil {
+		return err
+	}
+	must(cl.WithTx("home", func(tx *txn.Tx, n *node.Node) error {
+		r, _ := n.Resource("guide")
+		return r.(*resource.Directory).Put(tx, "best-destination", "the resort")
+	}))
+	must(cl.WithTx("airport", func(tx *txn.Tx, n *node.Node) error {
+		r, _ := n.Resource("airline")
+		return r.(*resource.Shop).Restock(tx, "seat", 10, 300)
+	}))
+	must(cl.WithTx("resort", func(tx *txn.Tx, n *node.Node) error {
+		r, _ := n.Resource("grandhotel")
+		if err := r.(*resource.Shop).Restock(tx, "room", 0, 100); err != nil { // full!
+			return err
+		}
+		r2, _ := n.Resource("hostel")
+		return r2.(*resource.Shop).Restock(tx, "room", 5, 100)
+	}))
+
+	// The research and booking phases are separate top-level
+	// sub-itineraries: once research completes, the rollback log is
+	// discarded — the trip can never be rolled back past that point
+	// (§4.4.2), and a booking rollback never repeats the research.
+	it, err := itinerary.New(
+		&itinerary.Sub{ID: "research-phase", Entries: []itinerary.Entry{
+			itinerary.Step{Method: "research", Loc: "home"},
+		}},
+		&itinerary.Sub{ID: "booking-phase", Entries: []itinerary.Entry{
+			itinerary.Step{Method: "book-flight", Loc: "airport"},
+			itinerary.Step{Method: "book-hotel", Loc: "resort"},
+		}},
+	)
+	if err != nil {
+		return err
+	}
+	a, entered, err := agent.New("traveller", "", it)
+	if err != nil {
+		return err
+	}
+	// Travel budget: 500 USD in digital cash.
+	must(a.WRO.Set(walletKey, resource.Cash{{Serial: "budget-1", Currency: "USD", Value: 500}}))
+
+	res, err := cl.Run(a, entered, "home", 30*time.Second)
+	if err != nil {
+		return err
+	}
+	if res.Failed {
+		return fmt.Errorf("agent failed: %s", res.Reason)
+	}
+	var hotel, destination string
+	if err := res.Agent.SRO.MustGet("hotel", &hotel); err != nil {
+		return err
+	}
+	if err := res.Agent.SRO.MustGet("destination", &destination); err != nil {
+		return err
+	}
+	w, err := getWallet(res.Agent.WRO)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ntrip booked: destination %q, hotel %q, %d USD left\n", destination, hotel, w.Total("USD"))
+	fmt.Println("(500 budget - 300 first flight + 240 refund - 300 rebooked flight - 100 hostel = 40;")
+	fmt.Println(" the 60 USD cancellation fee is the price of the partial rollback)")
+	return nil
+}

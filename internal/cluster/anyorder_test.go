@@ -1,0 +1,127 @@
+package cluster_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/itinerary"
+)
+
+// anyOrderItinerary authors the visits in a deliberately transfer-hostile
+// order (bouncing between nodes); with AnyOrder the system may fix it.
+func anyOrderItinerary(t *testing.T, anyOrder bool) *itinerary.Itinerary {
+	t.Helper()
+	it, err := itinerary.New(&itinerary.Sub{
+		ID:       "sweep",
+		AnyOrder: anyOrder,
+		Entries: []itinerary.Entry{
+			itinerary.Step{Method: "visit-s5", Loc: "n2"},
+			itinerary.Step{Method: "visit-s6", Loc: "n1"},
+			itinerary.Step{Method: "visit-s9", Loc: "n2"},
+			itinerary.Step{Method: "visit-s10", Loc: "n1"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return it
+}
+
+// runAnyOrder executes the itinerary and returns the SRO trail and the
+// agent transfer count.
+func runAnyOrder(t *testing.T, anyOrder bool) ([]string, int64) {
+	t.Helper()
+	cl := itinCluster(t, false)
+	before := cl.Counters().Snapshot()
+	a, entered, err := agent.NewAt("any-"+map[bool]string{true: "on", false: "off"}[anyOrder],
+		"", anyOrderItinerary(t, anyOrder), "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(a, entered, "n1", testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("agent failed: %s", res.Reason)
+	}
+	var trail []string
+	if err := res.Agent.SRO.MustGet("trail", &trail); err != nil {
+		t.Fatal(err)
+	}
+	return trail, cl.Counters().Snapshot().Sub(before).AgentTransfers
+}
+
+// TestAnyOrderLocalityReordering: a partial-order sub-itinerary (§4.4.2)
+// lets the system choose the execution order; the locality heuristic
+// groups the steps by node and saves agent transfers, while every step
+// still executes exactly once.
+func TestAnyOrderLocalityReordering(t *testing.T) {
+	fixedTrail, fixedTransfers := runAnyOrder(t, false)
+	wantFixed := []string{"s5", "s6", "s9", "s10"}
+	if !reflect.DeepEqual(fixedTrail, wantFixed) {
+		t.Errorf("fixed order trail = %v, want %v", fixedTrail, wantFixed)
+	}
+
+	anyTrail, anyTransfers := runAnyOrder(t, true)
+	// Launched at n1: the n1 steps (s6, s10) run first, then the n2
+	// steps (s5, s9), preserving authored order within a node.
+	wantAny := []string{"s6", "s10", "s5", "s9"}
+	if !reflect.DeepEqual(anyTrail, wantAny) {
+		t.Errorf("any-order trail = %v, want %v", anyTrail, wantAny)
+	}
+	if anyTransfers >= fixedTransfers {
+		t.Errorf("any-order transfers %d >= fixed %d; locality ordering saved nothing",
+			anyTransfers, fixedTransfers)
+	}
+}
+
+// TestAnyOrderSurvivesRollback: the chosen order is part of the itinerary
+// data captured in the sub's savepoint, so a rollback re-runs the *same*
+// order.
+func TestAnyOrderSurvivesRollback(t *testing.T) {
+	cl := itinCluster(t, false)
+	registerS5WithWROCount(t, cl)
+	it, err := itinerary.New(&itinerary.Sub{
+		ID:       "outer",
+		AnyOrder: false,
+		Entries: []itinerary.Entry{
+			&itinerary.Sub{ID: "inner", AnyOrder: true, Entries: []itinerary.Entry{
+				itinerary.Step{Method: "visit-s6", Loc: "n1"},
+				itinerary.Step{Method: "visit-s5-wro", Loc: "n2"},
+			}},
+			itinerary.Step{Method: "gate-s4-once", Loc: "n3"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Launch at n2: locality puts s5 (n2) before s6 (n1).
+	a, entered, err := agent.NewAt("any-rb", "", it, "n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(a, entered, "n2", testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("agent failed: %s", res.Reason)
+	}
+	var trail []string
+	if err := res.Agent.SRO.MustGet("trail", &trail); err != nil {
+		t.Fatal(err)
+	}
+	// Final surviving pass after gate-s4-once rolled back "outer" once:
+	// same chosen order (s5 first), then s4.
+	want := []string{"s5", "s6", "s4"}
+	if !reflect.DeepEqual(trail, want) {
+		t.Errorf("trail = %v, want %v", trail, want)
+	}
+	// s5 ran twice (once per pass): the counter proves the rollback
+	// actually happened and the order repeated.
+	if v := dirCounter(t, cl, "n2", "visits/s5"); v != 2 {
+		t.Errorf("visits(s5) = %d, want 2", v)
+	}
+}

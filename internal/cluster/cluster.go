@@ -1,0 +1,386 @@
+// Package cluster assembles simulated multi-node agent systems for tests,
+// examples and the experiment harness: a simulated network, one node
+// runtime per name (each with its own stable store and resources), a
+// collector that receives agent completion notifications, and fault
+// injection (node crash/recovery, link partitions).
+//
+// A crash (Crash) stops the node runtime and detaches it from the network,
+// discarding all volatile state; the stable store survives, exactly like a
+// machine reboot. Recover re-attaches a fresh runtime to the surviving
+// store and lets the node-level recovery protocol resolve in-doubt work.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/node"
+	"repro/internal/stable"
+	"repro/internal/txn"
+)
+
+// collectorName is the network name of the cluster's completion collector;
+// it doubles as the owner of launched agents.
+const collectorName = "~collector"
+
+// Options configures a cluster.
+type Options struct {
+	// Optimized selects the Figure-5 rollback algorithm on all nodes.
+	Optimized bool
+	// LogMode selects state or transition logging (default state).
+	LogMode core.LogMode
+	// Latency is the one-way network latency (default 0: immediate).
+	Latency time.Duration
+	// AckTimeout / RetryDelay / MaxAttempts override node defaults.
+	AckTimeout  time.Duration
+	RetryDelay  time.Duration
+	MaxAttempts int
+	// SagaBaseline enables the deliberately wrong saga-style WRO
+	// restore (S16b ablation; see node.Config.SagaBaseline).
+	SagaBaseline bool
+	// Counters receives all metrics; one is created if nil.
+	Counters *metrics.Counters
+}
+
+// Result is the final outcome of one agent delivered to the collector.
+type Result struct {
+	AgentID string
+	Failed  bool
+	Reason  string
+	Agent   *agent.Agent
+}
+
+// nodeState tracks one node and what is needed to resurrect it.
+type nodeState struct {
+	n         *node.Node
+	store     stable.Store
+	factories []node.ResourceFactory
+	crashed   bool
+}
+
+// Cluster is a simulated multi-node agent system.
+type Cluster struct {
+	opts     Options
+	sim      *network.Sim
+	registry *agent.Registry
+	counters *metrics.Counters
+
+	mu      sync.Mutex
+	nodes   map[string]*nodeState
+	results map[string]chan Result
+	started bool
+
+	collectorEp network.Endpoint
+	wg          sync.WaitGroup
+	stop        chan struct{}
+}
+
+// New creates an empty cluster.
+func New(opts Options) *Cluster {
+	if opts.Counters == nil {
+		opts.Counters = &metrics.Counters{}
+	}
+	if opts.LogMode == 0 {
+		opts.LogMode = core.StateLogging
+	}
+	return &Cluster{
+		opts:     opts,
+		sim:      network.NewSim(network.SimConfig{Latency: opts.Latency, Counters: opts.Counters}),
+		registry: agent.NewRegistry(),
+		counters: opts.Counters,
+		nodes:    make(map[string]*nodeState),
+		results:  make(map[string]chan Result),
+		stop:     make(chan struct{}),
+	}
+}
+
+// Registry returns the shared step/compensation registry.
+func (c *Cluster) Registry() *agent.Registry { return c.registry }
+
+// Counters returns the cluster's metrics counters.
+func (c *Cluster) Counters() *metrics.Counters { return c.counters }
+
+// AddNode registers a node with its resource factories. Must be called
+// before Start.
+func (c *Cluster) AddNode(name string, factories ...node.ResourceFactory) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return errors.New("cluster: AddNode after Start")
+	}
+	if _, ok := c.nodes[name]; ok {
+		return fmt.Errorf("cluster: duplicate node %q", name)
+	}
+	c.nodes[name] = &nodeState{
+		store:     stable.NewMemStore(c.counters),
+		factories: factories,
+	}
+	return nil
+}
+
+// Start boots all nodes and the collector, and waits for every node to
+// finish recovery (trivial on first boot).
+func (c *Cluster) Start() error {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return errors.New("cluster: already started")
+	}
+	c.started = true
+	names := make([]string, 0, len(c.nodes))
+	for name := range c.nodes {
+		names = append(names, name)
+	}
+	c.mu.Unlock()
+
+	ep, err := c.sim.Endpoint(collectorName)
+	if err != nil {
+		return err
+	}
+	c.collectorEp = ep
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.collect()
+	}()
+
+	for _, name := range names {
+		if err := c.bootNode(name); err != nil {
+			return err
+		}
+	}
+	return c.AwaitReady(5 * time.Second)
+}
+
+func (c *Cluster) bootNode(name string) error {
+	c.mu.Lock()
+	st := c.nodes[name]
+	c.mu.Unlock()
+	ep, err := c.sim.Endpoint(name)
+	if err != nil {
+		return err
+	}
+	n, err := node.New(node.Config{
+		Name:         name,
+		Optimized:    c.opts.Optimized,
+		LogMode:      c.opts.LogMode,
+		AckTimeout:   c.opts.AckTimeout,
+		RetryDelay:   c.opts.RetryDelay,
+		MaxAttempts:  c.opts.MaxAttempts,
+		SagaBaseline: c.opts.SagaBaseline,
+		Counters:     c.counters,
+	}, ep, st.store, c.registry, st.factories...)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	st.n = n
+	st.crashed = false
+	c.mu.Unlock()
+	n.Start()
+	return nil
+}
+
+// AwaitReady blocks until every running node finished recovery.
+func (c *Cluster) AwaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	c.mu.Lock()
+	nodes := make([]*nodeState, 0, len(c.nodes))
+	for _, st := range c.nodes {
+		nodes = append(nodes, st)
+	}
+	c.mu.Unlock()
+	for _, st := range nodes {
+		if st.crashed || st.n == nil {
+			continue
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return errors.New("cluster: ready timeout")
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-st.n.Ready():
+			timer.Stop()
+		case <-timer.C:
+			return errors.New("cluster: ready timeout")
+		}
+	}
+	return nil
+}
+
+// Node returns the running node runtime by name.
+func (c *Cluster) Node(name string) (*node.Node, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.nodes[name]
+	if !ok || st.n == nil || st.crashed {
+		return nil, false
+	}
+	return st.n, true
+}
+
+// WithTx runs fn inside a local transaction on the named node, committing
+// on success and aborting on error. Used to seed resources.
+func (c *Cluster) WithTx(nodeName string, fn func(tx *txn.Tx, n *node.Node) error) error {
+	n, ok := c.Node(nodeName)
+	if !ok {
+		return fmt.Errorf("cluster: no node %q", nodeName)
+	}
+	tx, err := n.Manager().Begin()
+	if err != nil {
+		return err
+	}
+	if err := fn(tx, n); err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Launch inserts the agent into the input queue of node at and returns the
+// channel delivering its final result. Savepoints for the sub-itineraries
+// entered to reach the first step are constituted first.
+func (c *Cluster) Launch(a *agent.Agent, entered []string, at string) (<-chan Result, error) {
+	n, ok := c.Node(at)
+	if !ok {
+		return nil, fmt.Errorf("cluster: no node %q", at)
+	}
+	a.Owner = collectorName
+	if err := node.AppendInitialSavepointsMode(a, entered, c.opts.LogMode, c.opts.SagaBaseline); err != nil {
+		return nil, err
+	}
+	data, err := node.EncodeContainer(&node.Container{Mode: node.ModeStep, Agent: a})
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan Result, 1)
+	c.mu.Lock()
+	c.results[a.ID] = ch
+	c.mu.Unlock()
+	if err := n.Queue().Enqueue(a.ID, data); err != nil {
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Run launches the agent and waits for its result.
+func (c *Cluster) Run(a *agent.Agent, entered []string, at string, timeout time.Duration) (Result, error) {
+	ch, err := c.Launch(a, entered, at)
+	if err != nil {
+		return Result{}, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-timer.C:
+		return Result{}, fmt.Errorf("cluster: agent %s timed out after %v", a.ID, timeout)
+	}
+}
+
+// Crash stops a node abruptly: volatile state is lost, messages to it are
+// dropped, the stable store survives.
+func (c *Cluster) Crash(name string) error {
+	c.mu.Lock()
+	st, ok := c.nodes[name]
+	if !ok || st.n == nil || st.crashed {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: cannot crash %q", name)
+	}
+	st.crashed = true
+	n := st.n
+	c.mu.Unlock()
+	c.sim.Crash(name)
+	n.Stop()
+	return nil
+}
+
+// Recover boots a fresh node runtime on the crashed node's surviving
+// store.
+func (c *Cluster) Recover(name string) error {
+	c.mu.Lock()
+	st, ok := c.nodes[name]
+	if !ok || !st.crashed {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: cannot recover %q", name)
+	}
+	c.mu.Unlock()
+	return c.bootNode(name)
+}
+
+// SetLink partitions (up=false) or heals (up=true) the link between two
+// nodes.
+func (c *Cluster) SetLink(a, b string, up bool) { c.sim.SetLink(a, b, up) }
+
+// Close shuts everything down.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	select {
+	case <-c.stop:
+		c.mu.Unlock()
+		return
+	default:
+	}
+	close(c.stop)
+	nodes := make([]*nodeState, 0, len(c.nodes))
+	for _, st := range c.nodes {
+		nodes = append(nodes, st)
+	}
+	c.mu.Unlock()
+	for _, st := range nodes {
+		if st.n != nil && !st.crashed {
+			st.n.Stop()
+		}
+	}
+	c.sim.Close()
+	c.wg.Wait()
+}
+
+// collect receives completion notifications, acknowledges them, and
+// resolves result channels exactly once.
+func (c *Cluster) collect() {
+	for {
+		select {
+		case <-c.stop:
+			return
+		case msg, ok := <-c.collectorEp.Recv():
+			if !ok {
+				return
+			}
+			if msg.Kind != node.KindAgentDone {
+				continue
+			}
+			done, err := node.DecodeDone(msg.Payload)
+			if err != nil {
+				continue
+			}
+			// Acknowledge so the node garbage-collects its record.
+			if ack, err := node.EncodeDoneAck(done.AgentID); err == nil {
+				_ = c.collectorEp.Send(msg.From, node.KindAgentDoneAck, ack)
+			}
+			c.mu.Lock()
+			ch, want := c.results[done.AgentID]
+			if want {
+				delete(c.results, done.AgentID)
+			}
+			c.mu.Unlock()
+			if !want {
+				continue
+			}
+			ch <- Result{
+				AgentID: done.AgentID,
+				Failed:  done.Failed,
+				Reason:  done.Reason,
+				Agent:   done.Agent,
+			}
+		}
+	}
+}

@@ -1,0 +1,569 @@
+package cluster_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/itinerary"
+	"repro/internal/node"
+	"repro/internal/resource"
+	"repro/internal/txn"
+)
+
+// TestRollbackWithNodeCrash crashes the node holding a resource right
+// before the rollback needs it, recovers it while the rollback retries,
+// and verifies the rollback still completes exactly once — the eventual-
+// execution guarantee of §4.3 ("assuming that node crashes and network
+// crashes are only temporary ... all steps which have to be rolled back
+// are eventually rolled back").
+func TestRollbackWithNodeCrash(t *testing.T) {
+	cl := shoppingCluster(t, false)
+	// A gate step between the purchase and the review: when the agent
+	// arrives here, the purchase on B has committed; the test crashes B
+	// before releasing the agent into the rollback.
+	arrived := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	mustRegStep(t, cl.Registry(), "gate", func(ctx agent.StepContext) error {
+		if noted, err := ctx.WRO().Has("note"); err != nil {
+			return err
+		} else if noted {
+			return nil // post-rollback pass: no gating
+		}
+		once.Do(func() { close(arrived) })
+		select {
+		case <-release:
+			return nil
+		case <-time.After(testTimeout):
+			return errors.New("gate never released")
+		}
+	})
+	it, err := itinerary.New(&itinerary.Sub{ID: "job", Entries: []itinerary.Entry{
+		itinerary.Step{Method: "getcash", Loc: "A"},
+		itinerary.Step{Method: "buybook", Loc: "B"},
+		itinerary.Step{Method: "gate", Loc: "C"},
+		itinerary.Step{Method: "check", Loc: "C"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, entered, err := agent.New("crash-shopper", "", it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := cl.Launch(a, entered, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-arrived:
+	case <-time.After(testTimeout):
+		t.Fatal("agent never reached the gate")
+	}
+	// Crash B (the shop node) now; the rollback initiated on C must wait
+	// for B to come back.
+	if err := cl.Crash("B"); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	// Let the rollback run into the dead node for a while, then recover.
+	time.Sleep(50 * time.Millisecond)
+	if err := cl.Recover("B"); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case res := <-ch:
+		if res.Failed {
+			t.Fatalf("agent failed: %s", res.Reason)
+		}
+		var decision string
+		if err := res.Agent.SRO.MustGet("decision", &decision); err != nil || decision != "skip" {
+			t.Errorf("decision = %q, %v; want skip", decision, err)
+		}
+		// Compensation ran exactly once despite the crash: stock back
+		// to 5, conservation holds.
+		assertShoppingInvariants(t, cl, res, 1)
+	case <-time.After(testTimeout):
+		t.Fatal("agent did not complete after node recovery")
+	}
+}
+
+// assertShoppingInvariants checks stock restoration and money
+// conservation after nAgents completed shopping runs with one rollback
+// each (each run burns a 10-unit refund fee into the shop's till).
+func assertShoppingInvariants(t *testing.T, cl *cluster.Cluster, res cluster.Result, nAgents int) {
+	t.Helper()
+	nodeA, ok := cl.Node("A")
+	if !ok {
+		t.Fatal("node A missing")
+	}
+	nodeB, ok := cl.Node("B")
+	if !ok {
+		t.Fatal("node B missing")
+	}
+	var alice int64
+	var stock int
+	if err := cl.WithTx("A", func(tx *txn.Tx, _ *node.Node) error {
+		var err error
+		alice, err = mustBank(t, nodeA, "bank").Balance(tx, "alice")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.WithTx("B", func(tx *txn.Tx, _ *node.Node) error {
+		var err error
+		stock, err = mustShop(t, nodeB, "shop").StockOf(tx, "book")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if stock != 5 {
+		t.Errorf("stock = %d, want 5 (every purchase compensated)", stock)
+	}
+	w, err := wallet(res.Agent.WRO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total := alice + w.Total("USD") + int64(10*nAgents); total != 1000 {
+		t.Errorf("conservation: alice %d + wallet %d + fees %d = %d, want 1000",
+			alice, w.Total("USD"), 10*nAgents, total)
+	}
+}
+
+// TestUnreachableNodeBlocksRollbackUntilAlternative reproduces the §4.3
+// discussion: a rollback whose resource node is permanently unreachable
+// blocks — unless the end-of-step entry names alternative nodes, in which
+// case the fault-tolerant variant reroutes the compensation.
+func TestUnreachableNodeBlocksRollbackUntilAlternative(t *testing.T) {
+	// Build a 3-node cluster where the compensated step ran on "res"
+	// with alternative "alt" that hosts an identically named bank.
+	cl := cluster.New(cluster.Options{
+		Optimized:   true,
+		RetryDelay:  2 * time.Millisecond,
+		AckTimeout:  100 * time.Millisecond,
+		MaxAttempts: 40,
+	})
+	for _, spec := range []struct {
+		name string
+		fact []node.ResourceFactory
+	}{
+		{"home", nil},
+		{"res", []node.ResourceFactory{bankFactory("bank", true)}},
+		{"alt", []node.ResourceFactory{bankFactory("bank", true)}},
+	} {
+		if err := cl.AddNode(spec.name, spec.fact...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := cl.Registry()
+	mustRegStep(t, reg, "pay", func(ctx agent.StepContext) error {
+		if again, err := ctx.WRO().Has("second"); err != nil {
+			return err
+		} else if again {
+			return nil // second pass after the rollback: pay nothing
+		}
+		r, _ := ctx.Resource("bank")
+		bank := r.(*resource.Bank)
+		if err := bank.Deposit(ctx.Tx(), "merchant", 100); err != nil {
+			return err
+		}
+		ctx.LogComp(core.OpResource, "comp.pay", core.NewParams().
+			Set("bank", "bank").Set("acct", "merchant").Set("amt", int64(100)))
+		// The agent-compensation marker records the failed attempt in
+		// the WRO (the paper's pattern: compensations leave the
+		// information the agent needs to "deal with the changed
+		// situation", §3.2). It also makes this step's compensation a
+		// mixed ACE+RCE batch, exercising the concurrent split.
+		ctx.LogComp(core.OpAgent, "comp.marksecond", core.NewParams())
+		return nil
+	})
+	// decide gates on the test: it signals arrival and waits until the
+	// test has crashed the payment node, so the compensation
+	// deterministically runs into the dead node first.
+	decideArrived := make(chan struct{})
+	releaseDecide := make(chan struct{})
+	var once sync.Once
+	mustRegStep(t, reg, "decide", func(ctx agent.StepContext) error {
+		done, err := ctx.WRO().Has("second")
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		once.Do(func() { close(decideArrived) })
+		select {
+		case <-releaseDecide:
+		case <-time.After(testTimeout):
+			return errors.New("decide: never released")
+		}
+		return ctx.RollbackCurrentSub()
+	})
+	mustRegComp(t, reg, "comp.marksecond", func(ctx agent.CompContext) error {
+		wro, err := ctx.WRO()
+		if err != nil {
+			return err
+		}
+		return wro.Set("second", true)
+	})
+	mustRegComp(t, reg, "comp.pay", func(ctx agent.CompContext) error {
+		var bankName, acct string
+		var amt int64
+		if err := ctx.Params().Get("bank", &bankName); err != nil {
+			return err
+		}
+		if err := ctx.Params().Get("acct", &acct); err != nil {
+			return err
+		}
+		if err := ctx.Params().Get("amt", &amt); err != nil {
+			return err
+		}
+		r, err := ctx.Resource(bankName)
+		if err != nil {
+			return err
+		}
+		return r.(*resource.Bank).Withdraw(ctx.Tx(), acct, amt)
+	})
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	for _, n := range []string{"res", "alt"} {
+		name := n
+		nd, _ := cl.Node(name)
+		if err := cl.WithTx(name, func(tx *txn.Tx, _ *node.Node) error {
+			return mustBank(t, nd, "bank").OpenAccount(tx, "merchant", 0)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	it, err := itinerary.New(&itinerary.Sub{ID: "job", Entries: []itinerary.Entry{
+		itinerary.Step{Method: "pay", Loc: "res", Alt: []string{"alt"}},
+		itinerary.Step{Method: "decide", Loc: "home"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, entered, err := agent.New("alt-agent", "", it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := cl.Launch(a, entered, "res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The payment has committed once the agent reaches "decide"; kill
+	// "res" permanently before letting the rollback start.
+	select {
+	case <-decideArrived:
+	case <-time.After(testTimeout):
+		t.Fatal("agent never reached decide")
+	}
+	if err := cl.Crash("res"); err != nil {
+		t.Fatal(err)
+	}
+	close(releaseDecide)
+
+	// The rollback retries against the dead node, then falls back to the
+	// alternative; the compensation executes on "alt" (driving its
+	// merchant account negative — the overdraft-capable bank stands in
+	// for a replicated resource).
+	select {
+	case res := <-ch:
+		if res.Failed {
+			t.Fatalf("agent failed: %s", res.Reason)
+		}
+	case <-time.After(testTimeout):
+		t.Fatal("rollback never completed via the alternative node")
+	}
+	nd, _ := cl.Node("alt")
+	var altBal int64
+	if err := cl.WithTx("alt", func(tx *txn.Tx, _ *node.Node) error {
+		var err error
+		altBal, err = mustBank(t, nd, "bank").Balance(tx, "merchant")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if altBal != -100 {
+		t.Errorf("alt merchant balance = %d, want -100 (compensation rerouted)", altBal)
+	}
+}
+
+// TestCrashStressManyAgents runs several shopping agents while random
+// nodes crash and recover, asserting that every agent completes and the
+// per-agent invariants hold. This exercises the 2PC hand-off windows
+// (prepared-but-undecided, decided-but-unacknowledged) under fire.
+func TestCrashStressManyAgents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const agents = 4
+	cl := cluster.New(cluster.Options{
+		Optimized:   true,
+		Latency:     200 * time.Microsecond,
+		RetryDelay:  2 * time.Millisecond,
+		AckTimeout:  150 * time.Millisecond,
+		MaxAttempts: 200,
+	})
+	if err := cl.AddNode("A", bankFactory("bank", false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AddNode("B", shopFactory("shop", resource.ShopConfig{Currency: "USD", Mode: resource.RefundCash, FeePercent: 10})); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AddNode("C", dirFactory("dir")); err != nil {
+		t.Fatal(err)
+	}
+	registerShoppingStressSteps(t, cl)
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+
+	if err := cl.WithTx("B", func(tx *txn.Tx, n *node.Node) error {
+		return mustShop(t, n, "shop").Restock(tx, "book", 100, 100)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.WithTx("C", func(tx *txn.Tx, n *node.Node) error {
+		return mustDir(t, n, "dir").Put(tx, "review/book", "bad")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < agents; i++ {
+		acct := fmt.Sprintf("acct%d", i)
+		nodeA, _ := cl.Node("A")
+		if err := cl.WithTx("A", func(tx *txn.Tx, _ *node.Node) error {
+			return mustBank(t, nodeA, "bank").OpenAccount(tx, acct, 1000)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Fault injector: crash/recover random nodes until told to stop.
+	stopFaults := make(chan struct{})
+	faultsDone := make(chan struct{})
+	go func() {
+		defer close(faultsDone)
+		r := rand.New(rand.NewSource(42))
+		nodes := []string{"A", "B", "C"}
+		for {
+			select {
+			case <-stopFaults:
+				return
+			default:
+			}
+			victim := nodes[r.Intn(len(nodes))]
+			if err := cl.Crash(victim); err != nil {
+				continue
+			}
+			time.Sleep(time.Duration(10+r.Intn(30)) * time.Millisecond)
+			if err := cl.Recover(victim); err != nil {
+				return
+			}
+			time.Sleep(time.Duration(20+r.Intn(50)) * time.Millisecond)
+		}
+	}()
+
+	chans := make([]<-chan cluster.Result, agents)
+	for i := 0; i < agents; i++ {
+		a, entered, err := agent.New(fmt.Sprintf("stress%d", i), "", shoppingItinerary(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.WRO.Set("acct", fmt.Sprintf("acct%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		ch, err := cl.Launch(a, entered, "A")
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[i] = ch
+	}
+
+	results := make([]cluster.Result, agents)
+	for i, ch := range chans {
+		select {
+		case res := <-ch:
+			results[i] = res
+		case <-time.After(60 * time.Second):
+			t.Fatalf("agent %d stuck under crash stress", i)
+		}
+	}
+	close(stopFaults)
+	<-faultsDone
+
+	for i, res := range results {
+		if res.Failed {
+			t.Errorf("agent %d failed: %s", i, res.Reason)
+			continue
+		}
+		var decision string
+		if err := res.Agent.SRO.MustGet("decision", &decision); err != nil || decision != "skip" {
+			t.Errorf("agent %d decision = %q, %v", i, decision, err)
+		}
+	}
+
+	// Global conservation across all agents: each kept 500 in cash,
+	// left 490 in the account, paid a 10 fee.
+	nodeA, _ := cl.Node("A")
+	for i := 0; i < agents; i++ {
+		acct := fmt.Sprintf("acct%d", i)
+		var bal int64
+		if err := cl.WithTx("A", func(tx *txn.Tx, _ *node.Node) error {
+			var err error
+			bal, err = mustBank(t, nodeA, "bank").Balance(tx, acct)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if bal != 490 {
+			t.Errorf("agent %d balance = %d, want 490", i, bal)
+		}
+	}
+	nodeB, _ := cl.Node("B")
+	var stock int
+	if err := cl.WithTx("B", func(tx *txn.Tx, _ *node.Node) error {
+		var err error
+		stock, err = mustShop(t, nodeB, "shop").StockOf(tx, "book")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if stock != 100 {
+		t.Errorf("stock = %d, want 100 (all purchases compensated exactly once)", stock)
+	}
+}
+
+// registerShoppingStressSteps is the per-agent-account variant of the
+// shopping scenario (account name read from the WRO).
+func registerShoppingStressSteps(t *testing.T, cl *cluster.Cluster) {
+	t.Helper()
+	reg := cl.Registry()
+	mustRegStep(t, reg, "getcash", func(ctx agent.StepContext) error {
+		var acct string
+		if err := ctx.WRO().MustGet("acct", &acct); err != nil {
+			return err
+		}
+		r, _ := ctx.Resource("bank")
+		cash, err := r.(*resource.Bank).IssueCash(ctx.Tx(), acct, "USD", 500)
+		if err != nil {
+			return err
+		}
+		if err := ctx.WRO().Set(walletKey, cash); err != nil {
+			return err
+		}
+		ctx.LogComp(core.OpMixed, "comp.getcash", core.NewParams().
+			Set("bank", "bank").Set("acct", acct).Set("currency", "USD"))
+		return nil
+	})
+	mustRegStep(t, reg, "buybook", func(ctx agent.StepContext) error {
+		if noted, err := ctx.WRO().Has("note"); err != nil {
+			return err
+		} else if noted {
+			return ctx.SRO().Set("decision", "skip")
+		}
+		w, err := wallet(ctx.WRO())
+		if err != nil {
+			return err
+		}
+		r, _ := ctx.Resource("shop")
+		change, err := r.(*resource.Shop).Buy(ctx.Tx(), "book", 1, w)
+		if err != nil {
+			return err
+		}
+		if err := ctx.WRO().Set(walletKey, change); err != nil {
+			return err
+		}
+		if err := ctx.SRO().Set("decision", "bought"); err != nil {
+			return err
+		}
+		ctx.LogComp(core.OpMixed, "comp.buybook", core.NewParams().
+			Set("shop", "shop").Set("item", "book").Set("qty", 1).Set("paid", int64(100)))
+		return nil
+	})
+	mustRegStep(t, reg, "check", func(ctx agent.StepContext) error {
+		r, _ := ctx.Resource("dir")
+		review, _, err := r.(*resource.Directory).Lookup(ctx.Tx(), "review/book")
+		if err != nil {
+			return err
+		}
+		noted, err := ctx.WRO().Has("note")
+		if err != nil {
+			return err
+		}
+		if review == "bad" && !noted {
+			return ctx.RollbackCurrentSub()
+		}
+		return ctx.SRO().Set("done", true)
+	})
+	mustRegComp(t, reg, "comp.getcash", func(ctx agent.CompContext) error {
+		wro, err := ctx.WRO()
+		if err != nil {
+			return err
+		}
+		var acct string
+		if err := wro.MustGet("acct", &acct); err != nil {
+			return err
+		}
+		r, err := ctx.Resource("bank")
+		if err != nil {
+			return err
+		}
+		w, err := wallet(wro)
+		if err != nil {
+			return err
+		}
+		if err := r.(*resource.Bank).RedeemCash(ctx.Tx(), acct, "USD", w); err != nil {
+			return err
+		}
+		return wro.Set(walletKey, resource.Cash{})
+	})
+	mustRegComp(t, reg, "comp.buybook", func(ctx agent.CompContext) error {
+		var shopName, item string
+		var qty int
+		var paid int64
+		if err := ctx.Params().Get("shop", &shopName); err != nil {
+			return err
+		}
+		if err := ctx.Params().Get("item", &item); err != nil {
+			return err
+		}
+		if err := ctx.Params().Get("qty", &qty); err != nil {
+			return err
+		}
+		if err := ctx.Params().Get("paid", &paid); err != nil {
+			return err
+		}
+		r, err := ctx.Resource(shopName)
+		if err != nil {
+			return err
+		}
+		refund, _, err := r.(*resource.Shop).Refund(ctx.Tx(), item, qty, paid)
+		if err != nil {
+			return err
+		}
+		wro, err := ctx.WRO()
+		if err != nil {
+			return err
+		}
+		w, err := wallet(wro)
+		if err != nil {
+			return err
+		}
+		if err := wro.Set(walletKey, append(w, refund...)); err != nil {
+			return err
+		}
+		return wro.Set("note", "refunded")
+	})
+}

@@ -1,0 +1,400 @@
+package cluster_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/itinerary"
+	"repro/internal/node"
+	"repro/internal/resource"
+	"repro/internal/txn"
+)
+
+// itinCluster builds three nodes (n1, n2, n3), each with a directory, and
+// registers generic steps used by the itinerary-scope tests:
+//
+//	visit   appends its "name" parameter-by-convention (step method
+//	        "visit:<name>") to the SRO trail, bumps the persistent visit
+//	        counter "<name>" in the local directory WITHOUT logging a
+//	        compensation for it (an uncompensated effect acts as memory
+//	        that survives rollbacks), and logs an agent-compensation
+//	        marker so the test can observe compensation order in the WRO.
+//	gate:<name>:<spec>  like visit, but first consults the local visit
+//	        counter of <name> and rolls back per spec.
+func itinCluster(t *testing.T, optimized bool) *cluster.Cluster {
+	t.Helper()
+	cl := cluster.New(cluster.Options{
+		Optimized:  optimized,
+		RetryDelay: 2 * time.Millisecond,
+		AckTimeout: time.Second,
+	})
+	for _, n := range []string{"n1", "n2", "n3"} {
+		if err := cl.AddNode(n, dirFactory("dir")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := cl.Registry()
+
+	// visitStep implements both "visit" and the rollback decision logic.
+	// rollbackLevels(visits) returns 0 to proceed, or the number of
+	// enclosing sub-itinerary levels to roll back.
+	makeStep := func(name string, rollbackLevels func(visits int) int) agent.StepFunc {
+		return func(ctx agent.StepContext) error {
+			r, ok := ctx.Resource("dir")
+			if !ok {
+				return fmt.Errorf("no dir on %s", ctx.NodeName())
+			}
+			dir := r.(*resource.Directory)
+			// Bump the persistent visit counter (uncompensated).
+			visits := 0
+			if raw, ok, err := dir.Lookup(ctx.Tx(), "visits/"+name); err != nil {
+				return err
+			} else if ok {
+				if _, err := fmt.Sscanf(raw, "%d", &visits); err != nil {
+					return err
+				}
+			}
+			visits++
+			if err := dir.Put(ctx.Tx(), "visits/"+name, fmt.Sprintf("%d", visits)); err != nil {
+				return err
+			}
+			if rollbackLevels != nil {
+				if lv := rollbackLevels(visits); lv > 0 {
+					return ctx.RollbackEnclosing(lv)
+				}
+			}
+			// Record the committed visit in the SRO trail.
+			var trail []string
+			if _, err := ctx.SRO().Get("trail", &trail); err != nil {
+				return err
+			}
+			if err := ctx.SRO().Set("trail", append(trail, name)); err != nil {
+				return err
+			}
+			// Observable compensation marker.
+			ctx.LogComp(core.OpAgent, "comp.mark", core.NewParams().Set("name", name))
+			return nil
+		}
+	}
+
+	mustRegStep(t, reg, "visit-s6", makeStep("s6", nil))
+	mustRegStep(t, reg, "visit-s9", makeStep("s9", nil))
+	mustRegStep(t, reg, "visit-s10", makeStep("s10", nil))
+	mustRegStep(t, reg, "visit-s5", makeStep("s5", nil))
+	// s4: first pass rolls back the current sub (SIb), second pass the
+	// enclosing sub (SIa), third pass proceeds. The decision is driven
+	// by s5's committed visit count, mirrored into the WRO by s5 (WROs
+	// are not restored on rollback, §4.1, so the count survives).
+	mustRegStep(t, reg, "gate-s4", func(ctx agent.StepContext) error {
+		return gateOnS5Visits(ctx, 2)
+	})
+	// s4-once: rolls back the current sub exactly once (for the special
+	// savepoint scenario).
+	mustRegStep(t, reg, "gate-s4-once", func(ctx agent.StepContext) error {
+		return gateOnS5Visits(ctx, 1)
+	})
+
+	mustRegComp(t, reg, "comp.mark", func(ctx agent.CompContext) error {
+		var name string
+		if err := ctx.Params().Get("name", &name); err != nil {
+			return err
+		}
+		wro, err := ctx.WRO()
+		if err != nil {
+			return err
+		}
+		var marks []string
+		if _, err := wro.Get("comps", &marks); err != nil {
+			return err
+		}
+		return wro.Set("comps", append(marks, name))
+	})
+
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+// gateOnS5Visits is the s4 decision logic: the step's own transaction
+// (including its directory writes) aborts when it requests a rollback, so
+// the decision must rest on committed state that survives. s5 mirrors its
+// committed visit count into the WRO (weakly reversible objects are not
+// restored on rollback, §4.1): count 1 rolls back the current sub; count
+// 2, if allowed by maxRollbacks, also the enclosing sub; anything else
+// proceeds.
+func gateOnS5Visits(ctx agent.StepContext, maxRollbacks int) error {
+	r, ok := ctx.Resource("dir")
+	if !ok {
+		return fmt.Errorf("no dir on %s", ctx.NodeName())
+	}
+	dir := r.(*resource.Directory)
+	var s5visits int
+	if _, err := ctx.WRO().Get("s5visits", &s5visits); err != nil {
+		return err
+	}
+	// Bump s4's own counter; the write is undone with every aborting
+	// attempt, so the committed value counts successful passes only.
+	visits := 0
+	if raw, ok, err := dir.Lookup(ctx.Tx(), "visits/s4"); err != nil {
+		return err
+	} else if ok {
+		if _, err := fmt.Sscanf(raw, "%d", &visits); err != nil {
+			return err
+		}
+	}
+	if err := dir.Put(ctx.Tx(), "visits/s4", fmt.Sprintf("%d", visits+1)); err != nil {
+		return err
+	}
+	switch {
+	case s5visits == 1:
+		return ctx.RollbackCurrentSub() // roll back SIb only
+	case s5visits == 2 && maxRollbacks > 1:
+		return ctx.RollbackEnclosing(2) // roll back SIa as well
+	}
+	var trail []string
+	if _, err := ctx.SRO().Get("trail", &trail); err != nil {
+		return err
+	}
+	if err := ctx.SRO().Set("trail", append(trail, "s4")); err != nil {
+		return err
+	}
+	ctx.LogComp(core.OpAgent, "comp.mark", core.NewParams().Set("name", "s4"))
+	return nil
+}
+
+// registerS5WithWROCount adds the s5 variant that mirrors its visit count
+// into the WRO (weakly reversible: survives rollback, §4.1).
+func registerS5WithWROCount(t *testing.T, cl *cluster.Cluster) {
+	t.Helper()
+	mustRegStep(t, cl.Registry(), "visit-s5-wro", func(ctx agent.StepContext) error {
+		r, _ := ctx.Resource("dir")
+		dir := r.(*resource.Directory)
+		visits := 0
+		if raw, ok, err := dir.Lookup(ctx.Tx(), "visits/s5"); err != nil {
+			return err
+		} else if ok {
+			if _, err := fmt.Sscanf(raw, "%d", &visits); err != nil {
+				return err
+			}
+		}
+		visits++
+		if err := dir.Put(ctx.Tx(), "visits/s5", fmt.Sprintf("%d", visits)); err != nil {
+			return err
+		}
+		if err := ctx.WRO().Set("s5visits", visits); err != nil {
+			return err
+		}
+		var trail []string
+		if _, err := ctx.SRO().Get("trail", &trail); err != nil {
+			return err
+		}
+		if err := ctx.SRO().Set("trail", append(trail, "s5")); err != nil {
+			return err
+		}
+		ctx.LogComp(core.OpAgent, "comp.mark", core.NewParams().Set("name", "s5"))
+		return nil
+	})
+}
+
+func dirCounter(t *testing.T, cl *cluster.Cluster, nodeName, key string) int {
+	t.Helper()
+	n, ok := cl.Node(nodeName)
+	if !ok {
+		t.Fatalf("no node %s", nodeName)
+	}
+	var visits int
+	if err := cl.WithTx(nodeName, func(tx *txn.Tx, _ *node.Node) error {
+		raw, ok, err := mustDir(t, n, "dir").Lookup(tx, key)
+		if err != nil || !ok {
+			visits = 0
+			return err
+		}
+		_, err = fmt.Sscanf(raw, "%d", &visits)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return visits
+}
+
+// TestNestedRollbackScopes drives the §4.4.2 walk-through: an agent inside
+// SIb (nested in SIa) first rolls back SIb alone, then the enclosing SIa,
+// then completes. It checks the restored SRO trail, the compensation
+// order observed in the WRO, the persistent visit counters, and that the
+// log is empty after the top-level sub-itinerary completes.
+func TestNestedRollbackScopes(t *testing.T) {
+	for _, optimized := range []bool{false, true} {
+		name := "basic"
+		if optimized {
+			name = "optimized"
+		}
+		t.Run(name, func(t *testing.T) {
+			cl := itinCluster(t, optimized)
+			registerS5WithWROCount(t, cl)
+			it, err := itinerary.New(&itinerary.Sub{ID: "SIa", Entries: []itinerary.Entry{
+				itinerary.Step{Method: "visit-s6", Loc: "n1"},
+				&itinerary.Sub{ID: "SIb", Entries: []itinerary.Entry{
+					itinerary.Step{Method: "visit-s5-wro", Loc: "n2"},
+					itinerary.Step{Method: "gate-s4", Loc: "n3"},
+				}},
+				&itinerary.Sub{ID: "SIc", Entries: []itinerary.Entry{
+					itinerary.Step{Method: "visit-s9", Loc: "n1"},
+					itinerary.Step{Method: "visit-s10", Loc: "n2"},
+				}},
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, entered, err := agent.New("nested-1", "", it)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := cl.Run(a, entered, "n1", testTimeout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed {
+				t.Fatalf("agent failed: %s", res.Reason)
+			}
+
+			var trail []string
+			if err := res.Agent.SRO.MustGet("trail", &trail); err != nil {
+				t.Fatal(err)
+			}
+			// Only the final successful pass survives in the SRO.
+			want := []string{"s6", "s5", "s4", "s9", "s10"}
+			if !reflect.DeepEqual(trail, want) {
+				t.Errorf("trail = %v, want %v", trail, want)
+			}
+
+			var marks []string
+			if err := res.Agent.WRO.MustGet("comps", &marks); err != nil {
+				t.Fatal(err)
+			}
+			// Rollback 1 (SIb): compensate s5. Rollback 2 (SIa):
+			// compensate s5 then s6 (reverse execution order).
+			wantMarks := []string{"s5", "s5", "s6"}
+			if !reflect.DeepEqual(marks, wantMarks) {
+				t.Errorf("compensation order = %v, want %v", marks, wantMarks)
+			}
+
+			// Persistent counters: s6 ran twice, s5 three times, s4
+			// attempted three times (two aborted).
+			if v := dirCounter(t, cl, "n1", "visits/s6"); v != 2 {
+				t.Errorf("visits(s6) = %d, want 2", v)
+			}
+			if v := dirCounter(t, cl, "n2", "visits/s5"); v != 3 {
+				t.Errorf("visits(s5) = %d, want 3", v)
+			}
+			// s4's counter writes happened in transactions that were
+			// rolled back twice (abort), committed once.
+			if v := dirCounter(t, cl, "n3", "visits/s4"); v != 1 {
+				t.Errorf("visits(s4) = %d, want 1 (aborted attempts undone)", v)
+			}
+
+			// §4.4.2: completing a top-level sub-itinerary discards the
+			// whole rollback log.
+			if res.Agent.Log.Len() != 0 {
+				t.Errorf("log after completion: %s", res.Agent.Log)
+			}
+		})
+	}
+}
+
+// TestSpecialSavepointScope: when a sub-itinerary starts at the very
+// beginning of its parent, it shares the parent's savepoint via a special
+// (data-less) savepoint entry; rolling back the inner scope restores from
+// the referenced entry.
+func TestSpecialSavepointScope(t *testing.T) {
+	cl := itinCluster(t, false)
+	registerS5WithWROCount(t, cl)
+	it, err := itinerary.New(&itinerary.Sub{ID: "SIa", Entries: []itinerary.Entry{
+		&itinerary.Sub{ID: "SIb", Entries: []itinerary.Entry{
+			itinerary.Step{Method: "visit-s5-wro", Loc: "n2"},
+			itinerary.Step{Method: "gate-s4-once", Loc: "n3"},
+		}},
+		itinerary.Step{Method: "visit-s6", Loc: "n1"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, entered, err := agent.New("special-1", "", it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entered) != 2 {
+		t.Fatalf("entered = %v, want SIa+SIb", entered)
+	}
+	res, err := cl.Run(a, entered, "n2", testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("agent failed: %s", res.Reason)
+	}
+	var trail []string
+	if err := res.Agent.SRO.MustGet("trail", &trail); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"s5", "s4", "s6"}
+	if !reflect.DeepEqual(trail, want) {
+		t.Errorf("trail = %v, want %v", trail, want)
+	}
+	// gate-s4-once rolled back SIb once; its visit counter shows the
+	// aborted attempt was undone, s5 ran twice.
+	if v := dirCounter(t, cl, "n2", "visits/s5"); v != 2 {
+		t.Errorf("visits(s5) = %d, want 2", v)
+	}
+	if v := dirCounter(t, cl, "n3", "visits/s4"); v != 1 {
+		t.Errorf("visits(s4) = %d, want 1 (aborted attempt undone)", v)
+	}
+	var marks []string
+	if err := res.Agent.WRO.MustGet("comps", &marks); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(marks, []string{"s5"}) {
+		t.Errorf("comps = %v, want [s5]", marks)
+	}
+	if res.Agent.Log.Len() != 0 {
+		t.Errorf("log after completion: %s", res.Agent.Log)
+	}
+}
+
+// TestRollbackPastDiscardPointFails: after a top-level sub-itinerary
+// completes, its savepoint is gone (the log was discarded); an attempt to
+// roll back to it is a permanent failure.
+func TestRollbackPastDiscardPointFails(t *testing.T) {
+	cl := itinCluster(t, false)
+	mustRegStep(t, cl.Registry(), "rollback-to-first", func(ctx agent.StepContext) error {
+		return ctx.Rollback("first")
+	})
+	it, err := itinerary.New(
+		&itinerary.Sub{ID: "first", Entries: []itinerary.Entry{
+			itinerary.Step{Method: "visit-s6", Loc: "n1"},
+		}},
+		&itinerary.Sub{ID: "second", Entries: []itinerary.Entry{
+			itinerary.Step{Method: "rollback-to-first", Loc: "n2"},
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, entered, err := agent.New("discard-1", "", it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(a, entered, "n1", testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed {
+		t.Fatal("rollback past the discard point succeeded, want permanent failure")
+	}
+}

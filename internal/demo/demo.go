@@ -1,0 +1,230 @@
+// Package demo is the step/compensation library shared by the
+// multi-process deployment binaries (cmd/agentnode, cmd/agentctl). Since
+// Go has no code mobility, every node process registers this library at
+// startup — the stand-in for agent code being available on every node
+// (see the substitution note in DESIGN.md).
+//
+// The library implements the paper's running shopping scenario: withdraw
+// digital cash (mixed compensation), buy goods (mixed compensation with a
+// refund fee), check a review and, if it is bad and no refund note is
+// present, partially roll back the trip.
+package demo
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/itinerary"
+	"repro/internal/resource"
+)
+
+// WalletKey is the WRO key holding the agent's digital cash.
+const WalletKey = "wallet"
+
+// Wallet reads the cash wallet from a data space.
+func Wallet(sp *agent.Space) (resource.Cash, error) {
+	var c resource.Cash
+	if _, err := sp.Get(WalletKey, &c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Register installs the demo steps and compensations into reg.
+func Register(reg *agent.Registry) error {
+	regs := []func(*agent.Registry) error{registerSteps, registerComps}
+	for _, f := range regs {
+		if err := f(reg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func registerSteps(reg *agent.Registry) error {
+	if err := reg.RegisterStep("demo.getcash", func(ctx agent.StepContext) error {
+		r, ok := ctx.Resource("bank")
+		if !ok {
+			return errors.New("demo.getcash: no bank on " + ctx.NodeName())
+		}
+		var acct string
+		if err := ctx.WRO().MustGet("acct", &acct); err != nil {
+			return err
+		}
+		cash, err := r.(*resource.Bank).IssueCash(ctx.Tx(), acct, "USD", 500)
+		if err != nil {
+			return err
+		}
+		if err := ctx.WRO().Set(WalletKey, cash); err != nil {
+			return err
+		}
+		ctx.LogComp(core.OpMixed, "demo.comp.getcash", core.NewParams().Set("acct", acct))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := reg.RegisterStep("demo.buy", func(ctx agent.StepContext) error {
+		if noted, err := ctx.WRO().Has("note"); err != nil {
+			return err
+		} else if noted {
+			return ctx.SRO().Set("decision", "skip")
+		}
+		w, err := Wallet(ctx.WRO())
+		if err != nil {
+			return err
+		}
+		r, ok := ctx.Resource("shop")
+		if !ok {
+			return errors.New("demo.buy: no shop on " + ctx.NodeName())
+		}
+		shop := r.(*resource.Shop)
+		price, err := shop.PriceOf(ctx.Tx(), "book")
+		if err != nil {
+			return err
+		}
+		change, err := shop.Buy(ctx.Tx(), "book", 1, w)
+		if err != nil {
+			return err
+		}
+		if err := ctx.WRO().Set(WalletKey, change); err != nil {
+			return err
+		}
+		if err := ctx.SRO().Set("decision", "bought"); err != nil {
+			return err
+		}
+		ctx.LogComp(core.OpMixed, "demo.comp.buy", core.NewParams().
+			Set("item", "book").Set("qty", 1).Set("paid", price))
+		return nil
+	}); err != nil {
+		return err
+	}
+	return reg.RegisterStep("demo.check", func(ctx agent.StepContext) error {
+		r, ok := ctx.Resource("dir")
+		if !ok {
+			return errors.New("demo.check: no directory on " + ctx.NodeName())
+		}
+		review, _, err := r.(*resource.Directory).Lookup(ctx.Tx(), "review/book")
+		if err != nil {
+			return err
+		}
+		if err := ctx.SRO().Set("review", review); err != nil {
+			return err
+		}
+		noted, err := ctx.WRO().Has("note")
+		if err != nil {
+			return err
+		}
+		if review == "bad" && !noted {
+			return ctx.RollbackCurrentSub()
+		}
+		return ctx.SRO().Set("done", true)
+	})
+}
+
+func registerComps(reg *agent.Registry) error {
+	if err := reg.RegisterComp("demo.comp.getcash", func(ctx agent.CompContext) error {
+		var acct string
+		if err := ctx.Params().Get("acct", &acct); err != nil {
+			return err
+		}
+		r, err := ctx.Resource("bank")
+		if err != nil {
+			return err
+		}
+		wro, err := ctx.WRO()
+		if err != nil {
+			return err
+		}
+		w, err := Wallet(wro)
+		if err != nil {
+			return err
+		}
+		if err := r.(*resource.Bank).RedeemCash(ctx.Tx(), acct, "USD", w); err != nil {
+			return err
+		}
+		return wro.Set(WalletKey, resource.Cash{})
+	}); err != nil {
+		return err
+	}
+	return reg.RegisterComp("demo.comp.buy", func(ctx agent.CompContext) error {
+		var item string
+		var qty int
+		var paid int64
+		if err := ctx.Params().Get("item", &item); err != nil {
+			return err
+		}
+		if err := ctx.Params().Get("qty", &qty); err != nil {
+			return err
+		}
+		if err := ctx.Params().Get("paid", &paid); err != nil {
+			return err
+		}
+		r, err := ctx.Resource("shop")
+		if err != nil {
+			return err
+		}
+		refund, _, err := r.(*resource.Shop).Refund(ctx.Tx(), item, qty, paid)
+		if err != nil {
+			return err
+		}
+		wro, err := ctx.WRO()
+		if err != nil {
+			return err
+		}
+		w, err := Wallet(wro)
+		if err != nil {
+			return err
+		}
+		if err := wro.Set(WalletKey, append(w, refund...)); err != nil {
+			return err
+		}
+		return wro.Set("note", "refunded")
+	})
+}
+
+// Itinerary builds the demo shopping itinerary over the three given node
+// names (bank node, shop node, directory node).
+func Itinerary(bankNode, shopNode, dirNode string) (*itinerary.Itinerary, error) {
+	return itinerary.New(&itinerary.Sub{ID: "trip", Entries: []itinerary.Entry{
+		itinerary.Step{Method: "demo.getcash", Loc: bankNode},
+		itinerary.Step{Method: "demo.buy", Loc: shopNode},
+		itinerary.Step{Method: "demo.check", Loc: dirNode},
+	}})
+}
+
+// NewAgent builds a demo shopping agent with the given account name.
+func NewAgent(id, acct, bankNode, shopNode, dirNode string) (*agent.Agent, []string, error) {
+	it, err := Itinerary(bankNode, shopNode, dirNode)
+	if err != nil {
+		return nil, nil, err
+	}
+	a, entered, err := agent.New(id, "", it)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := a.WRO.Set("acct", acct); err != nil {
+		return nil, nil, err
+	}
+	return a, entered, nil
+}
+
+// SeedSpec describes one resource seeding directive parsed from the
+// agentnode command line, e.g. "bank:acct=alice:1000".
+type SeedSpec struct {
+	Resource string
+	Key      string
+	Amount   int64
+	Extra    int64
+}
+
+// FormatHint returns the accepted -seed syntaxes.
+func FormatHint() string {
+	return "bank:acct=<name>:<balance> | shop:item=<name>:<qty>:<price> | dir:key=<k>:<v>"
+}
+
+// String renders the spec for logs.
+func (s SeedSpec) String() string {
+	return fmt.Sprintf("%s %s (%d/%d)", s.Resource, s.Key, s.Amount, s.Extra)
+}

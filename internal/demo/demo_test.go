@@ -1,0 +1,114 @@
+package demo_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/cluster"
+	"repro/internal/demo"
+	"repro/internal/node"
+	"repro/internal/resource"
+	"repro/internal/stable"
+	"repro/internal/txn"
+)
+
+// TestDemoScenario runs the library shared by the multi-process binaries
+// on a simulated cluster: rollback, refund fee, second-pass skip.
+func TestDemoScenario(t *testing.T) {
+	cl := cluster.New(cluster.Options{RetryDelay: 2 * time.Millisecond})
+	defer cl.Close()
+	if err := cl.AddNode("A", func(s stable.Store) (resource.Resource, error) {
+		return resource.NewBank(s, "bank", false)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AddNode("B", func(s stable.Store) (resource.Resource, error) {
+		return resource.NewShop(s, "shop", resource.ShopConfig{Currency: "USD", Mode: resource.RefundCash, FeePercent: 10})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AddNode("C", func(s stable.Store) (resource.Resource, error) {
+		return resource.NewDirectory(s, "dir")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := demo.Register(cl.Registry()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	seed := func(nodeName string, f func(tx *txn.Tx, n *node.Node) error) {
+		t.Helper()
+		if err := cl.WithTx(nodeName, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed("A", func(tx *txn.Tx, n *node.Node) error {
+		r, _ := n.Resource("bank")
+		return r.(*resource.Bank).OpenAccount(tx, "alice", 1000)
+	})
+	seed("B", func(tx *txn.Tx, n *node.Node) error {
+		r, _ := n.Resource("shop")
+		return r.(*resource.Shop).Restock(tx, "book", 5, 100)
+	})
+	seed("C", func(tx *txn.Tx, n *node.Node) error {
+		r, _ := n.Resource("dir")
+		return r.(*resource.Directory).Put(tx, "review/book", "bad")
+	})
+
+	a, entered, err := demo.NewAgent("demo1", "alice", "A", "B", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(a, entered, "A", 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("agent failed: %s", res.Reason)
+	}
+	var decision, review string
+	if err := res.Agent.SRO.MustGet("decision", &decision); err != nil || decision != "skip" {
+		t.Errorf("decision = %q, %v", decision, err)
+	}
+	if err := res.Agent.SRO.MustGet("review", &review); err != nil || review != "bad" {
+		t.Errorf("review = %q, %v", review, err)
+	}
+	w, err := demo.Wallet(res.Agent.WRO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Total("USD") != 500 {
+		t.Errorf("wallet = %d, want 500", w.Total("USD"))
+	}
+}
+
+func TestDemoRegisterTwiceFails(t *testing.T) {
+	reg := agent.NewRegistry()
+	if err := demo.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := demo.Register(reg); err == nil {
+		t.Error("double registration succeeded")
+	}
+}
+
+func TestDemoItineraryShape(t *testing.T) {
+	it, err := demo.Itinerary("x", "y", "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, entered, err := it.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entered) != 1 || entered[0] != "trip" {
+		t.Errorf("entered = %v", entered)
+	}
+	step, err := it.StepAt(c)
+	if err != nil || step.Loc != "x" {
+		t.Errorf("first step = %+v, %v", step, err)
+	}
+}

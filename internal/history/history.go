@@ -1,0 +1,209 @@
+// Package history implements the formal model of §3.1 (adopted from Korth,
+// Levy & Silberschatz [8]): operations over the *augmented state* — the
+// resource state merged with the agent's private data space — histories as
+// sequences/compositions of operations, commutativity, and the soundness
+// criterion for compensation.
+//
+// The package is executable mathematics: the property-based tests in this
+// module check the paper's §3.2 claims against it (commuting bank
+// operations yield sound histories; a balance-dependent operation destroys
+// commutativity and soundness).
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// State is an augmented state: named integer-valued entities (account
+// balances, stock levels, private agent counters). States are immutable
+// from the operations' point of view; Apply returns a derived state.
+type State map[string]int64
+
+// Clone returns a deep copy of s.
+func (s State) Clone() State {
+	out := make(State, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Equal reports component-wise equality treating absent keys as zero.
+func (s State) Equal(o State) bool {
+	for k, v := range s {
+		if o[k] != v {
+			return false
+		}
+	}
+	for k, v := range o {
+		if s[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the state deterministically.
+func (s State) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, s[k])
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Operation is one operation f on the augmented state. Operations may read
+// and write any number of entities (§3.1 generalizes [8] in exactly this
+// way).
+type Operation interface {
+	// Name identifies the operation in rendered histories.
+	Name() string
+	// Apply returns the state after the operation.
+	Apply(s State) State
+}
+
+// History is a sequence of operations; as a function it is the composition
+// f1 • f2 • ... • fn applied left to right (fi precedes fi+1).
+type History []Operation
+
+// Apply runs the whole history on s.
+func (h History) Apply(s State) State {
+	cur := s.Clone()
+	for _, f := range h {
+		cur = f.Apply(cur)
+	}
+	return cur
+}
+
+// Then concatenates histories.
+func (h History) Then(o History) History {
+	out := make(History, 0, len(h)+len(o))
+	out = append(out, h...)
+	return append(out, o...)
+}
+
+// String renders ⟨f1, f2, ...⟩.
+func (h History) String() string {
+	names := make([]string, len(h))
+	for i, f := range h {
+		names[i] = f.Name()
+	}
+	return "<" + strings.Join(names, ", ") + ">"
+}
+
+// EqualOn reports X ≡ Y over the given sample states: for all S in
+// samples, X(S) = Y(S). (True history equality quantifies over all states;
+// the tests use randomized samples as a sound refutation procedure.)
+func EqualOn(x, y History, samples []State) bool {
+	for _, s := range samples {
+		if !x.Apply(s).Equal(y.Apply(s)) {
+			return false
+		}
+	}
+	return true
+}
+
+// CommuteOn reports whether X•Y ≡ Y•X over the sample states (§3.1).
+func CommuteOn(x, y History, samples []State) bool {
+	return EqualOn(x.Then(y), y.Then(x), samples)
+}
+
+// SoundOn checks the soundness criterion of [8] as stated in §3.2: with X
+// being the history of T, CT and dep(T) (T, then the dependents, then the
+// compensation, in the given interleaving) and Y the history of dep(T)
+// alone, the compensation is sound iff X(S) = Y(S) for the initial states.
+//
+// The caller passes the concrete interleaving of dep(T) operations between
+// T and CT via deps; SoundOn builds X = T • deps • CT and Y = deps.
+func SoundOn(t, ct, deps History, samples []State) bool {
+	x := t.Then(deps).Then(ct)
+	return EqualOn(x, deps, samples)
+}
+
+// InverseOn reports T•CT ≡ I over the samples (the identity-restoring
+// special case the soundness definition implies, §3.2).
+func InverseOn(t, ct History, samples []State) bool {
+	return EqualOn(t.Then(ct), History{}, samples)
+}
+
+// --- concrete operations (the paper's bank examples) -------------------
+
+// fnOp is a generic named operation.
+type fnOp struct {
+	name string
+	fn   func(State) State
+}
+
+func (o fnOp) Name() string        { return o.name }
+func (o fnOp) Apply(s State) State { return o.fn(s.Clone()) }
+
+// Op builds an operation from a function (for tests and experiments).
+func Op(name string, fn func(State) State) Operation {
+	return fnOp{name: name, fn: fn}
+}
+
+// Deposit returns deposit(acct, x): balance += x. Deposits and withdrawals
+// on an overdraft-capable account commute (§3.2).
+func Deposit(acct string, x int64) Operation {
+	return fnOp{
+		name: fmt.Sprintf("deposit(%s,%d)", acct, x),
+		fn: func(s State) State {
+			s[acct] += x
+			return s
+		},
+	}
+}
+
+// Withdraw returns withdraw(acct, x): balance -= x (overdraft allowed; the
+// guarded variant below models the non-overdraft account).
+func Withdraw(acct string, x int64) Operation {
+	return fnOp{
+		name: fmt.Sprintf("withdraw(%s,%d)", acct, x),
+		fn: func(s State) State {
+			s[acct] -= x
+			return s
+		},
+	}
+}
+
+// ConditionalSpend returns the paper's soundness-breaking transaction: "if
+// I have enough money, then ..." — it reads the balance and spends only if
+// at least threshold is available, recording the choice in flag.
+func ConditionalSpend(acct string, threshold, amount int64, flag string) Operation {
+	return fnOp{
+		name: fmt.Sprintf("ifRich(%s>=%d)spend(%d)", acct, threshold, amount),
+		fn: func(s State) State {
+			if s[acct] >= threshold {
+				s[acct] -= amount
+				s[flag] = 1
+			} else {
+				s[flag] = -1
+			}
+			return s
+		},
+	}
+}
+
+// GuardedWithdraw models the non-overdraft account of §3.2's
+// compensation-failure example: the withdrawal happens only if funds
+// suffice, and failCounter counts failed attempts.
+func GuardedWithdraw(acct string, x int64, failCounter string) Operation {
+	return fnOp{
+		name: fmt.Sprintf("gwithdraw(%s,%d)", acct, x),
+		fn: func(s State) State {
+			if s[acct] >= x {
+				s[acct] -= x
+			} else {
+				s[failCounter]++
+			}
+			return s
+		},
+	}
+}

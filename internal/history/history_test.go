@@ -1,0 +1,141 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sampleStates builds randomized augmented states over the given keys.
+func sampleStates(r *rand.Rand, keys []string, n int) []State {
+	out := make([]State, n)
+	for i := range out {
+		s := make(State, len(keys))
+		for _, k := range keys {
+			s[k] = int64(r.Intn(2000) - 500)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func TestDepositWithdrawCommute(t *testing.T) {
+	// §3.2: "If the account may be overdrawn, these two operations
+	// commute" — for arbitrary amounts and any interleaving.
+	cfg := &quick.Config{MaxCount: 200}
+	err := quick.Check(func(x, y int16, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		samples := sampleStates(r, []string{"acct"}, 20)
+		a := History{Deposit("acct", int64(x))}
+		b := History{Withdraw("acct", int64(y))}
+		return CommuteOn(a, b, samples)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDepositCompensationIsSound(t *testing.T) {
+	// T = deposit(x), CT = withdraw(x), dep(T) uses only commuting
+	// operations: the produced histories are sound.
+	cfg := &quick.Config{MaxCount: 200}
+	err := quick.Check(func(x int16, d1, d2 int16, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		samples := sampleStates(r, []string{"acct"}, 20)
+		tOp := History{Deposit("acct", int64(x))}
+		ct := History{Withdraw("acct", int64(x))}
+		deps := History{Deposit("acct", int64(d1)), Withdraw("acct", int64(d2))}
+		return SoundOn(tOp, ct, deps, samples)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConditionalSpendBreaksCommutativity(t *testing.T) {
+	// §3.2: a dependent transaction that uses the current balance to
+	// decide ("if I have enough money, then ...") does not commute with
+	// deposit/withdraw.
+	r := rand.New(rand.NewSource(1))
+	samples := sampleStates(r, []string{"acct", "flag"}, 50)
+	dep := History{Deposit("acct", 100)}
+	cond := History{ConditionalSpend("acct", 50, 10, "flag")}
+	if CommuteOn(dep, cond, samples) {
+		t.Error("conditional spend commutes with deposit; the paper's counter-example should break commutativity")
+	}
+}
+
+func TestConditionalSpendBreaksSoundness(t *testing.T) {
+	// With the conditional spender as dep(T), compensating the deposit
+	// is no longer sound: dep(T) alone sees a different balance.
+	samples := []State{{"acct": 0}} // spender's threshold is only met after T's deposit
+	tOp := History{Deposit("acct", 100)}
+	ct := History{Withdraw("acct", 100)}
+	deps := History{ConditionalSpend("acct", 50, 10, "flag")}
+	if SoundOn(tOp, ct, deps, samples) {
+		t.Error("history with balance-dependent dep(T) reported sound; want unsound")
+	}
+}
+
+func TestSoundnessImpliesInverse(t *testing.T) {
+	// §3.2: "the definition of soundness implies that T•CT ≡ I".
+	err := quick.Check(func(x int16, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		samples := sampleStates(r, []string{"acct"}, 20)
+		tOp := History{Deposit("acct", int64(x))}
+		ct := History{Withdraw("acct", int64(x))}
+		return InverseOn(tOp, ct, samples)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGuardedWithdrawCompensationCanFail(t *testing.T) {
+	// §3.2's compensation-failure example: T deposits 20 on a
+	// non-overdraft account, another transaction withdraws everything,
+	// and CT (withdraw 20) fails.
+	s := State{"acct": 0, "fails": 0}
+	tOp := Deposit("acct", 20)
+	intruder := GuardedWithdraw("acct", 20, "fails")
+	ct := GuardedWithdraw("acct", 20, "fails")
+
+	afterT := tOp.Apply(s)
+	afterIntruder := intruder.Apply(afterT)
+	final := ct.Apply(afterIntruder)
+	if final["fails"] != 1 {
+		t.Errorf("compensation failures = %d, want 1 (balance drained by dependent txn)", final["fails"])
+	}
+
+	// Without the intruder the compensation succeeds and restores the
+	// initial balance.
+	direct := ct.Apply(afterT)
+	if direct["acct"] != 0 || direct["fails"] != 0 {
+		t.Errorf("unperturbed compensation: %s, want acct=0 fails=0", direct)
+	}
+}
+
+func TestHistoryString(t *testing.T) {
+	h := History{Deposit("a", 5), Withdraw("a", 3)}
+	want := "<deposit(a,5), withdraw(a,3)>"
+	if got := h.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestHistoryApplyDoesNotMutateInput(t *testing.T) {
+	s := State{"acct": 10}
+	History{Deposit("acct", 5)}.Apply(s)
+	if s["acct"] != 10 {
+		t.Errorf("input state mutated: %s", s)
+	}
+}
+
+func TestEqualOnDistinguishesOrders(t *testing.T) {
+	samples := []State{{"acct": 0, "flag": 0}}
+	x := History{Deposit("acct", 100), ConditionalSpend("acct", 50, 10, "flag")}
+	y := History{ConditionalSpend("acct", 50, 10, "flag"), Deposit("acct", 100)}
+	if EqualOn(x, y, samples) {
+		t.Error("different interleavings reported equal")
+	}
+}

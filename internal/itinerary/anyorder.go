@@ -1,0 +1,168 @@
+package itinerary
+
+// Partial order support (§4.4.2: "The order defined between the entries of
+// a (sub-)itinerary may be partial, allowing the system to choose which
+// entry to execute as the next entry").
+//
+// A Sub with AnyOrder=true leaves the execution order of its entries to
+// the system. The runtime fixes a concrete order the moment the sub is
+// entered, by reordering its Entries in place — legal because the
+// itinerary is agent *data* ("may be adapted during the execution", §2)
+// and the reordered itinerary is captured in the very savepoint that
+// guards the sub, so a rollback restores both position and chosen order
+// consistently.
+//
+// The system's choice is delegated to an EnterHook; the node runtime
+// supplies a locality-aware one (visit entries whose first step is on the
+// current node first, then greedily by hop count).
+
+// EnterHook is invoked when execution is about to descend into a sub,
+// before its first entry is chosen. The hook may permute sub.Entries; it
+// must not add or remove entries.
+type EnterHook func(sub *Sub)
+
+// StartHook is Start with an EnterHook applied to every sub entered on the
+// way to the first step.
+func (it *Itinerary) StartHook(hook EnterHook) (Cursor, []string, error) {
+	if err := it.Validate(); err != nil {
+		return Cursor{}, nil, err
+	}
+	path, entered, err := descendFirstHook(it.Subs[0], []int{0}, hook)
+	if err != nil {
+		return Cursor{}, nil, err
+	}
+	return Cursor{Path: path}, entered, nil
+}
+
+// AdvanceHook is Advance with an EnterHook applied to every sub the move
+// descends into.
+func (it *Itinerary) AdvanceHook(c Cursor, hook EnterHook) (Move, error) {
+	if c.Done {
+		return Move{}, ErrDone
+	}
+	if _, err := it.StepAt(c); err != nil {
+		return Move{}, err
+	}
+	var move Move
+	path := append([]int(nil), c.Path...)
+	for len(path) > 1 {
+		parentEntry, err := it.entryAt(path[:len(path)-1])
+		if err != nil {
+			return Move{}, err
+		}
+		parent := parentEntry.(*Sub)
+		idx := path[len(path)-1]
+		if idx+1 < len(parent.Entries) {
+			next := parent.Entries[idx+1]
+			leafPath, entered, err := descendFirstHook(next, append(path[:len(path)-1], idx+1), hook)
+			if err != nil {
+				return Move{}, err
+			}
+			move.Next = Cursor{Path: leafPath}
+			move.Entered = entered
+			return move, nil
+		}
+		move.Left = append(move.Left, parent.ID)
+		if len(path) == 2 {
+			move.TopLevelLeft = parent.ID
+		}
+		path = path[:len(path)-1]
+	}
+	topIdx := path[0]
+	if topIdx+1 < len(it.Subs) {
+		leafPath, entered, err := descendFirstHook(it.Subs[topIdx+1], []int{topIdx + 1}, hook)
+		if err != nil {
+			return Move{}, err
+		}
+		move.Next = Cursor{Path: leafPath}
+		move.Entered = entered
+		return move, nil
+	}
+	move.Next = Cursor{Done: true}
+	return move, nil
+}
+
+// descendFirstHook is descendFirst with the hook applied at each sub
+// before its first entry is selected.
+func descendFirstHook(e Entry, path []int, hook EnterHook) ([]int, []string, error) {
+	var entered []string
+	for {
+		sub, ok := e.(*Sub)
+		if !ok {
+			return path, entered, nil
+		}
+		if hook != nil && sub.AnyOrder {
+			hook(sub)
+		}
+		entered = append(entered, sub.ID)
+		if len(sub.Entries) == 0 {
+			return nil, nil, errEmptySub(sub.ID)
+		}
+		path = append(path, 0)
+		e = sub.Entries[0]
+	}
+}
+
+// FirstLoc returns the node of the first step reached when executing e
+// (descending into nested subs); used by ordering heuristics.
+func FirstLoc(e Entry) string {
+	for {
+		switch v := e.(type) {
+		case Step:
+			return v.Loc
+		case *Sub:
+			if len(v.Entries) == 0 {
+				return ""
+			}
+			e = v.Entries[0]
+		default:
+			return ""
+		}
+	}
+}
+
+// LocalityOrder returns an EnterHook that greedily orders a sub's entries
+// as a nearest-neighbour tour over node names starting from the given
+// node: entries whose first step runs on the "current" position come
+// first, minimizing agent transfers across the sub. Ties keep the
+// original relative order (stable).
+func LocalityOrder(startNode string) EnterHook {
+	return func(sub *Sub) {
+		remaining := append([]Entry(nil), sub.Entries...)
+		ordered := make([]Entry, 0, len(remaining))
+		current := startNode
+		for len(remaining) > 0 {
+			pick := 0
+			for i, e := range remaining {
+				if FirstLoc(e) == current {
+					pick = i
+					break
+				}
+			}
+			chosen := remaining[pick]
+			ordered = append(ordered, chosen)
+			remaining = append(remaining[:pick], remaining[pick+1:]...)
+			if loc := lastLoc(chosen); loc != "" {
+				current = loc
+			}
+		}
+		copy(sub.Entries, ordered)
+	}
+}
+
+// lastLoc returns the node of the final step of e.
+func lastLoc(e Entry) string {
+	for {
+		switch v := e.(type) {
+		case Step:
+			return v.Loc
+		case *Sub:
+			if len(v.Entries) == 0 {
+				return ""
+			}
+			e = v.Entries[len(v.Entries)-1]
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package itinerary
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFirstLocAndLastLoc(t *testing.T) {
+	step := Step{Method: "m", Loc: "n1"}
+	if got := FirstLoc(step); got != "n1" {
+		t.Errorf("FirstLoc(step) = %q", got)
+	}
+	sub := &Sub{ID: "s", Entries: []Entry{
+		Step{Method: "a", Loc: "x"},
+		Step{Method: "b", Loc: "y"},
+	}}
+	if got := FirstLoc(sub); got != "x" {
+		t.Errorf("FirstLoc(sub) = %q", got)
+	}
+	if got := lastLoc(sub); got != "y" {
+		t.Errorf("lastLoc(sub) = %q", got)
+	}
+	nested := &Sub{ID: "outer", Entries: []Entry{sub}}
+	if got := FirstLoc(nested); got != "x" {
+		t.Errorf("FirstLoc(nested) = %q", got)
+	}
+}
+
+func TestLocalityOrderPrefersCurrentNode(t *testing.T) {
+	sub := &Sub{ID: "s", AnyOrder: true, Entries: []Entry{
+		Step{Method: "a", Loc: "n2"},
+		Step{Method: "b", Loc: "n3"},
+		Step{Method: "c", Loc: "n1"},
+		Step{Method: "d", Loc: "n3"},
+	}}
+	LocalityOrder("n3")(sub)
+	var order []string
+	for _, e := range sub.Entries {
+		order = append(order, e.(Step).Method)
+	}
+	// Start at n3: pick b (n3), stay n3: pick d (n3), then no n3 entry:
+	// fall back to first remaining (a at n2), then c.
+	want := []string{"b", "d", "a", "c"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestLocalityOrderStableWhenNoMatch(t *testing.T) {
+	sub := &Sub{ID: "s", AnyOrder: true, Entries: []Entry{
+		Step{Method: "a", Loc: "x"},
+		Step{Method: "b", Loc: "y"},
+	}}
+	LocalityOrder("elsewhere")(sub)
+	if sub.Entries[0].(Step).Method != "a" || sub.Entries[1].(Step).Method != "b" {
+		t.Errorf("order changed without locality match: %v", sub.Entries)
+	}
+}
+
+func TestStartHookAppliesOnlyToAnyOrder(t *testing.T) {
+	ordered := &Sub{ID: "fixed", Entries: []Entry{
+		Step{Method: "a", Loc: "n2"},
+		Step{Method: "b", Loc: "n1"},
+	}}
+	it, err := New(ordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := it.StartHook(LocalityOrder("n1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := it.StepAt(c)
+	if err != nil || step.Method != "a" {
+		t.Errorf("fixed-order sub reordered: first step %+v, %v", step, err)
+	}
+}
+
+func TestAdvanceHookReordersEnteredSub(t *testing.T) {
+	it, err := New(&Sub{ID: "outer", Entries: []Entry{
+		Step{Method: "start", Loc: "n2"},
+		&Sub{ID: "inner", AnyOrder: true, Entries: []Entry{
+			Step{Method: "far", Loc: "n9"},
+			Step{Method: "near", Loc: "n2"},
+		}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := it.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advancing from "start" (on n2) into the AnyOrder sub with a
+	// locality hook for n2 must pick "near" first.
+	mv, err := it.AdvanceHook(c, LocalityOrder("n2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := it.StepAt(mv.Next)
+	if err != nil || step.Method != "near" {
+		t.Errorf("first step of reordered sub = %+v, %v; want near", step, err)
+	}
+	if !reflect.DeepEqual(mv.Entered, []string{"inner"}) {
+		t.Errorf("entered = %v", mv.Entered)
+	}
+	// Traverse to completion; both steps must still execute exactly once.
+	var seen []string
+	cur := mv.Next
+	for !cur.Done {
+		s, err := it.StepAt(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen = append(seen, s.Method)
+		m, err := it.AdvanceHook(cur, LocalityOrder(s.Loc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = m.Next
+	}
+	if !reflect.DeepEqual(seen, []string{"near", "far"}) {
+		t.Errorf("traversal = %v", seen)
+	}
+}

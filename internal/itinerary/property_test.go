@@ -1,0 +1,156 @@
+package itinerary
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomItinerary builds a random valid itinerary and returns it with the
+// number of step entries it contains.
+func randomItinerary(r *rand.Rand) (*Itinerary, int) {
+	var stepCount int
+	var subSeq int
+	var build func(depth int) *Sub
+	build = func(depth int) *Sub {
+		subSeq++
+		sub := &Sub{ID: fmt.Sprintf("sub%d", subSeq), AnyOrder: r.Intn(4) == 0}
+		n := 1 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			if depth < 3 && r.Intn(4) == 0 {
+				sub.Entries = append(sub.Entries, build(depth+1))
+				continue
+			}
+			stepCount++
+			sub.Entries = append(sub.Entries, Step{
+				Method: fmt.Sprintf("m%d", stepCount),
+				Loc:    fmt.Sprintf("n%d", r.Intn(4)),
+			})
+		}
+		return sub
+	}
+	top := 1 + r.Intn(3)
+	subs := make([]*Sub, top)
+	for i := range subs {
+		subs[i] = build(1)
+	}
+	it, err := New(subs...)
+	if err != nil {
+		panic(err)
+	}
+	return it, stepCount
+}
+
+// TestPropertyTraversalVisitsEveryStepOnce: any valid itinerary, traversed
+// with or without a locality hook, executes every step exactly once and
+// balances sub-itinerary enter/leave events.
+func TestPropertyTraversalVisitsEveryStepOnce(t *testing.T) {
+	err := quick.Check(func(seed int64, useHook bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		it, want := randomItinerary(r)
+		hook := EnterHook(nil)
+		if useHook {
+			hook = LocalityOrder("n0")
+		}
+		c, entered, err := it.StartHook(hook)
+		if err != nil {
+			return false
+		}
+		seen := make(map[string]bool)
+		open := len(entered)
+		for !c.Done {
+			step, err := it.StepAt(c)
+			if err != nil {
+				return false
+			}
+			if seen[step.Method] {
+				return false // visited twice
+			}
+			seen[step.Method] = true
+			mv, err := it.AdvanceHook(c, hook)
+			if err != nil {
+				return false
+			}
+			open += len(mv.Entered) - len(mv.Left)
+			c = mv.Next
+		}
+		// All steps visited, all subs left.
+		return len(seen) == want && open == 0
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySubStartReachesEveryStepOfSub: for every sub in a random
+// itinerary, resuming at SubStart and traversing visits exactly the sub's
+// steps before leaving it.
+func TestPropertySubStartReachesEveryStepOfSub(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		it, _ := randomItinerary(r)
+		var subs []*Sub
+		var collect func(s *Sub)
+		collect = func(s *Sub) {
+			subs = append(subs, s)
+			for _, e := range s.Entries {
+				if nested, ok := e.(*Sub); ok {
+					collect(nested)
+				}
+			}
+		}
+		for _, s := range it.Subs {
+			collect(s)
+		}
+		for _, sub := range subs {
+			want := countSteps(sub)
+			c, err := it.SubStart(sub.ID)
+			if err != nil {
+				return false
+			}
+			visited := 0
+			for !c.Done {
+				enclosing, err := it.EnclosingSubs(c)
+				if err != nil {
+					return false
+				}
+				inside := false
+				for _, id := range enclosing {
+					if id == sub.ID {
+						inside = true
+					}
+				}
+				if !inside {
+					break
+				}
+				visited++
+				mv, err := it.Advance(c)
+				if err != nil {
+					return false
+				}
+				c = mv.Next
+			}
+			if visited != want {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func countSteps(s *Sub) int {
+	n := 0
+	for _, e := range s.Entries {
+		switch v := e.(type) {
+		case Step:
+			n++
+		case *Sub:
+			n += countSteps(v)
+		}
+	}
+	return n
+}

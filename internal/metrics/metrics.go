@@ -1,0 +1,135 @@
+// Package metrics collects counters for the experiments in EXPERIMENTS.md.
+//
+// A single Counters value is shared by the network, the stable stores and
+// the node runtimes of one cluster; all methods are safe for concurrent
+// use. Snapshots are plain structs so experiment harnesses can diff them.
+package metrics
+
+import "sync/atomic"
+
+// Counters accumulates event counts for one cluster run.
+// The zero value is ready to use.
+type Counters struct {
+	messages          atomic.Int64
+	bytesSent         atomic.Int64
+	agentTransfers    atomic.Int64
+	agentTransferByte atomic.Int64
+	stepTxns          atomic.Int64
+	stepTxnAborts     atomic.Int64
+	compTxns          atomic.Int64
+	compTxnAborts     atomic.Int64
+	compOps           atomic.Int64
+	remoteCompBatches atomic.Int64
+	savepoints        atomic.Int64
+	logBytesPeak      atomic.Int64
+	stableWrites      atomic.Int64
+	stableBytes       atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of all counters.
+type Snapshot struct {
+	Messages          int64 // network messages delivered
+	BytesSent         int64 // payload bytes put on the (simulated) wire
+	AgentTransfers    int64 // agent containers moved to a *different* node
+	AgentTransferByte int64 // encoded bytes of transferred agent containers
+	StepTxns          int64 // committed step transactions
+	StepTxnAborts     int64 // aborted step transactions
+	CompTxns          int64 // committed compensation transactions
+	CompTxnAborts     int64 // aborted compensation transactions
+	CompOps           int64 // individual compensating operations executed
+	RemoteCompBatches int64 // RCE lists shipped to a resource node (Fig. 5)
+	Savepoints        int64 // savepoint entries written
+	LogBytesPeak      int64 // largest encoded rollback log observed
+	StableWrites      int64 // writes to stable storage
+	StableBytes       int64 // bytes written to stable storage
+}
+
+// IncMessages records one delivered network message carrying n payload bytes.
+func (c *Counters) IncMessages(n int64) {
+	c.messages.Add(1)
+	c.bytesSent.Add(n)
+}
+
+// IncAgentTransfer records an agent container of n encoded bytes moving
+// between two distinct nodes.
+func (c *Counters) IncAgentTransfer(n int64) {
+	c.agentTransfers.Add(1)
+	c.agentTransferByte.Add(n)
+}
+
+// IncStepTxn records a committed step transaction.
+func (c *Counters) IncStepTxn() { c.stepTxns.Add(1) }
+
+// IncStepTxnAbort records an aborted step transaction.
+func (c *Counters) IncStepTxnAbort() { c.stepTxnAborts.Add(1) }
+
+// IncCompTxn records a committed compensation transaction.
+func (c *Counters) IncCompTxn() { c.compTxns.Add(1) }
+
+// IncCompTxnAbort records an aborted compensation transaction.
+func (c *Counters) IncCompTxnAbort() { c.compTxnAborts.Add(1) }
+
+// IncCompOps records n executed compensating operations.
+func (c *Counters) IncCompOps(n int64) { c.compOps.Add(n) }
+
+// IncRemoteCompBatch records one RCE list shipped to a resource node.
+func (c *Counters) IncRemoteCompBatch() { c.remoteCompBatches.Add(1) }
+
+// IncSavepoints records one savepoint entry written to a rollback log.
+func (c *Counters) IncSavepoints() { c.savepoints.Add(1) }
+
+// ObserveLogBytes tracks the peak encoded size of a rollback log.
+func (c *Counters) ObserveLogBytes(n int64) {
+	for {
+		cur := c.logBytesPeak.Load()
+		if n <= cur || c.logBytesPeak.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// IncStableWrite records one stable-storage write of n bytes.
+func (c *Counters) IncStableWrite(n int64) {
+	c.stableWrites.Add(1)
+	c.stableBytes.Add(n)
+}
+
+// Snapshot returns a copy of the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		Messages:          c.messages.Load(),
+		BytesSent:         c.bytesSent.Load(),
+		AgentTransfers:    c.agentTransfers.Load(),
+		AgentTransferByte: c.agentTransferByte.Load(),
+		StepTxns:          c.stepTxns.Load(),
+		StepTxnAborts:     c.stepTxnAborts.Load(),
+		CompTxns:          c.compTxns.Load(),
+		CompTxnAborts:     c.compTxnAborts.Load(),
+		CompOps:           c.compOps.Load(),
+		RemoteCompBatches: c.remoteCompBatches.Load(),
+		Savepoints:        c.savepoints.Load(),
+		LogBytesPeak:      c.logBytesPeak.Load(),
+		StableWrites:      c.stableWrites.Load(),
+		StableBytes:       c.stableBytes.Load(),
+	}
+}
+
+// Sub returns the component-wise difference s - o.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		Messages:          s.Messages - o.Messages,
+		BytesSent:         s.BytesSent - o.BytesSent,
+		AgentTransfers:    s.AgentTransfers - o.AgentTransfers,
+		AgentTransferByte: s.AgentTransferByte - o.AgentTransferByte,
+		StepTxns:          s.StepTxns - o.StepTxns,
+		StepTxnAborts:     s.StepTxnAborts - o.StepTxnAborts,
+		CompTxns:          s.CompTxns - o.CompTxns,
+		CompTxnAborts:     s.CompTxnAborts - o.CompTxnAborts,
+		CompOps:           s.CompOps - o.CompOps,
+		RemoteCompBatches: s.RemoteCompBatches - o.RemoteCompBatches,
+		Savepoints:        s.Savepoints - o.Savepoints,
+		LogBytesPeak:      s.LogBytesPeak, // peak is not differential
+		StableWrites:      s.StableWrites - o.StableWrites,
+		StableBytes:       s.StableBytes - o.StableBytes,
+	}
+}

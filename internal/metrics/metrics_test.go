@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountersSnapshot(t *testing.T) {
+	var c Counters
+	c.IncMessages(100)
+	c.IncMessages(50)
+	c.IncAgentTransfer(1024)
+	c.IncStepTxn()
+	c.IncStepTxnAbort()
+	c.IncCompTxn()
+	c.IncCompTxnAbort()
+	c.IncCompOps(3)
+	c.IncRemoteCompBatch()
+	c.IncSavepoints()
+	c.IncStableWrite(10)
+
+	s := c.Snapshot()
+	want := Snapshot{
+		Messages: 2, BytesSent: 150,
+		AgentTransfers: 1, AgentTransferByte: 1024,
+		StepTxns: 1, StepTxnAborts: 1,
+		CompTxns: 1, CompTxnAborts: 1,
+		CompOps: 3, RemoteCompBatches: 1,
+		Savepoints:   1,
+		StableWrites: 1, StableBytes: 10,
+	}
+	if s != want {
+		t.Errorf("snapshot = %+v, want %+v", s, want)
+	}
+}
+
+func TestObserveLogBytesKeepsPeak(t *testing.T) {
+	var c Counters
+	c.ObserveLogBytes(100)
+	c.ObserveLogBytes(50) // smaller: ignored
+	c.ObserveLogBytes(200)
+	c.ObserveLogBytes(150)
+	if got := c.Snapshot().LogBytesPeak; got != 200 {
+		t.Errorf("peak = %d, want 200", got)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	var c Counters
+	c.IncMessages(10)
+	before := c.Snapshot()
+	c.IncMessages(5)
+	c.IncStepTxn()
+	diff := c.Snapshot().Sub(before)
+	if diff.Messages != 1 || diff.BytesSent != 5 || diff.StepTxns != 1 {
+		t.Errorf("diff = %+v", diff)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	const (
+		workers = 8
+		perW    = 1000
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				c.IncMessages(1)
+				c.IncCompOps(2)
+				c.ObserveLogBytes(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Messages != workers*perW {
+		t.Errorf("messages = %d, want %d", s.Messages, workers*perW)
+	}
+	if s.CompOps != 2*workers*perW {
+		t.Errorf("compOps = %d", s.CompOps)
+	}
+	if s.LogBytesPeak != perW-1 {
+		t.Errorf("peak = %d, want %d", s.LogBytesPeak, perW-1)
+	}
+}

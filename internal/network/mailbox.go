@@ -1,0 +1,84 @@
+package network
+
+import "sync"
+
+// mailbox is an unbounded message queue with a channel front-end, shared
+// by the simulated and TCP endpoints. Senders never block on a slow
+// receiver — a crashed or wedged receiver must not be able to stall a
+// sender's transaction.
+type mailbox struct {
+	mu     sync.Mutex
+	queue  []Message
+	closed bool
+
+	notify chan struct{} // cap 1: "queue became non-empty"
+	out    chan Message
+	done   chan struct{}
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{
+		notify: make(chan struct{}, 1),
+		out:    make(chan Message),
+		done:   make(chan struct{}),
+	}
+	go mb.pump()
+	return mb
+}
+
+func (mb *mailbox) Recv() <-chan Message { return mb.out }
+
+func (mb *mailbox) enqueue(msg Message) {
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		return
+	}
+	mb.queue = append(mb.queue, msg)
+	mb.mu.Unlock()
+	select {
+	case mb.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pump moves messages from the unbounded queue to the out channel.
+func (mb *mailbox) pump() {
+	defer close(mb.out)
+	for {
+		mb.mu.Lock()
+		if mb.closed {
+			mb.mu.Unlock()
+			return
+		}
+		if len(mb.queue) == 0 {
+			mb.mu.Unlock()
+			select {
+			case <-mb.notify:
+				continue
+			case <-mb.done:
+				return
+			}
+		}
+		msg := mb.queue[0]
+		mb.queue = mb.queue[1:]
+		mb.mu.Unlock()
+		select {
+		case mb.out <- msg:
+		case <-mb.done:
+			return
+		}
+	}
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		return
+	}
+	mb.closed = true
+	mb.queue = nil
+	mb.mu.Unlock()
+	close(mb.done)
+}

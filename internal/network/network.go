@@ -1,0 +1,248 @@
+// Package network provides the message transport connecting nodes.
+//
+// The paper's prototype ran on a real LAN. For controlled, reproducible
+// experiments this package implements a simulated network with per-message
+// latency, byte accounting, link partitions and node crash semantics
+// (messages to a crashed node are dropped, mirroring a down host). The
+// Endpoint interface is also implemented by a TCP transport (tcp.go) so the
+// same node runtime runs across real processes.
+package network
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Message is one datagram between two named nodes. Delivery within the
+// simulator is reliable and FIFO per sender unless a fault is injected;
+// the paper assumes reliable data transfer (§4.3).
+type Message struct {
+	From    string
+	To      string
+	Kind    string
+	Payload []byte
+}
+
+// Endpoint is one node's attachment to the network.
+type Endpoint interface {
+	// Name returns the node name this endpoint is bound to.
+	Name() string
+	// Send transmits a message. It returns an error only for permanent
+	// conditions (unknown destination, closed network); messages lost to
+	// injected faults are dropped silently, as on a real network.
+	Send(to, kind string, payload []byte) error
+	// Recv returns the channel of inbound messages. The channel is closed
+	// when the endpoint is detached or the network shuts down.
+	Recv() <-chan Message
+}
+
+// Errors returned by the simulated network.
+var (
+	ErrUnknownNode   = errors.New("network: unknown node")
+	ErrNetworkClosed = errors.New("network: closed")
+)
+
+// SimConfig configures a simulated network.
+type SimConfig struct {
+	// Latency is the one-way delivery delay applied to every message.
+	// Zero delivers synchronously (still via the mailbox, never inline).
+	Latency time.Duration
+	// Counters receives message/byte accounting; may be nil.
+	Counters *metrics.Counters
+}
+
+// Sim is an in-process network connecting named endpoints.
+type Sim struct {
+	cfg SimConfig
+
+	mu      sync.Mutex
+	eps     map[string]*simEndpoint
+	down    map[string]bool            // crashed nodes
+	epoch   map[string]int             // incarnation per node; bumped by Crash
+	blocked map[string]map[string]bool // symmetric link partitions
+	closed  bool
+
+	wg   sync.WaitGroup // in-flight delayed deliveries
+	stop chan struct{}
+}
+
+// NewSim creates an empty simulated network.
+func NewSim(cfg SimConfig) *Sim {
+	return &Sim{
+		cfg:     cfg,
+		eps:     make(map[string]*simEndpoint),
+		down:    make(map[string]bool),
+		epoch:   make(map[string]int),
+		blocked: make(map[string]map[string]bool),
+		stop:    make(chan struct{}),
+	}
+}
+
+// Endpoint attaches (or re-attaches) the named node and returns its
+// endpoint. Re-attaching replaces the previous endpoint: its Recv channel
+// is closed and queued messages are discarded, modelling the loss of
+// volatile state on a crash/restart.
+func (s *Sim) Endpoint(name string) (Endpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrNetworkClosed
+	}
+	if old, ok := s.eps[name]; ok {
+		old.close()
+	}
+	ep := newSimEndpoint(name, s)
+	s.eps[name] = ep
+	delete(s.down, name)
+	return ep, nil
+}
+
+// Crash marks a node as down: its endpoint is detached, all messages to it
+// are dropped until Endpoint is called again for the same name, and
+// messages already in flight are lost (they were addressed to the previous
+// incarnation).
+func (s *Sim) Crash(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ep, ok := s.eps[name]; ok {
+		ep.close()
+		delete(s.eps, name)
+	}
+	s.down[name] = true
+	s.epoch[name]++
+}
+
+// SetLink enables or disables the (symmetric) link between nodes a and b.
+func (s *Sim) SetLink(a, b string, up bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if up {
+		delete(s.blockedFor(a), b)
+		delete(s.blockedFor(b), a)
+		return
+	}
+	s.blockedFor(a)[b] = true
+	s.blockedFor(b)[a] = true
+}
+
+func (s *Sim) blockedFor(name string) map[string]bool {
+	m := s.blocked[name]
+	if m == nil {
+		m = make(map[string]bool)
+		s.blocked[name] = m
+	}
+	return m
+}
+
+// Close shuts the network down, waits for in-flight deliveries to drain and
+// closes all endpoint channels.
+func (s *Sim) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.stop)
+	eps := make([]*simEndpoint, 0, len(s.eps))
+	for _, ep := range s.eps {
+		eps = append(eps, ep)
+	}
+	s.eps = make(map[string]*simEndpoint)
+	s.mu.Unlock()
+
+	s.wg.Wait()
+	for _, ep := range eps {
+		ep.close()
+	}
+}
+
+// send routes a message, applying faults and latency.
+func (s *Sim) send(msg Message) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrNetworkClosed
+	}
+	if s.blocked[msg.From][msg.To] {
+		s.mu.Unlock()
+		return nil // partitioned: silently lost
+	}
+	if s.down[msg.To] {
+		s.mu.Unlock()
+		return nil // destination crashed: silently lost
+	}
+	if _, ok := s.eps[msg.To]; !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownNode, msg.To)
+	}
+	lat := s.cfg.Latency
+	epoch := s.epoch[msg.To]
+	s.mu.Unlock()
+
+	if s.cfg.Counters != nil {
+		s.cfg.Counters.IncMessages(int64(len(msg.Payload)))
+	}
+	if lat <= 0 {
+		s.deliver(msg, epoch)
+		return nil
+	}
+	s.wg.Add(1)
+	timer := time.NewTimer(lat)
+	go func() {
+		defer s.wg.Done()
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+			s.deliver(msg, epoch)
+		case <-s.stop:
+		}
+	}()
+	return nil
+}
+
+// deliver places a message in the destination mailbox, re-checking faults
+// at delivery time: messages in flight when the destination crashed are
+// lost even if a new incarnation is already up (epoch mismatch).
+func (s *Sim) deliver(msg Message, epoch int) {
+	s.mu.Lock()
+	ep, ok := s.eps[msg.To]
+	if s.closed || !ok || s.down[msg.To] || s.epoch[msg.To] != epoch || s.blocked[msg.From][msg.To] {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	ep.enqueue(msg)
+}
+
+// simEndpoint is one node's attachment to the simulated network. Its
+// unbounded mailbox ensures senders in the protocol never block on a slow
+// receiver — otherwise an injected crash of the receiver could wedge the
+// sender's step transaction forever.
+type simEndpoint struct {
+	name string
+	sim  *Sim
+	mb   *mailbox
+}
+
+var _ Endpoint = (*simEndpoint)(nil)
+
+func newSimEndpoint(name string, sim *Sim) *simEndpoint {
+	return &simEndpoint{name: name, sim: sim, mb: newMailbox()}
+}
+
+func (e *simEndpoint) Name() string { return e.name }
+
+func (e *simEndpoint) Send(to, kind string, payload []byte) error {
+	return e.sim.send(Message{From: e.name, To: to, Kind: kind, Payload: payload})
+}
+
+func (e *simEndpoint) Recv() <-chan Message { return e.mb.Recv() }
+
+func (e *simEndpoint) enqueue(msg Message) { e.mb.enqueue(msg) }
+
+func (e *simEndpoint) close() { e.mb.close() }

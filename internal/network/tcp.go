@@ -1,0 +1,246 @@
+package network
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// TCPConfig configures a TCP endpoint for real multi-process deployments
+// (cmd/agentnode). Every process knows its peers by name → address; the
+// protocol's retries and presumed abort handle lost connections exactly
+// like lost messages in the simulator.
+type TCPConfig struct {
+	// Name is this node's protocol name.
+	Name string
+	// Listen is the address to accept peer connections on, e.g.
+	// ":7001". Empty disables listening (a pure client such as
+	// agentctl).
+	Listen string
+	// Peers maps node names to "host:port" addresses.
+	Peers map[string]string
+	// DialTimeout bounds connection attempts (default 2s).
+	DialTimeout time.Duration
+	// Counters receives message/byte accounting; may be nil.
+	Counters *metrics.Counters
+}
+
+// TCPEndpoint implements Endpoint over TCP with frame-encoded messages.
+// Outbound connections are cached per destination and re-dialed on error;
+// a failed send is dropped silently (the caller's protocol retries),
+// matching the simulator's crashed-destination semantics.
+type TCPEndpoint struct {
+	cfg      TCPConfig
+	listener net.Listener
+	mb       *mailbox
+
+	mu      sync.Mutex
+	conns   map[string]net.Conn
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)
+
+// NewTCP creates a TCP endpoint and, if configured, starts accepting peer
+// connections.
+func NewTCP(cfg TCPConfig) (*TCPEndpoint, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("network: tcp endpoint needs a name")
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	ep := &TCPEndpoint{
+		cfg:     cfg,
+		mb:      newMailbox(),
+		conns:   make(map[string]net.Conn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	if cfg.Listen != "" {
+		l, err := net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("network: listen %s: %w", cfg.Listen, err)
+		}
+		ep.listener = l
+		ep.wg.Add(1)
+		go func() {
+			defer ep.wg.Done()
+			ep.accept()
+		}()
+	}
+	return ep, nil
+}
+
+// Name implements Endpoint.
+func (e *TCPEndpoint) Name() string { return e.cfg.Name }
+
+// Recv implements Endpoint.
+func (e *TCPEndpoint) Recv() <-chan Message { return e.mb.Recv() }
+
+// Addr returns the actual listen address (useful with ":0" in tests).
+func (e *TCPEndpoint) Addr() string {
+	if e.listener == nil {
+		return ""
+	}
+	return e.listener.Addr().String()
+}
+
+// Send implements Endpoint. Transient failures (peer down, broken
+// connection) drop the message silently after one reconnect attempt; an
+// unknown peer name is a permanent error.
+func (e *TCPEndpoint) Send(to, kind string, payload []byte) error {
+	addr, ok := e.cfg.Peers[to]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	msg := Message{From: e.cfg.Name, To: to, Kind: kind, Payload: payload}
+	data, err := wire.Encode(&msg)
+	if err != nil {
+		return err
+	}
+	if e.cfg.Counters != nil {
+		e.cfg.Counters.IncMessages(int64(len(payload)))
+	}
+	if err := e.writeTo(to, addr, data); err != nil {
+		// One reconnect attempt: the cached connection may be stale.
+		if err := e.writeTo(to, addr, data); err != nil {
+			return nil // dropped, like a message to a crashed node
+		}
+	}
+	return nil
+}
+
+func (e *TCPEndpoint) writeTo(to, addr string, frame []byte) error {
+	conn, err := e.conn(to, addr)
+	if err != nil {
+		return err
+	}
+	if err := wire.WriteFrame(conn, wire.Frame{Kind: "msg", Payload: frame}); err != nil {
+		e.dropConn(to, conn)
+		return err
+	}
+	return nil
+}
+
+func (e *TCPEndpoint) conn(to, addr string) (net.Conn, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrNetworkClosed
+	}
+	if c, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return c, nil
+	}
+	e.mu.Unlock()
+
+	c, err := net.DialTimeout("tcp", addr, e.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		_ = c.Close()
+		return nil, ErrNetworkClosed
+	}
+	if old, ok := e.conns[to]; ok {
+		// Lost a race with a concurrent dial; keep the existing one.
+		_ = c.Close()
+		return old, nil
+	}
+	e.conns[to] = c
+	return c, nil
+}
+
+func (e *TCPEndpoint) dropConn(to string, conn net.Conn) {
+	e.mu.Lock()
+	if e.conns[to] == conn {
+		delete(e.conns, to)
+	}
+	e.mu.Unlock()
+	_ = conn.Close()
+}
+
+// accept serves inbound peer connections.
+func (e *TCPEndpoint) accept() {
+	for {
+		conn, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		e.inbound[conn] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			defer func() {
+				e.mu.Lock()
+				delete(e.inbound, conn)
+				e.mu.Unlock()
+				_ = conn.Close()
+			}()
+			e.serve(conn)
+		}()
+	}
+}
+
+// serve decodes frames from one inbound connection into the mailbox.
+func (e *TCPEndpoint) serve(conn net.Conn) {
+	for {
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		var msg Message
+		if err := wire.Decode(frame.Payload, &msg); err != nil {
+			continue // corrupt frame; drop
+		}
+		if msg.To != e.cfg.Name {
+			continue // misrouted
+		}
+		e.mb.enqueue(msg)
+	}
+}
+
+// Close shuts the endpoint down: the listener stops, cached connections
+// close and the Recv channel is closed.
+func (e *TCPEndpoint) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	conns := make([]net.Conn, 0, len(e.conns)+len(e.inbound))
+	for _, c := range e.conns {
+		conns = append(conns, c)
+	}
+	for c := range e.inbound {
+		conns = append(conns, c)
+	}
+	e.conns = make(map[string]net.Conn)
+	e.mu.Unlock()
+
+	if e.listener != nil {
+		_ = e.listener.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	e.wg.Wait()
+	e.mb.close()
+}

@@ -1,0 +1,117 @@
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/resource"
+	"repro/internal/txn"
+)
+
+// stepCtx implements agent.StepContext for one step transaction.
+type stepCtx struct {
+	node *Node
+	a    *agent.Agent
+	tx   *txn.Tx
+	seq  int
+
+	ops      []*core.OpEntry
+	saveReqs []string
+}
+
+var _ agent.StepContext = (*stepCtx)(nil)
+
+func (c *stepCtx) NodeName() string { return c.node.cfg.Name }
+func (c *stepCtx) AgentID() string  { return c.a.ID }
+func (c *stepCtx) StepSeq() int     { return c.seq }
+func (c *stepCtx) SRO() *agent.Space {
+	return c.a.SRO
+}
+func (c *stepCtx) WRO() *agent.Space { return c.a.WRO }
+func (c *stepCtx) Tx() *txn.Tx       { return c.tx }
+
+func (c *stepCtx) Resource(name string) (resource.Resource, bool) {
+	return c.node.Resource(name)
+}
+
+func (c *stepCtx) LogComp(kind core.OpKind, op string, params core.Params) {
+	if params == nil {
+		params = core.NewParams()
+	}
+	c.ops = append(c.ops, &core.OpEntry{Kind: kind, Op: op, Params: params})
+}
+
+func (c *stepCtx) Savepoint(id string) {
+	c.saveReqs = append(c.saveReqs, id)
+}
+
+func (c *stepCtx) Rollback(spID string) error {
+	return &agent.RollbackRequest{SpID: spID}
+}
+
+func (c *stepCtx) RollbackCurrentSub() error {
+	return c.RollbackEnclosing(1)
+}
+
+func (c *stepCtx) RollbackEnclosing(levels int) error {
+	ids, err := c.a.Itin.EnclosingSubs(c.a.Cursor)
+	if err != nil {
+		return fmt.Errorf("node %s: rollback scope: %w", c.node.cfg.Name, err)
+	}
+	if levels < 1 || levels > len(ids) {
+		return fmt.Errorf("node %s: rollback scope %d of %d levels", c.node.cfg.Name, levels, len(ids))
+	}
+	return c.Rollback(ids[len(ids)-levels])
+}
+
+// compCtx implements agent.CompContext for one compensating operation,
+// enforcing the access rules of §4.3/§4.4.1.
+type compCtx struct {
+	node *Node
+	op   *core.OpEntry
+	tx   *txn.Tx
+	a    *agent.Agent // nil when executing a shipped RCE batch
+}
+
+var _ agent.CompContext = (*compCtx)(nil)
+
+func (c *compCtx) NodeName() string    { return c.node.cfg.Name }
+func (c *compCtx) Kind() core.OpKind   { return c.op.Kind }
+func (c *compCtx) Params() core.Params { return c.op.Params }
+func (c *compCtx) Tx() *txn.Tx         { return c.tx }
+
+func (c *compCtx) WRO() (*agent.Space, error) {
+	if c.op.Kind == core.OpResource {
+		return nil, fmt.Errorf("node: resource compensation %q must not access the agent (§4.4.1)", c.op.Op)
+	}
+	if c.a == nil {
+		return nil, fmt.Errorf("node: compensation %q executed without the agent present", c.op.Op)
+	}
+	return c.a.WRO, nil
+}
+
+func (c *compCtx) Resource(name string) (resource.Resource, error) {
+	if c.op.Kind == core.OpAgent {
+		return nil, fmt.Errorf("node: agent compensation %q must not access resources (§4.4.1)", c.op.Op)
+	}
+	r, ok := c.node.Resource(name)
+	if !ok {
+		return nil, fmt.Errorf("node %s: no resource %q", c.node.cfg.Name, name)
+	}
+	return r, nil
+}
+
+// execCompOp resolves and runs one compensating operation. An unknown
+// operation name is permanent: the step that logged it cannot be rolled
+// back (§3.2: non-compensable operations).
+func (n *Node) execCompOp(tx *txn.Tx, a *agent.Agent, op *core.OpEntry) error {
+	fn, ok := n.registry.Comp(op.Op)
+	if !ok {
+		return permanent(fmt.Errorf("node %s: unknown compensating operation %q", n.cfg.Name, op.Op))
+	}
+	if err := fn(&compCtx{node: n, op: op, tx: tx, a: a}); err != nil {
+		return fmt.Errorf("node %s: compensation %q: %w", n.cfg.Name, op.Op, err)
+	}
+	return nil
+}

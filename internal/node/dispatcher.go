@@ -1,0 +1,354 @@
+package node
+
+import (
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/txn"
+	"repro/internal/wire"
+)
+
+// dispatch is the message-handling goroutine. It serves the participant
+// side of the distributed step/compensation transactions and, on every
+// tick, re-sends unacknowledged control messages and resolves in-doubt
+// prepared work by querying coordinators (presumed abort).
+func (n *Node) dispatch() {
+	ticker := time.NewTicker(n.cfg.RetryDelay * 5)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case msg, ok := <-n.ep.Recv():
+			if !ok {
+				return
+			}
+			n.handle(msg)
+		case <-ticker.C:
+			n.tick()
+		}
+	}
+}
+
+func (n *Node) handle(msg network.Message) {
+	switch msg.Kind {
+	case kindEnqueuePrepare:
+		n.handleEnqueuePrepare(msg)
+	case kindEnqueueCommit:
+		n.handleEnqueueCtl(msg, true)
+	case kindEnqueueAbort:
+		n.handleEnqueueCtl(msg, false)
+	case kindTxnQuery:
+		n.handleTxnQuery(msg)
+	case kindTxnStatus:
+		n.handleTxnStatus(msg)
+	case kindRCEExec:
+		// Executed asynchronously: compensating operations wait on
+		// resource locks, and a blocked dispatcher could not deliver
+		// the acknowledgements the worker's own transaction needs —
+		// classic head-of-line blocking.
+		n.spawnRCEExec(msg)
+	case kindRCECommit:
+		n.handleRCECtl(msg, true)
+	case kindRCEAbort:
+		n.handleRCECtl(msg, false)
+	case kindAgentLaunch:
+		n.handleLaunch(msg)
+	case kindAgentDoneAck:
+		n.handleDoneAck(msg)
+	case kindEnqueuePrepareAck, kindRCEExecAck:
+		var ack ackMsg
+		if err := wire.Decode(msg.Payload, &ack); err == nil {
+			n.deliverAck(msg.Kind, ack.TxnID, ack)
+		}
+	case kindEnqueueCommitAck, kindEnqueueAbortAck, kindRCECommitAck, kindRCEAbortAck:
+		var ack ackMsg
+		if err := wire.Decode(msg.Payload, &ack); err != nil {
+			return
+		}
+		commitAck := msg.Kind == kindEnqueueCommitAck || msg.Kind == kindRCECommitAck
+		if n.ctlAcked(ctlKindOf(msg.Kind), ack.TxnID) && commitAck && !n.hasPendingCtl(ack.TxnID) {
+			// Every participant acknowledged the commit: the decision
+			// record can be garbage-collected.
+			_ = n.store.Apply(n.mgr.ClearDecisionOp(ack.TxnID))
+		}
+	}
+}
+
+// ctlKindOf maps an ack kind back to the control kind it acknowledges.
+func ctlKindOf(ackKind string) string {
+	switch ackKind {
+	case kindEnqueueCommitAck:
+		return kindEnqueueCommit
+	case kindEnqueueAbortAck:
+		return kindEnqueueAbort
+	case kindRCECommitAck:
+		return kindRCECommit
+	case kindRCEAbortAck:
+		return kindRCEAbort
+	default:
+		return ackKind
+	}
+}
+
+// handleEnqueuePrepare durably stages a container insertion (participant
+// prepare of the queue hand-off).
+func (n *Node) handleEnqueuePrepare(msg network.Message) {
+	var req enqueuePrepareMsg
+	if err := wire.Decode(msg.Payload, &req); err != nil {
+		return
+	}
+	reply := ackMsg{TxnID: req.TxnID, OK: true}
+	if !n.isReady() {
+		reply.OK = false
+		reply.Err = "node recovering"
+	} else if err := n.queue.Prepare(req.TxnID, req.EntryID, req.Data); err != nil {
+		reply.OK = false
+		reply.Err = err.Error()
+	}
+	n.send(msg.From, kindEnqueuePrepareAck, &reply)
+}
+
+// handleEnqueueCtl commits or aborts a staged insertion. Both operations
+// are idempotent, so duplicated control messages are harmless.
+func (n *Node) handleEnqueueCtl(msg network.Message, commit bool) {
+	var req txnCtlMsg
+	if err := wire.Decode(msg.Payload, &req); err != nil {
+		return
+	}
+	var err error
+	ackKind := kindEnqueueAbortAck
+	if commit {
+		err = n.queue.CommitStaged(req.TxnID)
+		ackKind = kindEnqueueCommitAck
+	} else {
+		err = n.queue.AbortStaged(req.TxnID)
+	}
+	reply := ackMsg{TxnID: req.TxnID, OK: err == nil}
+	if err != nil {
+		reply.Err = err.Error()
+	}
+	n.send(msg.From, ackKind, &reply)
+}
+
+// handleTxnQuery answers a participant's in-doubt query about a
+// transaction this node coordinated. Three cases: a decision record means
+// committed; a still-active transaction means "no answer yet" (stay
+// silent, the participant retries); otherwise the transaction never
+// committed — presumed abort.
+func (n *Node) handleTxnQuery(msg network.Message) {
+	var req txnCtlMsg
+	if err := wire.Decode(msg.Payload, &req); err != nil {
+		return
+	}
+	committed, err := n.mgr.Decided(req.TxnID)
+	if err != nil {
+		return
+	}
+	if !committed {
+		n.mu.Lock()
+		active := n.activeTxns[req.TxnID]
+		n.mu.Unlock()
+		if active {
+			return // outcome not decided yet; participant will re-ask
+		}
+	}
+	n.send(msg.From, kindTxnStatus, &txnStatusMsg{TxnID: req.TxnID, Committed: committed})
+}
+
+// handleTxnStatus resolves local in-doubt work with a coordinator verdict:
+// staged queue entries, live prepared RCE branches, and crash-surviving
+// branch records.
+func (n *Node) handleTxnStatus(msg network.Message) {
+	var st txnStatusMsg
+	if err := wire.Decode(msg.Payload, &st); err != nil {
+		return
+	}
+	n.resolveTxn(st.TxnID, st.Committed)
+}
+
+func (n *Node) resolveTxn(txnID string, committed bool) {
+	// Staged queue entry?
+	if committed {
+		_ = n.queue.CommitStaged(txnID)
+	} else {
+		_ = n.queue.AbortStaged(txnID)
+	}
+	// Live prepared branch?
+	n.mu.Lock()
+	branch, live := n.rceBranches[txnID]
+	if live {
+		delete(n.rceBranches, txnID)
+	}
+	n.mu.Unlock()
+	if live {
+		if committed {
+			_ = branch.tx.CommitPrepared()
+		} else {
+			_ = branch.tx.Abort()
+		}
+		return
+	}
+	// Crash-surviving branch record (no live Tx): replay/drop the redo.
+	_ = n.mgr.ResolveBranch(txnID, committed)
+}
+
+// spawnRCEExec runs handleRCEExec on its own goroutine, deduplicating
+// concurrent requests for the same transaction.
+func (n *Node) spawnRCEExec(msg network.Message) {
+	var req rceExecMsg
+	if err := wire.Decode(msg.Payload, &req); err != nil {
+		return
+	}
+	n.mu.Lock()
+	if n.rceInFlight[req.TxnID] {
+		n.mu.Unlock()
+		return // already executing; its ack will answer the retry too
+	}
+	n.rceInFlight[req.TxnID] = true
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer func() {
+			n.mu.Lock()
+			delete(n.rceInFlight, req.TxnID)
+			n.mu.Unlock()
+		}()
+		n.handleRCEExec(msg)
+	}()
+}
+
+// handleRCEExec executes a resource-compensation-entry list inside a
+// prepared branch of the coordinator's compensation transaction — the
+// resource-node half of Figure 5b. The acknowledgement is the paper's ACK;
+// it is sent only after the branch is durably prepared so that commit is
+// atomic across both nodes.
+func (n *Node) handleRCEExec(msg network.Message) {
+	var req rceExecMsg
+	if err := wire.Decode(msg.Payload, &req); err != nil {
+		return
+	}
+	reply := ackMsg{TxnID: req.TxnID, OK: true}
+	if !n.isReady() {
+		reply.OK = false
+		reply.Err = "node recovering"
+		n.send(msg.From, kindRCEExecAck, &reply)
+		return
+	}
+	n.mu.Lock()
+	_, live := n.rceBranches[req.TxnID]
+	n.mu.Unlock()
+	if live {
+		// Duplicate request (lost ack): already prepared.
+		n.send(msg.From, kindRCEExecAck, &reply)
+		return
+	}
+	tx := n.mgr.BeginWithID(req.TxnID)
+	err := n.execCompOps(tx, nil, req.Ops)
+	if err == nil {
+		err = tx.Prepare()
+	}
+	if err != nil {
+		_ = tx.Abort()
+		reply.OK = false
+		reply.Err = err.Error()
+		n.send(msg.From, kindRCEExecAck, &reply)
+		return
+	}
+	n.mu.Lock()
+	n.rceBranches[req.TxnID] = &rceBranch{tx: tx, prepared: time.Now()}
+	n.mu.Unlock()
+	if n.cfg.Counters != nil {
+		n.cfg.Counters.IncCompOps(int64(len(req.Ops)))
+	}
+	n.send(msg.From, kindRCEExecAck, &reply)
+}
+
+// handleRCECtl commits or aborts a prepared RCE branch.
+func (n *Node) handleRCECtl(msg network.Message, commit bool) {
+	var req txnCtlMsg
+	if err := wire.Decode(msg.Payload, &req); err != nil {
+		return
+	}
+	n.resolveTxn(req.TxnID, commit)
+	ackKind := kindRCEAbortAck
+	if commit {
+		ackKind = kindRCECommitAck
+	}
+	n.send(msg.From, ackKind, &ackMsg{TxnID: req.TxnID, OK: true})
+}
+
+// handleLaunch inserts a fresh agent container into the input queue.
+func (n *Node) handleLaunch(msg network.Message) {
+	var req launchMsg
+	if err := wire.Decode(msg.Payload, &req); err != nil {
+		return
+	}
+	reply := ackMsg{TxnID: req.ID, OK: true}
+	if err := n.queue.Enqueue(req.ID, req.Data); err != nil {
+		reply.OK = false
+		reply.Err = err.Error()
+	}
+	n.send(msg.From, kindAgentLaunchAck, &reply)
+}
+
+// handleDoneAck garbage-collects a durable completion record once the
+// owner acknowledged the notification.
+func (n *Node) handleDoneAck(msg network.Message) {
+	var ack ackMsg
+	if err := wire.Decode(msg.Payload, &ack); err != nil {
+		return
+	}
+	_ = n.store.Apply(stableDelDone(ack.TxnID))
+}
+
+// tick drives every retry loop: unacknowledged control messages, in-doubt
+// prepared work, and undelivered completion notifications.
+func (n *Node) tick() {
+	n.mu.Lock()
+	ctls := make([]pendingCtl, 0, len(n.pendingCtl))
+	for _, p := range n.pendingCtl {
+		ctls = append(ctls, p)
+	}
+	staleBranches := make([]string, 0)
+	for id, b := range n.rceBranches {
+		if time.Since(b.prepared) > 2*n.cfg.AckTimeout {
+			staleBranches = append(staleBranches, id)
+		}
+	}
+	n.mu.Unlock()
+
+	for _, p := range ctls {
+		n.send(p.to, p.kind, &txnCtlMsg{TxnID: p.txnID})
+	}
+	// In-doubt staged queue entries: ask their coordinators.
+	if staged, err := n.queue.StagedTxns(); err == nil {
+		for _, id := range staged {
+			if co := coordinatorOf(id); co != "" && co != n.cfg.Name {
+				n.send(co, kindTxnQuery, &txnCtlMsg{TxnID: id})
+			}
+		}
+	}
+	// Stale prepared branches: coordinator may have aborted silently.
+	for _, id := range staleBranches {
+		if co := coordinatorOf(id); co != "" && co != n.cfg.Name {
+			n.send(co, kindTxnQuery, &txnCtlMsg{TxnID: id})
+		}
+	}
+	// Undelivered completion notifications.
+	n.resendDone()
+}
+
+// execCompOps runs compensating operations in the order given (the caller
+// arranges reverse log order). a may be nil for shipped resource batches.
+func (n *Node) execCompOps(tx *txn.Tx, a *agent.Agent, ops []*core.OpEntry) error {
+	for _, op := range ops {
+		if err := n.execCompOp(tx, a, op); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package node
+
+import (
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Message kinds of the node protocol. The q.* family implements the
+// two-phase hand-off of agent containers between input queues (the remote
+// half of a distributed step/compensation transaction); the rce.* family
+// ships resource-compensation-entry lists to the resource node in the
+// optimized rollback (Figure 5b); txn.query resolves in-doubt participants
+// after crashes (presumed abort).
+const (
+	kindEnqueuePrepare    = "q.prepare"
+	kindEnqueuePrepareAck = "q.prepare.ack"
+	kindEnqueueCommit     = "q.commit"
+	kindEnqueueCommitAck  = "q.commit.ack"
+	kindEnqueueAbort      = "q.abort"
+	kindEnqueueAbortAck   = "q.abort.ack"
+
+	kindTxnQuery  = "txn.query"
+	kindTxnStatus = "txn.status"
+
+	kindRCEExec      = "rce.exec"
+	kindRCEExecAck   = "rce.exec.ack"
+	kindRCECommit    = "rce.commit"
+	kindRCECommitAck = "rce.commit.ack"
+	kindRCEAbort     = "rce.abort"
+	kindRCEAbortAck  = "rce.abort.ack"
+
+	kindAgentLaunch    = "agent.launch"
+	kindAgentLaunchAck = "agent.launch.ack"
+	kindAgentDone      = "agent.done"
+	kindAgentDoneAck   = "agent.done.ack"
+)
+
+// Mode distinguishes the two kinds of work a queued container requests.
+type Mode int
+
+// Container modes.
+const (
+	// ModeStep: execute the next step of the itinerary (§2).
+	ModeStep Mode = iota + 1
+	// ModeRollback: execute the next compensation transaction of a
+	// partial rollback towards savepoint SpID (§4.3).
+	ModeRollback
+)
+
+// Container is the unit stored in agent input queues and transferred
+// between nodes: the agent (with its attached rollback log) plus the
+// processing mode.
+type Container struct {
+	Mode  Mode
+	SpID  string // rollback target savepoint (ModeRollback only)
+	Agent *agent.Agent
+}
+
+// EncodeContainer serializes a container for queue storage / transfer.
+func EncodeContainer(c *Container) ([]byte, error) { return wire.Encode(c) }
+
+// DecodeContainer deserializes a container.
+func DecodeContainer(data []byte) (*Container, error) {
+	var c Container
+	if err := wire.Decode(data, &c); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// enqueuePrepareMsg asks the destination to durably stage a container
+// insertion under the coordinator's transaction ID.
+type enqueuePrepareMsg struct {
+	TxnID   string
+	EntryID string
+	Data    []byte
+}
+
+// ackMsg acknowledges a protocol request. OK=false carries the refusal
+// reason (e.g. node still recovering).
+type ackMsg struct {
+	TxnID string
+	OK    bool
+	Err   string
+}
+
+// txnCtlMsg carries commit/abort/query instructions for a transaction.
+type txnCtlMsg struct {
+	TxnID string
+}
+
+// txnStatusMsg answers a txn.query: Committed=false means abort (presumed
+// abort: no decision record implies the transaction never committed).
+type txnStatusMsg struct {
+	TxnID     string
+	Committed bool
+}
+
+// rceExecMsg ships the resource compensation entries of one step to the
+// node where the step executed, to be run inside the (distributed)
+// compensation transaction identified by TxnID (§4.4.1).
+type rceExecMsg struct {
+	TxnID string
+	Ops   []*core.OpEntry
+}
+
+// launchMsg inserts a fresh agent container into the node's input queue.
+type launchMsg struct {
+	ID   string // request correlation + queue entry ID
+	Data []byte
+}
+
+// doneMsg reports agent completion (or permanent failure) to its owner.
+type doneMsg struct {
+	AgentID string
+	Failed  bool
+	Reason  string
+	Data    []byte // final agent container
+}
+
+// Exported message kinds for collectors (owners) built outside this
+// package.
+const (
+	// KindAgentDone is the completion notification an owner receives.
+	KindAgentDone = kindAgentDone
+	// KindAgentDoneAck acknowledges a completion notification.
+	KindAgentDoneAck = kindAgentDoneAck
+)
+
+// Done is the decoded form of a completion notification.
+type Done struct {
+	AgentID string
+	Failed  bool
+	Reason  string
+	Agent   *agent.Agent
+}
+
+// DecodeDone decodes a KindAgentDone payload.
+func DecodeDone(payload []byte) (Done, error) {
+	var dm doneMsg
+	if err := wire.Decode(payload, &dm); err != nil {
+		return Done{}, err
+	}
+	d := Done{AgentID: dm.AgentID, Failed: dm.Failed, Reason: dm.Reason}
+	if len(dm.Data) > 0 {
+		cont, err := DecodeContainer(dm.Data)
+		if err != nil {
+			return Done{}, err
+		}
+		d.Agent = cont.Agent
+	}
+	return d, nil
+}
+
+// EncodeDoneAck builds the KindAgentDoneAck payload for agentID.
+func EncodeDoneAck(agentID string) ([]byte, error) {
+	return wire.Encode(&ackMsg{TxnID: agentID, OK: true})
+}
+
+// KindAgentLaunch is the message kind inserting a fresh agent container
+// into a node's input queue; external launchers (agentctl) send it.
+const KindAgentLaunch = kindAgentLaunch
+
+// EncodeLaunch builds a KindAgentLaunch payload.
+func EncodeLaunch(id string, container []byte) ([]byte, error) {
+	return wire.Encode(&launchMsg{ID: id, Data: container})
+}
+
+var _ = registerMessages()
+
+func registerMessages() struct{} {
+	wire.RegisterName("node.Container", &Container{})
+	wire.RegisterName("node.enqueuePrepare", &enqueuePrepareMsg{})
+	wire.RegisterName("node.ack", &ackMsg{})
+	wire.RegisterName("node.txnCtl", &txnCtlMsg{})
+	wire.RegisterName("node.txnStatus", &txnStatusMsg{})
+	wire.RegisterName("node.rceExec", &rceExecMsg{})
+	wire.RegisterName("node.launch", &launchMsg{})
+	wire.RegisterName("node.done", &doneMsg{})
+	return struct{}{}
+}

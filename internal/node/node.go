@@ -1,0 +1,337 @@
+// Package node implements the agent-system node runtime: exactly-once step
+// execution (§2, after [11]), the basic rollback mechanism of Figure 4 and
+// the optimized mechanism of Figure 5, over the substrates in
+// internal/{network,stable,txn,resource}.
+//
+// Concurrency model. Each node runs two goroutines: a dispatcher handling
+// protocol messages (queue hand-off two-phase commit, remote compensation
+// batches, in-doubt resolution, completion notifications) and a worker
+// processing the agent input queue one container at a time. The worker
+// blocks on acknowledgements from remote participants; the dispatcher never
+// blocks on the worker.
+//
+// Crash behaviour. A node's volatile state (in-flight transactions, locks,
+// pending acks) is lost on Stop/crash; its stable store (input queue,
+// resource states, prepared branches, decision records) survives. On
+// restart the node first resolves in-doubt prepared work with the
+// respective coordinators (presumed abort), then re-loads resources, then
+// resumes processing — exactly the recovery the paper's mechanism relies
+// on (§4.3: the agent and log still reside in the input queue, enabling the
+// algorithm to restart the transaction).
+package node
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/resource"
+	"repro/internal/stable"
+	"repro/internal/txn"
+	"repro/internal/wire"
+)
+
+// ResourceFactory constructs (or re-loads after a crash) one resource
+// manager from the node's stable store.
+type ResourceFactory func(store stable.Store) (resource.Resource, error)
+
+// Config configures a node runtime.
+type Config struct {
+	// Name is the node's network name.
+	Name string
+	// Optimized selects the Figure-5 rollback algorithm (avoid agent
+	// transfers, ship RCE lists, run ACEs concurrently); false selects
+	// the basic Figure-4 algorithm.
+	Optimized bool
+	// LogMode selects state or transition logging for savepoints (§4.2).
+	LogMode core.LogMode
+	// AckTimeout bounds waits for remote acknowledgements.
+	AckTimeout time.Duration
+	// RetryDelay is the back-off between attempts of failed work.
+	RetryDelay time.Duration
+	// MaxAttempts bounds retries of a queue container before the agent
+	// is reported failed to its owner. 0 means unbounded.
+	MaxAttempts int
+	// SagaBaseline restores weakly reversible objects from savepoint
+	// before-images, the saga-style behaviour the paper rejects (§4.1).
+	// For the S16b ablation only — it demonstrably corrupts agents whose
+	// compensations produce information (see the baseline tests).
+	SagaBaseline bool
+	// Counters receives metrics; may be nil.
+	Counters *metrics.Counters
+}
+
+func (c *Config) fillDefaults() {
+	if c.LogMode == 0 {
+		c.LogMode = core.StateLogging
+	}
+	if c.AckTimeout == 0 {
+		c.AckTimeout = 2 * time.Second
+	}
+	if c.RetryDelay == 0 {
+		c.RetryDelay = 10 * time.Millisecond
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 25
+	}
+}
+
+// Node is one agent-system node.
+type Node struct {
+	cfg       Config
+	ep        network.Endpoint
+	store     stable.Store
+	queue     *stable.Queue
+	mgr       *txn.Manager
+	registry  *agent.Registry
+	factories []ResourceFactory
+
+	mu          sync.Mutex
+	resources   map[string]resource.Resource
+	waiters     map[string]chan ackMsg
+	activeTxns  map[string]bool // distributed txns this node coordinates
+	rceBranches map[string]*rceBranch
+	rceInFlight map[string]bool
+	pendingCtl  map[string]pendingCtl
+
+	ready chan struct{}
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// rceBranch is a live prepared remote-compensation branch (participant
+// side of Figure 5b's distributed compensation transaction).
+type rceBranch struct {
+	tx       *txn.Tx
+	prepared time.Time
+}
+
+// pendingCtl is a commit/abort notification that must be delivered
+// reliably; it is resent on every tick until acknowledged.
+type pendingCtl struct {
+	to    string
+	kind  string
+	txnID string
+}
+
+// New creates a node runtime attached to the given endpoint and store. The
+// registry provides the step and compensation code (the code-mobility
+// substitution); factories construct the node's resources.
+func New(cfg Config, ep network.Endpoint, store stable.Store, registry *agent.Registry, factories ...ResourceFactory) (*Node, error) {
+	cfg.fillDefaults()
+	if cfg.Name == "" {
+		cfg.Name = ep.Name()
+	}
+	if strings.Contains(cfg.Name, "#") {
+		return nil, fmt.Errorf("node: name %q must not contain '#'", cfg.Name)
+	}
+	mgr, err := txn.NewManager(cfg.Name, store)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		cfg:         cfg,
+		ep:          ep,
+		store:       store,
+		queue:       stable.NewQueue(store, "q/"),
+		mgr:         mgr,
+		registry:    registry,
+		factories:   factories,
+		resources:   make(map[string]resource.Resource),
+		waiters:     make(map[string]chan ackMsg),
+		activeTxns:  make(map[string]bool),
+		rceBranches: make(map[string]*rceBranch),
+		rceInFlight: make(map[string]bool),
+		pendingCtl:  make(map[string]pendingCtl),
+		ready:       make(chan struct{}),
+		stop:        make(chan struct{}),
+	}, nil
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Queue exposes the node's agent input queue (tests and launchers).
+func (n *Node) Queue() *stable.Queue { return n.queue }
+
+// Resource returns the named local resource manager.
+func (n *Node) Resource(name string) (resource.Resource, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r, ok := n.resources[name]
+	return r, ok
+}
+
+// Manager exposes the transaction manager (tests and setup code).
+func (n *Node) Manager() *txn.Manager { return n.mgr }
+
+// Start launches the dispatcher and worker. It returns immediately;
+// recovery (in-doubt resolution, resource loading) happens in the
+// background and gates queue processing.
+func (n *Node) Start() {
+	n.wg.Add(2)
+	go func() {
+		defer n.wg.Done()
+		n.dispatch()
+	}()
+	go func() {
+		defer n.wg.Done()
+		n.recoverThenWork()
+	}()
+}
+
+// Stop halts the node, abandoning volatile state (the crash case). The
+// stable store is left intact; a new Node on the same store recovers.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	select {
+	case <-n.stop:
+		n.mu.Unlock()
+		n.wg.Wait()
+		return
+	default:
+	}
+	close(n.stop)
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// Ready returns a channel closed when recovery completed.
+func (n *Node) Ready() <-chan struct{} { return n.ready }
+
+func (n *Node) isReady() bool {
+	select {
+	case <-n.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// coordinatorOf extracts the coordinator node from a transaction ID
+// ("node#seq").
+func coordinatorOf(txnID string) string {
+	if i := strings.LastIndex(txnID, "#"); i >= 0 {
+		return txnID[:i]
+	}
+	return ""
+}
+
+// --- ack plumbing -----------------------------------------------------
+
+func ackKey(kind, id string) string { return kind + "|" + id }
+
+// awaitAck registers interest in an acknowledgement before the request is
+// sent; await then blocks for it.
+func (n *Node) registerWaiter(kind, id string) chan ackMsg {
+	ch := make(chan ackMsg, 1)
+	n.mu.Lock()
+	n.waiters[ackKey(kind, id)] = ch
+	n.mu.Unlock()
+	return ch
+}
+
+func (n *Node) dropWaiter(kind, id string) {
+	n.mu.Lock()
+	delete(n.waiters, ackKey(kind, id))
+	n.mu.Unlock()
+}
+
+func (n *Node) deliverAck(kind, id string, msg ackMsg) {
+	n.mu.Lock()
+	ch, ok := n.waiters[ackKey(kind, id)]
+	if ok {
+		delete(n.waiters, ackKey(kind, id))
+	}
+	n.mu.Unlock()
+	if ok {
+		ch <- msg
+	}
+}
+
+// errAckTimeout marks a missing acknowledgement (retryable).
+var errAckTimeout = errors.New("node: acknowledgement timed out")
+
+func (n *Node) await(ch chan ackMsg, kind, id string) (ackMsg, error) {
+	timer := time.NewTimer(n.cfg.AckTimeout)
+	defer timer.Stop()
+	select {
+	case msg := <-ch:
+		if !msg.OK {
+			return msg, fmt.Errorf("node: %s refused: %s", kind, msg.Err)
+		}
+		return msg, nil
+	case <-timer.C:
+		n.dropWaiter(kind, id)
+		return ackMsg{}, fmt.Errorf("%w: %s %s", errAckTimeout, kind, id)
+	case <-n.stop:
+		n.dropWaiter(kind, id)
+		return ackMsg{}, errors.New("node: stopped")
+	}
+}
+
+// send marshals and transmits a protocol message (fire and forget; the
+// simulated network only fails permanently for unknown destinations).
+func (n *Node) send(to, kind string, payload any) {
+	data, err := encodePayload(payload)
+	if err != nil {
+		return
+	}
+	// Unknown-destination errors are treated like a lost message: the
+	// protocol's retries and presumed abort recover, exactly as for a
+	// crashed destination.
+	_ = n.ep.Send(to, kind, data)
+}
+
+// sendCtlReliable transmits a commit/abort control message and re-sends it
+// on every tick until the acknowledgement arrives.
+func (n *Node) sendCtlReliable(to, kind, txnID string) {
+	n.mu.Lock()
+	n.pendingCtl[ackKey(kind, txnID)] = pendingCtl{to: to, kind: kind, txnID: txnID}
+	n.mu.Unlock()
+	n.send(to, kind, &txnCtlMsg{TxnID: txnID})
+}
+
+// ctlAcked clears a reliable control send; it returns true when the ack
+// was the first one.
+func (n *Node) ctlAcked(kind, txnID string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := ackKey(kind, txnID)
+	if _, ok := n.pendingCtl[key]; !ok {
+		return false
+	}
+	delete(n.pendingCtl, key)
+	return true
+}
+
+// hasPendingCtl reports whether any reliable control message for txnID is
+// still unacknowledged (a multi-participant commit must keep its decision
+// record until every participant confirmed).
+func (n *Node) hasPendingCtl(txnID string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, p := range n.pendingCtl {
+		if p.txnID == txnID {
+			return true
+		}
+	}
+	return false
+}
+
+func encodePayload(payload any) ([]byte, error) {
+	if payload == nil {
+		return nil, nil
+	}
+	data, err := wire.Encode(payload)
+	if err != nil {
+		return nil, fmt.Errorf("node: encode payload: %w", err)
+	}
+	return data, nil
+}

@@ -1,0 +1,197 @@
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/stable"
+	"repro/internal/txn"
+)
+
+// runCompensation executes one compensation transaction of a partial
+// rollback — Figure 4b (basic) and Figure 5b (optimized) of the paper.
+//
+// The container was routed here by the previous hop: in basic mode this is
+// always the node where the step being compensated executed; in optimized
+// mode the agent only travels when the step contains a mixed compensation
+// entry, otherwise it stays put and the resource compensation entries are
+// shipped to the resource node instead.
+func (n *Node) runCompensation(entry *stable.Entry, c *Container, attempt int) error {
+	a := c.Agent
+	spID := c.SpID
+	// Strongly reversible objects are not accessible during compensation:
+	// they still hold the "old" state and are restored only when the
+	// savepoint is reached (§4.3, Figure 3).
+	a.SRO.Freeze(true)
+
+	tx, err := n.mgr.Begin()
+	if err != nil {
+		return err
+	}
+	tx.AddCommitOps(n.queue.RemoveOp(entry))
+
+	reached, _ := popToTarget(a.Log, spID)
+	var parts []remotePrep
+	if !reached {
+		parts, err = n.compensateLastStep(tx, a, attempt)
+		if err != nil {
+			abortErr := tx.Abort()
+			n.abortParts(tx, parts)
+			if n.cfg.Counters != nil {
+				n.cfg.Counters.IncCompTxnAbort()
+			}
+			if abortErr != nil {
+				return abortErr
+			}
+			return err
+		}
+		reached, _ = popToTarget(a.Log, spID)
+	}
+
+	var next *Container
+	var dest string
+	if reached {
+		// Restore the strongly reversible objects from the savepoint
+		// entry — without deleting it from the log (§4.3) — and start
+		// the next step transaction at the restored cursor position.
+		img, err := a.Log.ReconstructSRO(spID)
+		if err != nil {
+			_ = tx.Abort()
+			n.abortParts(tx, parts)
+			return permanent(fmt.Errorf("node %s: restore savepoint %q: %w", n.cfg.Name, spID, err))
+		}
+		a.SRO.Freeze(false)
+		if err := a.RestoreSystemImage(img); err != nil {
+			_ = tx.Abort()
+			n.abortParts(tx, parts)
+			return permanent(err)
+		}
+		step, err := a.Itin.StepAt(a.Cursor)
+		if err != nil {
+			_ = tx.Abort()
+			n.abortParts(tx, parts)
+			return permanent(fmt.Errorf("node %s: restored cursor: %w", n.cfg.Name, err))
+		}
+		next = &Container{Mode: ModeStep, Agent: a}
+		dest = n.pickDestination(step.Loc, step.Alt, attempt)
+	} else {
+		// More steps to compensate: route the agent (or not — Figure
+		// 5a's destination rule) to the next compensation transaction.
+		eos, ok := peekEOS(a.Log)
+		if !ok {
+			_ = tx.Abort()
+			n.abortParts(tx, parts)
+			return permanent(fmt.Errorf("node %s: agent %s: savepoint %q unreachable during rollback", n.cfg.Name, a.ID, spID))
+		}
+		next = &Container{Mode: ModeRollback, SpID: spID, Agent: a}
+		dest = eos.Node
+		if n.cfg.Optimized && !eos.HasMixed {
+			dest = n.cfg.Name
+		}
+	}
+
+	a.SRO.Freeze(false) // clear runtime-only flag before serialization
+	if err := n.shipContainer(tx, next, dest, parts); err != nil {
+		if n.cfg.Counters != nil {
+			n.cfg.Counters.IncCompTxnAbort()
+		}
+		return err
+	}
+	if n.cfg.Counters != nil {
+		n.cfg.Counters.IncCompTxn()
+	}
+	return nil
+}
+
+// compensateLastStep pops the last executed step off the log (EOS, then
+// operation entries until BOS) and executes its compensating operations in
+// reverse execution order inside tx. In the optimized algorithm without
+// mixed entries, agent compensation entries run locally concurrently with
+// the resource compensation entries shipped to the resource node; the
+// remote branch is returned as a prepared participant.
+func (n *Node) compensateLastStep(tx *txn.Tx, a *agent.Agent, attempt int) ([]remotePrep, error) {
+	log := a.Log
+	last, err := log.Pop()
+	if err != nil {
+		return nil, permanent(fmt.Errorf("node %s: compensate: %w", n.cfg.Name, err))
+	}
+	eos, ok := last.(*core.EndStepEntry)
+	if !ok {
+		return nil, permanent(fmt.Errorf("node %s: compensate: expected end-of-step entry, got %s", n.cfg.Name, core.EntryName(last)))
+	}
+	// Collect the step's operation entries; popping yields them already
+	// in reverse execution order, the order they must run in (§4.2).
+	var ops []*core.OpEntry
+	for {
+		e, err := log.Pop()
+		if err != nil {
+			return nil, permanent(fmt.Errorf("node %s: compensate: truncated step in log: %w", n.cfg.Name, err))
+		}
+		if _, ok := e.(*core.BeginStepEntry); ok {
+			break
+		}
+		op, ok := e.(*core.OpEntry)
+		if !ok {
+			return nil, permanent(fmt.Errorf("node %s: compensate: unexpected %s inside step", n.cfg.Name, core.EntryName(e)))
+		}
+		ops = append(ops, op)
+	}
+	if len(ops) == 0 {
+		return nil, nil
+	}
+
+	if !n.cfg.Optimized || eos.HasMixed || eos.Node == n.cfg.Name {
+		// Basic algorithm, or mixed entries (the agent was brought to
+		// the resource node), or the agent already resides there:
+		// execute everything locally in log order.
+		if err := n.execCompOps(tx, a, ops); err != nil {
+			return nil, err
+		}
+		if n.cfg.Counters != nil {
+			n.cfg.Counters.IncCompOps(int64(len(ops)))
+		}
+		return nil, nil
+	}
+
+	// Figure 5b: group the entries, ship the resource compensation
+	// entries, run the agent compensation entries concurrently, then
+	// wait for the ACK.
+	var aces, rces []*core.OpEntry
+	for _, op := range ops {
+		switch op.Kind {
+		case core.OpAgent:
+			aces = append(aces, op)
+		case core.OpResource:
+			rces = append(rces, op)
+		default:
+			return nil, permanent(fmt.Errorf("node %s: mixed entry in step flagged non-mixed", n.cfg.Name))
+		}
+	}
+	var parts []remotePrep
+	var ackCh chan ackMsg
+	if len(rces) > 0 {
+		dest := n.pickDestination(eos.Node, eos.AltNodes, attempt)
+		prep, ch := n.prepareRCERemote(tx, dest, &rceExecMsg{TxnID: tx.ID(), Ops: rces})
+		parts = append(parts, prep)
+		ackCh = ch
+		if n.cfg.Counters != nil {
+			n.cfg.Counters.IncRemoteCompBatch()
+		}
+	}
+	if err := n.execCompOps(tx, a, aces); err != nil {
+		if ackCh != nil {
+			n.dropWaiter(kindRCEExecAck, tx.ID())
+		}
+		return parts, err
+	}
+	if n.cfg.Counters != nil {
+		n.cfg.Counters.IncCompOps(int64(len(aces)))
+	}
+	if ackCh != nil {
+		if _, err := n.await(ackCh, kindRCEExecAck, tx.ID()); err != nil {
+			return parts, fmt.Errorf("node %s: remote compensation on %s: %w", n.cfg.Name, eos.Node, err)
+		}
+	}
+	return parts, nil
+}

@@ -1,0 +1,83 @@
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/txn"
+)
+
+// remotePrep is a remote participant that acknowledged prepare and awaits
+// the coordinator's decision.
+type remotePrep struct {
+	node       string
+	commitKind string
+	abortKind  string
+}
+
+func (n *Node) markActive(txnID string) {
+	n.mu.Lock()
+	n.activeTxns[txnID] = true
+	n.mu.Unlock()
+}
+
+func (n *Node) unmarkActive(txnID string) {
+	n.mu.Lock()
+	delete(n.activeTxns, txnID)
+	n.mu.Unlock()
+}
+
+// prepareEnqueueRemote runs the prepare phase of the queue hand-off: the
+// destination durably stages the container under this transaction's ID.
+// The transaction is marked active first so in-doubt queries from the
+// participant are answered "pending" rather than "abort" while the
+// decision is still open.
+func (n *Node) prepareEnqueueRemote(tx *txn.Tx, dest, entryID string, data []byte) (remotePrep, error) {
+	n.markActive(tx.ID())
+	ch := n.registerWaiter(kindEnqueuePrepareAck, tx.ID())
+	n.send(dest, kindEnqueuePrepare, &enqueuePrepareMsg{TxnID: tx.ID(), EntryID: entryID, Data: data})
+	if _, err := n.await(ch, kindEnqueuePrepareAck, tx.ID()); err != nil {
+		return remotePrep{}, err
+	}
+	return remotePrep{node: dest, commitKind: kindEnqueueCommit, abortKind: kindEnqueueAbort}, nil
+}
+
+// prepareRCERemote ships a resource-compensation-entry list to the
+// resource node (Figure 5b) and waits for the acknowledgement, which the
+// participant sends once the branch is durably prepared.
+func (n *Node) prepareRCERemote(tx *txn.Tx, dest string, msg *rceExecMsg) (remotePrep, chan ackMsg) {
+	n.markActive(tx.ID())
+	ch := n.registerWaiter(kindRCEExecAck, tx.ID())
+	n.send(dest, kindRCEExec, msg)
+	return remotePrep{node: dest, commitKind: kindRCECommit, abortKind: kindRCEAbort}, ch
+}
+
+// commitDistributed finishes the coordinator side: with remote
+// participants, the commit decision record joins the local commit batch
+// (atomic "decide"), then the participants are driven to commit reliably.
+// Without participants it is a plain local commit.
+func (n *Node) commitDistributed(tx *txn.Tx, parts []remotePrep) error {
+	if len(parts) > 0 {
+		tx.AddCommitOps(n.mgr.DecisionOp(tx.ID()))
+	}
+	if err := tx.Commit(); err != nil {
+		n.abortParts(tx, parts)
+		_ = tx.Abort()
+		n.unmarkActive(tx.ID())
+		return fmt.Errorf("node %s: commit: %w", n.cfg.Name, err)
+	}
+	for _, p := range parts {
+		n.sendCtlReliable(p.node, p.commitKind, tx.ID())
+	}
+	n.unmarkActive(tx.ID())
+	return nil
+}
+
+// abortParts notifies prepared participants of an abort (best effort:
+// presumed abort lets them resolve on their own if the message is lost).
+// The coordinator is unmarked active afterwards so queries answer "abort".
+func (n *Node) abortParts(tx *txn.Tx, parts []remotePrep) {
+	for _, p := range parts {
+		n.send(p.node, p.abortKind, &txnCtlMsg{TxnID: tx.ID()})
+	}
+	n.unmarkActive(tx.ID())
+}

@@ -1,0 +1,563 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/itinerary"
+	"repro/internal/stable"
+	"repro/internal/txn"
+	"repro/internal/wire"
+)
+
+// permanentError marks failures that retrying cannot fix (unknown step
+// code, corrupt log, rollback to a savepoint not in the log, operations
+// declared non-compensable).
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+func permanent(err error) error { return &permanentError{err: err} }
+
+func isPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// errImmediateRollback reports that a requested rollback targeted the
+// savepoint directly before the aborting step: the rollback is already
+// complete and the next step transaction starts from the queue (Figure 4a,
+// first case). It is surfaced as a retryable error so the worker's attempt
+// accounting still bounds rollback/retry loops.
+var errImmediateRollback = errors.New("node: rollback finished at immediate savepoint")
+
+// doneRec is the durable completion record re-sent to the owner until
+// acknowledged.
+type doneRec struct {
+	Owner string
+	Msg   doneMsg
+}
+
+func init() { wire.RegisterName("node.doneRec", &doneRec{}) }
+
+func doneKey(agentID string) string          { return "done/" + agentID }
+func stableDelDone(agentID string) stable.Op { return stable.Del(doneKey(agentID)) }
+
+// recoverThenWork resolves in-doubt work, loads resources, then processes
+// the input queue until stopped.
+func (n *Node) recoverThenWork() {
+	if !n.runRecovery() {
+		return
+	}
+	close(n.ready)
+	n.workLoop()
+}
+
+// runRecovery resolves in-doubt prepared work (staged queue entries and
+// prepared branches) with the respective coordinators, then re-loads the
+// resource managers from the stable store. It returns false if the node
+// was stopped first.
+func (n *Node) runRecovery() bool {
+	for {
+		staged, err := n.queue.StagedTxns()
+		if err != nil {
+			return false
+		}
+		branches, err := n.mgr.InDoubtBranches()
+		if err != nil {
+			return false
+		}
+		pending := append(append([]string(nil), staged...), branches...)
+		if len(pending) == 0 {
+			break
+		}
+		for _, id := range pending {
+			co := coordinatorOf(id)
+			if co == "" || co == n.cfg.Name {
+				// Self-coordinated: after a crash nothing is active,
+				// so the decision record alone decides.
+				committed, err := n.mgr.Decided(id)
+				if err == nil {
+					n.resolveTxn(id, committed)
+				}
+				continue
+			}
+			n.send(co, kindTxnQuery, &txnCtlMsg{TxnID: id})
+		}
+		timer := time.NewTimer(n.cfg.RetryDelay * 5)
+		select {
+		case <-n.stop:
+			timer.Stop()
+			return false
+		case <-timer.C:
+		}
+	}
+	for _, f := range n.factories {
+		r, err := f(n.store)
+		if err != nil {
+			// A resource that cannot load makes the node useless;
+			// keep it not-ready (steps routed here will time out and
+			// use alternatives) rather than serve corrupt state.
+			return false
+		}
+		n.mu.Lock()
+		n.resources[r.Name()] = r
+		n.mu.Unlock()
+	}
+	return true
+}
+
+// workLoop processes the agent input queue, one container at a time, with
+// bounded retries per container.
+func (n *Node) workLoop() {
+	attempts := make(map[string]int)
+	for {
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		entry, err := n.queue.Peek()
+		if err != nil || entry == nil {
+			timer := time.NewTimer(50 * time.Millisecond)
+			select {
+			case <-n.stop:
+				timer.Stop()
+				return
+			case <-n.queue.Notify():
+				timer.Stop()
+			case <-timer.C:
+			}
+			continue
+		}
+		attempt := attempts[entry.ID] + 1
+		procErr := n.process(entry, attempt)
+		if procErr == nil {
+			delete(attempts, entry.ID)
+			continue
+		}
+		attempts[entry.ID] = attempt
+		if isPermanent(procErr) || (n.cfg.MaxAttempts > 0 && attempt >= n.cfg.MaxAttempts) {
+			n.failAgent(entry, procErr)
+			delete(attempts, entry.ID)
+			continue
+		}
+		timer := time.NewTimer(n.cfg.RetryDelay)
+		select {
+		case <-n.stop:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+	}
+}
+
+// process decodes and executes one queued container. Decoding is fresh on
+// every attempt: an aborted attempt's in-memory mutations vanish and the
+// stable queue copy is authoritative — the paper's "the state of the agent
+// and the rollback log read from stable storage is the state before the
+// execution of the aborting step transaction".
+func (n *Node) process(entry *stable.Entry, attempt int) error {
+	c, err := DecodeContainer(entry.Data)
+	if err != nil {
+		return permanent(fmt.Errorf("node %s: corrupt container %q: %w", n.cfg.Name, entry.ID, err))
+	}
+	switch c.Mode {
+	case ModeStep:
+		return n.runStep(entry, c, attempt)
+	case ModeRollback:
+		return n.runCompensation(entry, c, attempt)
+	default:
+		return permanent(fmt.Errorf("node %s: unknown container mode %d", n.cfg.Name, c.Mode))
+	}
+}
+
+// failAgent removes the container and reports permanent failure to the
+// agent's owner.
+func (n *Node) failAgent(entry *stable.Entry, cause error) {
+	c, err := DecodeContainer(entry.Data)
+	if err != nil || c.Agent == nil {
+		// Undeliverable: drop the poisoned entry.
+		_ = n.store.Apply(n.queue.RemoveOp(entry))
+		return
+	}
+	tx, err := n.mgr.Begin()
+	if err != nil {
+		return
+	}
+	tx.AddCommitOps(n.queue.RemoveOp(entry))
+	if err := n.finishAgent(tx, c.Agent, true, cause.Error()); err != nil {
+		_ = tx.Abort()
+	}
+}
+
+// finishAgent records completion durably within tx, commits, and notifies
+// the owner (re-sent on ticks until acknowledged).
+func (n *Node) finishAgent(tx *txn.Tx, a *agent.Agent, failed bool, reason string) error {
+	data, err := EncodeContainer(&Container{Mode: ModeStep, Agent: a})
+	if err != nil {
+		return err
+	}
+	rec := doneRec{
+		Owner: a.Owner,
+		Msg:   doneMsg{AgentID: a.ID, Failed: failed, Reason: reason, Data: data},
+	}
+	raw, err := wire.Encode(&rec)
+	if err != nil {
+		return err
+	}
+	tx.AddCommitOps(stable.Put(doneKey(a.ID), raw))
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	n.send(a.Owner, kindAgentDone, &rec.Msg)
+	return nil
+}
+
+// resendDone re-sends unacknowledged completion notifications.
+func (n *Node) resendDone() {
+	keys, err := n.store.Keys("done/")
+	if err != nil {
+		return
+	}
+	for _, k := range keys {
+		raw, ok, err := n.store.Get(k)
+		if err != nil || !ok {
+			continue
+		}
+		var rec doneRec
+		if err := wire.Decode(raw, &rec); err != nil {
+			continue
+		}
+		n.send(rec.Owner, kindAgentDone, &rec.Msg)
+	}
+}
+
+// runStep executes the next itinerary step inside a step transaction (§2):
+// destructive read from the input queue, step method invocation, log
+// append (BOS, operation entries, EOS), savepoint constitution, and the
+// two-phase hand-off of the agent to the next node's input queue.
+func (n *Node) runStep(entry *stable.Entry, c *Container, attempt int) error {
+	a := c.Agent
+	step, err := a.Itin.StepAt(a.Cursor)
+	if err != nil {
+		return permanent(fmt.Errorf("node %s: agent %s cursor: %w", n.cfg.Name, a.ID, err))
+	}
+	fn, ok := n.registry.Step(step.Method)
+	if !ok {
+		return permanent(fmt.Errorf("node %s: unknown step method %q", n.cfg.Name, step.Method))
+	}
+
+	tx, err := n.mgr.Begin()
+	if err != nil {
+		return err
+	}
+	tx.AddCommitOps(n.queue.RemoveOp(entry))
+	seq := a.StepSeq
+	sctx := &stepCtx{node: n, a: a, tx: tx, seq: seq}
+	if err := fn(sctx); err != nil {
+		abortErr := tx.Abort()
+		if n.cfg.Counters != nil {
+			n.cfg.Counters.IncStepTxnAbort()
+		}
+		if abortErr != nil {
+			return abortErr
+		}
+		var rb *agent.RollbackRequest
+		if errors.As(err, &rb) {
+			return n.startRollback(entry, rb.SpID)
+		}
+		// §2: abort and restart the step transaction.
+		return fmt.Errorf("node %s: step %q aborted: %w", n.cfg.Name, step.Method, err)
+	}
+
+	// Step body succeeded: append the step's log entries.
+	a.StepSeq = seq + 1
+	hasMixed := false
+	a.Log.Append(&core.BeginStepEntry{Node: n.cfg.Name, Seq: seq})
+	for _, op := range sctx.ops {
+		if op.Kind == core.OpMixed {
+			hasMixed = true
+		}
+		a.Log.Append(op)
+	}
+	a.Log.Append(&core.EndStepEntry{
+		Node:     n.cfg.Name,
+		Seq:      seq,
+		HasMixed: hasMixed,
+		AltNodes: step.Alt,
+	})
+
+	// Advance the itinerary and maintain savepoints (§4.4.2). Subs with
+	// a partial entry order get a concrete, locality-aware order fixed
+	// the moment they are entered; the reordered itinerary is captured
+	// in the sub's savepoint, so rollback restores the same order.
+	move, err := a.Itin.AdvanceHook(a.Cursor, itinerary.LocalityOrder(n.cfg.Name))
+	if err != nil {
+		_ = tx.Abort()
+		return permanent(fmt.Errorf("node %s: advance itinerary: %w", n.cfg.Name, err))
+	}
+	a.Cursor = move.Next
+	if move.TopLevelLeft != "" {
+		// Completing a top-level sub-itinerary discards all rollback
+		// information: the agent can never be rolled back past here.
+		a.Log.Clear()
+	} else {
+		for _, id := range move.Left {
+			if a.Log.HasSavepoint(id) {
+				if err := a.Log.RemoveSavepoint(id); err != nil {
+					_ = tx.Abort()
+					return permanent(fmt.Errorf("node %s: remove savepoint %q: %w", n.cfg.Name, id, err))
+				}
+			}
+		}
+	}
+	if !move.Next.Done {
+		ids := append(append([]string(nil), sctx.saveReqs...), move.Entered...)
+		for _, id := range ids {
+			if err := n.appendSavepoint(a, id); err != nil {
+				_ = tx.Abort()
+				return permanent(err)
+			}
+		}
+	}
+	n.observeLogSize(a)
+
+	if move.Next.Done {
+		if err := n.finishAgent(tx, a, false, ""); err != nil {
+			_ = tx.Abort()
+			return err
+		}
+		if n.cfg.Counters != nil {
+			n.cfg.Counters.IncStepTxn()
+		}
+		return nil
+	}
+
+	next, err := a.Itin.StepAt(a.Cursor)
+	if err != nil {
+		_ = tx.Abort()
+		return permanent(err)
+	}
+	dest := n.pickDestination(next.Loc, next.Alt, attempt)
+	if err := n.shipContainer(tx, &Container{Mode: ModeStep, Agent: a}, dest, nil); err != nil {
+		return err
+	}
+	if n.cfg.Counters != nil {
+		n.cfg.Counters.IncStepTxn()
+	}
+	return nil
+}
+
+// pickDestination returns the node to send the agent to, falling back to
+// alternative nodes after repeated failed attempts (the fault-tolerant
+// variant of [11] referenced in §4.3's discussion).
+func (n *Node) pickDestination(primary string, alts []string, attempt int) string {
+	if attempt <= 3 || len(alts) == 0 {
+		return primary
+	}
+	return alts[(attempt-4)%len(alts)]
+}
+
+// appendSavepoint constitutes a savepoint at the current end of the log.
+func (n *Node) appendSavepoint(a *agent.Agent, id string) error {
+	if a.Log.HasSavepoint(id) {
+		// Re-entry after a rollback to this savepoint: it is still in
+		// the log and still valid.
+		return nil
+	}
+	if n.cfg.Counters != nil {
+		n.cfg.Counters.IncSavepoints()
+	}
+	return appendSavepointTo(a, id, n.cfg.LogMode, n.cfg.SagaBaseline)
+}
+
+// appendSavepointTo writes one savepoint at the current end of the log. If
+// the log already ends with a savepoint, the new one shares its state and
+// is written as a data-less special savepoint referencing the existing one
+// (§4.4.2); the reference is flattened to the root data-carrying entry so
+// removal order between nested scopes stays unconstrained.
+func appendSavepointTo(a *agent.Agent, id string, mode core.LogMode, sagaWRO bool) error {
+	if sp, ok := a.Log.Last().(*core.SavepointEntry); ok {
+		ref := sp.ID
+		if sp.Special {
+			ref = sp.RefID
+		}
+		return a.Log.AppendSpecialSavepoint(id, ref, true)
+	}
+	img, err := a.SystemImage()
+	if sagaWRO {
+		img, err = a.SystemImageWithWRO()
+	}
+	if err != nil {
+		return err
+	}
+	return a.Log.AppendSavepoint(id, img, mode, true)
+}
+
+// AppendInitialSavepoints constitutes the savepoints of the
+// sub-itineraries entered to reach an agent's first step; launchers call
+// it before enqueueing a fresh agent.
+func AppendInitialSavepoints(a *agent.Agent, entered []string, mode core.LogMode) error {
+	return AppendInitialSavepointsMode(a, entered, mode, false)
+}
+
+// AppendInitialSavepointsMode is AppendInitialSavepoints with the
+// saga-baseline switch (S16b ablation).
+func AppendInitialSavepointsMode(a *agent.Agent, entered []string, mode core.LogMode, sagaWRO bool) error {
+	for _, id := range entered {
+		if a.Log.HasSavepoint(id) {
+			continue
+		}
+		if err := appendSavepointTo(a, id, mode, sagaWRO); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (n *Node) observeLogSize(a *agent.Agent) {
+	if n.cfg.Counters == nil {
+		return
+	}
+	if sz, err := a.Log.EncodedSize(); err == nil {
+		n.cfg.Counters.ObserveLogBytes(int64(sz))
+	}
+}
+
+// startRollback implements Figure 4a / 5a: after the aborting step
+// transaction rolled back, a new transaction re-reads the agent and log
+// from stable storage and either finishes immediately (savepoint directly
+// before the aborting step) or routes the agent into its first
+// compensation transaction.
+func (n *Node) startRollback(entry *stable.Entry, spID string) error {
+	c, err := DecodeContainer(entry.Data) // fresh pre-step state
+	if err != nil {
+		return permanent(err)
+	}
+	a := c.Agent
+	if !a.Log.HasSavepoint(spID) {
+		return permanent(fmt.Errorf("node %s: agent %s: no savepoint %q in log (non-compensable or discarded)", n.cfg.Name, a.ID, spID))
+	}
+	if reached, popped := popToTarget(a.Log, spID); reached {
+		// Savepoint set directly before the aborting step: rollback is
+		// finished. If stale savepoints above the target were popped,
+		// rewrite the queued container so they do not linger.
+		if popped > 0 {
+			tx, err := n.mgr.Begin()
+			if err != nil {
+				return err
+			}
+			tx.AddCommitOps(n.queue.RemoveOp(entry))
+			data, err := EncodeContainer(&Container{Mode: ModeStep, Agent: a})
+			if err != nil {
+				_ = tx.Abort()
+				return permanent(err)
+			}
+			ops, err := n.queue.EnqueueOps(a.ID, data)
+			if err != nil {
+				_ = tx.Abort()
+				return err
+			}
+			tx.AddCommitOps(ops...)
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+		}
+		return errImmediateRollback
+	}
+
+	eos, ok := peekEOS(a.Log)
+	if !ok {
+		return permanent(fmt.Errorf("node %s: agent %s: savepoint %q unreachable (no end-of-step entry)", n.cfg.Name, a.ID, spID))
+	}
+	dest := eos.Node
+	if n.cfg.Optimized && !eos.HasMixed {
+		dest = n.cfg.Name // Figure 5a: keep the agent here
+	}
+	tx, err := n.mgr.Begin()
+	if err != nil {
+		return err
+	}
+	tx.AddCommitOps(n.queue.RemoveOp(entry))
+	return n.shipContainer(tx, &Container{Mode: ModeRollback, SpID: spID, Agent: a}, dest, nil)
+}
+
+// popToTarget pops trailing savepoint entries that are not the rollback
+// target; it reports whether the target savepoint is (now) the final log
+// entry, and how many entries were popped. Non-target savepoints above the
+// target belong to execution that is being rolled back and are discarded,
+// generalizing Figure 4b's single "if (last log entry is savepoint)
+// LOG.pop()" to stacked savepoints.
+func popToTarget(l *core.Log, spID string) (reached bool, popped int) {
+	for {
+		sp, ok := l.Last().(*core.SavepointEntry)
+		if !ok {
+			return false, popped
+		}
+		if sp.ID == spID {
+			return true, popped
+		}
+		if _, err := l.Pop(); err != nil {
+			return false, popped
+		}
+		popped++
+	}
+}
+
+// peekEOS returns the most recent end-of-step entry, skipping trailing
+// savepoints.
+func peekEOS(l *core.Log) (*core.EndStepEntry, bool) {
+	for i := l.Len() - 1; i >= 0; i-- {
+		switch e := l.Entries[i].(type) {
+		case *core.SavepointEntry:
+			continue
+		case *core.EndStepEntry:
+			return e, true
+		default:
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// shipContainer finishes a transaction that hands the container to dest:
+// a local enqueue joins the commit batch directly; a remote hand-off runs
+// two-phase commit with the destination queue (prepare, decide+commit
+// locally, reliably commit remotely). Extra pre-prepared participants
+// (the RCE branch of Figure 5b) are committed with the same decision.
+func (n *Node) shipContainer(tx *txn.Tx, c *Container, dest string, parts []remotePrep) error {
+	data, err := EncodeContainer(c)
+	if err != nil {
+		_ = tx.Abort()
+		n.abortParts(tx, parts)
+		return permanent(err)
+	}
+	if dest == n.cfg.Name {
+		ops, err := n.queue.EnqueueOps(c.Agent.ID, data)
+		if err != nil {
+			_ = tx.Abort()
+			n.abortParts(tx, parts)
+			return err
+		}
+		tx.AddCommitOps(ops...)
+		return n.commitDistributed(tx, parts)
+	}
+	prep, err := n.prepareEnqueueRemote(tx, dest, c.Agent.ID, data)
+	if err != nil {
+		_ = tx.Abort()
+		n.abortParts(tx, parts)
+		return fmt.Errorf("node %s: hand-off to %s: %w", n.cfg.Name, dest, err)
+	}
+	if err := n.commitDistributed(tx, append(parts, prep)); err != nil {
+		return err
+	}
+	if n.cfg.Counters != nil {
+		n.cfg.Counters.IncAgentTransfer(int64(len(data)))
+	}
+	return nil
+}

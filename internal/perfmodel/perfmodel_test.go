@@ -1,0 +1,128 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var lan = Link{Latency: 200 * time.Microsecond, ThroughputBps: 10e6}
+
+func TestMixedAlwaysMigrates(t *testing.T) {
+	st := Step{AgentBytes: 1 << 20, EntryBytes: 16, Ops: 1, HasMixed: true}
+	s, _ := Pick(st, lan)
+	if s != MigrateAgent {
+		t.Errorf("mixed step picked %v, want migrate-agent", s)
+	}
+}
+
+func TestSmallEntriesPreferShipping(t *testing.T) {
+	// A fat agent with a tiny compensation list: shipping must win.
+	st := Step{AgentBytes: 256 << 10, EntryBytes: 128, Ops: 2}
+	s, cost := Pick(st, lan)
+	if s != ShipEntries {
+		t.Errorf("picked %v (cost %v), want ship-entries", s, cost)
+	}
+	if Cost(ShipEntries, st, lan) >= Cost(MigrateAgent, st, lan) {
+		t.Error("shipping not cheaper than migrating for a fat agent")
+	}
+}
+
+func TestTinyAgentCanPreferMigration(t *testing.T) {
+	// An agent smaller than the compensation payload over a slow link:
+	// migrating (2 round trips each way but tiny payload) can beat
+	// shipping a huge entry list.
+	slow := Link{Latency: time.Microsecond, ThroughputBps: 1e6}
+	st := Step{AgentBytes: 100, EntryBytes: 1 << 20, Ops: 4}
+	s, _ := Pick(st, slow)
+	if s == ShipEntries {
+		t.Errorf("picked ship-entries for a tiny agent with a huge entry list")
+	}
+}
+
+func TestRPCWinsForSingleSmallOpOverFastLink(t *testing.T) {
+	// RPC costs one round trip per op (+commit); shipping costs two.
+	// With one tiny op and equal payloads, RPC and shipping tie on
+	// round trips (2 each); with high throughput the payload term
+	// vanishes, so compare exact costs instead of the picked winner.
+	st := Step{AgentBytes: 64 << 10, EntryBytes: 64, Ops: 1}
+	rpc := Cost(RPC, st, lan)
+	ship := Cost(ShipEntries, st, lan)
+	if rpc > ship {
+		t.Errorf("rpc %v > ship %v for a single op", rpc, ship)
+	}
+}
+
+func TestRPCLosesForManyOps(t *testing.T) {
+	st := Step{AgentBytes: 64 << 10, EntryBytes: 4096, Ops: 32}
+	if Cost(RPC, st, lan) <= Cost(ShipEntries, st, lan) {
+		t.Error("32 RPC round trips not more expensive than one shipped batch")
+	}
+}
+
+func TestCostMonotoneInBytes(t *testing.T) {
+	err := quick.Check(func(a, b uint16) bool {
+		small := Step{AgentBytes: int(a), EntryBytes: 64, Ops: 1}
+		big := Step{AgentBytes: int(a) + int(b), EntryBytes: 64, Ops: 1}
+		return Cost(MigrateAgent, big, lan) >= Cost(MigrateAgent, small, lan)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPickIsCheapest(t *testing.T) {
+	err := quick.Check(func(agentKB, entryKB uint8, ops uint8) bool {
+		st := Step{
+			AgentBytes: int(agentKB) << 10,
+			EntryBytes: int(entryKB) << 10,
+			Ops:        int(ops%16) + 1,
+		}
+		picked, cost := Pick(st, lan)
+		for _, s := range []Strategy{MigrateAgent, ShipEntries, RPC} {
+			if Cost(s, st, lan) < cost {
+				return false
+			}
+		}
+		_ = picked
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	entry := 4096
+	cross := CrossoverAgentBytes(entry, lan)
+	if cross <= 0 {
+		t.Skip("latency term dominates; shipping always wins on this link")
+	}
+	below := Step{AgentBytes: cross / 2, EntryBytes: entry, Ops: 2}
+	above := Step{AgentBytes: cross * 2, EntryBytes: entry, Ops: 2}
+	if Cost(MigrateAgent, below, lan) > Cost(ShipEntries, below, lan) {
+		t.Error("below the crossover, migrating should not lose")
+	}
+	if Cost(MigrateAgent, above, lan) <= Cost(ShipEntries, above, lan) {
+		t.Error("above the crossover, shipping should win")
+	}
+}
+
+func TestCrossoverLatencyOnly(t *testing.T) {
+	if got := CrossoverAgentBytes(1<<20, Link{Latency: time.Millisecond}); got != 0 {
+		t.Errorf("latency-only crossover = %d, want 0", got)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		MigrateAgent: "migrate-agent",
+		ShipEntries:  "ship-entries",
+		RPC:          "rpc",
+		Strategy(9):  "Strategy(9)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+}

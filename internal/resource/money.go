@@ -1,0 +1,80 @@
+package resource
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Coin is one digital coin (Chaum-style digital cash, the paper's §3.2
+// example). Compensating a payment returns coins of equal total value but
+// *different serial numbers* — an equivalent, not identical, state — which
+// is why cash is a weakly reversible object (§4.1).
+type Coin struct {
+	Serial   string
+	Currency string
+	Value    int64 // smallest currency unit (cents)
+}
+
+// Cash is a multiset of coins.
+type Cash []Coin
+
+// Total returns the total value of coins in the given currency.
+func (c Cash) Total(currency string) int64 {
+	var sum int64
+	for _, coin := range c {
+		if coin.Currency == currency {
+			sum += coin.Value
+		}
+	}
+	return sum
+}
+
+// Serials returns the sorted serial numbers, used by tests to prove that
+// compensation yields equivalent (not identical) cash.
+func (c Cash) Serials() []string {
+	out := make([]string, len(c))
+	for i, coin := range c {
+		out[i] = coin.Serial
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Take removes coins totalling exactly amount of the currency from c,
+// returning the taken coins and the remainder. Coins are split if needed
+// (a split mints a deterministic child serial).
+func (c Cash) Take(currency string, amount int64) (taken, rest Cash, err error) {
+	if amount < 0 {
+		return nil, nil, fmt.Errorf("resource: negative amount %d", amount)
+	}
+	if c.Total(currency) < amount {
+		return nil, nil, ErrInsufficientFunds
+	}
+	remaining := amount
+	for _, coin := range c {
+		if coin.Currency != currency || remaining == 0 {
+			rest = append(rest, coin)
+			continue
+		}
+		switch {
+		case coin.Value <= remaining:
+			taken = append(taken, coin)
+			remaining -= coin.Value
+		default:
+			taken = append(taken, Coin{Serial: coin.Serial + ".a", Currency: currency, Value: remaining})
+			rest = append(rest, Coin{Serial: coin.Serial + ".b", Currency: currency, Value: coin.Value - remaining})
+			remaining = 0
+		}
+	}
+	return taken, rest, nil
+}
+
+// mint creates n-th coin for an issuer; serial numbers embed the issuer and
+// a monotone counter so freshly minted coins never repeat.
+func mint(issuer string, seq uint64, currency string, value int64) Coin {
+	return Coin{
+		Serial:   fmt.Sprintf("%s-%08d", issuer, seq),
+		Currency: currency,
+		Value:    value,
+	}
+}

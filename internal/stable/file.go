@@ -1,0 +1,162 @@
+package stable
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// FileStore is a Store persisting each key as a file under a directory,
+// with a write-ahead journal making Apply atomic across process crashes.
+//
+// Layout:
+//
+//	<dir>/journal            pending batch (gob of []Op), if present
+//	<dir>/kv/<hex(key)>      value files
+//
+// Apply first writes the batch to the journal (via temp file + rename so
+// the journal itself is atomic), then applies each op, then removes the
+// journal. OpenFileStore replays a surviving journal; replay is idempotent
+// because ops are plain puts/deletes.
+type FileStore struct {
+	mu       sync.RWMutex
+	dir      string
+	kvDir    string
+	counters *metrics.Counters
+}
+
+var _ Store = (*FileStore)(nil)
+
+// OpenFileStore opens (creating if necessary) a FileStore rooted at dir and
+// replays any pending journal. counters may be nil.
+func OpenFileStore(dir string, counters *metrics.Counters) (*FileStore, error) {
+	kvDir := filepath.Join(dir, "kv")
+	if err := os.MkdirAll(kvDir, 0o755); err != nil {
+		return nil, fmt.Errorf("stable: create store dir: %w", err)
+	}
+	s := &FileStore{dir: dir, kvDir: kvDir, counters: counters}
+	if err := s.replayJournal(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *FileStore) journalPath() string { return filepath.Join(s.dir, "journal") }
+
+func (s *FileStore) keyPath(key string) string {
+	return filepath.Join(s.kvDir, hex.EncodeToString([]byte(key)))
+}
+
+func (s *FileStore) replayJournal() error {
+	data, err := os.ReadFile(s.journalPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("stable: read journal: %w", err)
+	}
+	var batch []Op
+	if err := wire.Decode(data, &batch); err != nil {
+		// A torn journal means the batch never committed; discard it.
+		return os.Remove(s.journalPath())
+	}
+	if err := s.applyOps(batch); err != nil {
+		return err
+	}
+	return os.Remove(s.journalPath())
+}
+
+// Get implements Store.
+func (s *FileStore) Get(key string) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, err := os.ReadFile(s.keyPath(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("stable: get %q: %w", key, err)
+	}
+	return data, true, nil
+}
+
+// Keys implements Store.
+func (s *FileStore) Keys(prefix string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries, err := os.ReadDir(s.kvDir)
+	if err != nil {
+		return nil, fmt.Errorf("stable: list keys: %w", err)
+	}
+	var keys []string
+	for _, e := range entries {
+		raw, err := hex.DecodeString(e.Name())
+		if err != nil {
+			continue // not a key file
+		}
+		key := string(raw)
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Apply implements Store.
+func (s *FileStore) Apply(batch ...Op) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := wire.Encode(batch)
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(s.journalPath(), data); err != nil {
+		return fmt.Errorf("stable: write journal: %w", err)
+	}
+	if err := s.applyOps(batch); err != nil {
+		return err
+	}
+	if err := os.Remove(s.journalPath()); err != nil {
+		return fmt.Errorf("stable: clear journal: %w", err)
+	}
+	if s.counters != nil {
+		var bytes int64
+		for _, op := range batch {
+			bytes += int64(len(op.Value))
+		}
+		s.counters.IncStableWrite(bytes)
+	}
+	return nil
+}
+
+func (s *FileStore) applyOps(batch []Op) error {
+	for _, op := range batch {
+		path := s.keyPath(op.Key)
+		if op.Value == nil {
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("stable: delete %q: %w", op.Key, err)
+			}
+			continue
+		}
+		if err := writeFileAtomic(path, op.Value); err != nil {
+			return fmt.Errorf("stable: put %q: %w", op.Key, err)
+		}
+	}
+	return nil
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

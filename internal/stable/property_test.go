@@ -1,0 +1,165 @@
+package stable
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyQueueLinearization: any random interleaving of direct
+// enqueues and prepare/commit/abort staged insertions yields exactly the
+// committed entries, in reservation order, with no duplicates or
+// resurrections.
+func TestPropertyQueueLinearization(t *testing.T) {
+	err := quick.Check(func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%24) + 1
+		store := NewMemStore(nil)
+		q := NewQueue(store, "q/")
+
+		type staged struct {
+			txn string
+			id  string
+		}
+		var open []staged     // prepared, undecided
+		var expected []string // ids in reservation order, "" = never visible
+
+		for i := 0; i < n; i++ {
+			switch r.Intn(4) {
+			case 0: // direct enqueue
+				id := fmt.Sprintf("direct%d", i)
+				if err := q.Enqueue(id, []byte(id)); err != nil {
+					return false
+				}
+				expected = append(expected, id)
+			case 1: // prepare
+				s := staged{txn: fmt.Sprintf("t%d", i), id: fmt.Sprintf("staged%d", i)}
+				if err := q.Prepare(s.txn, s.id, []byte(s.id)); err != nil {
+					return false
+				}
+				open = append(open, s)
+				expected = append(expected, "pending:"+s.txn)
+			case 2: // commit one open staging
+				if len(open) == 0 {
+					continue
+				}
+				k := r.Intn(len(open))
+				s := open[k]
+				open = append(open[:k], open[k+1:]...)
+				if err := q.CommitStaged(s.txn); err != nil {
+					return false
+				}
+				for j, e := range expected {
+					if e == "pending:"+s.txn {
+						expected[j] = s.id
+					}
+				}
+			default: // abort one open staging
+				if len(open) == 0 {
+					continue
+				}
+				k := r.Intn(len(open))
+				s := open[k]
+				open = append(open[:k], open[k+1:]...)
+				if err := q.AbortStaged(s.txn); err != nil {
+					return false
+				}
+				for j, e := range expected {
+					if e == "pending:"+s.txn {
+						expected[j] = ""
+					}
+				}
+			}
+		}
+		// Abort everything still open so visibility is final.
+		for _, s := range open {
+			if err := q.AbortStaged(s.txn); err != nil {
+				return false
+			}
+			for j, e := range expected {
+				if e == "pending:"+s.txn {
+					expected[j] = ""
+				}
+			}
+		}
+		// Drain and compare.
+		var got []string
+		for {
+			e, err := q.Peek()
+			if err != nil {
+				return false
+			}
+			if e == nil {
+				break
+			}
+			got = append(got, e.ID)
+			if err := store.Apply(q.RemoveOp(e)); err != nil {
+				return false
+			}
+		}
+		var want []string
+		for _, e := range expected {
+			if e != "" {
+				want = append(want, e)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyStoreBatchAtomicity: applying a batch is equivalent to
+// applying its deduplicated last-writer-wins projection key by key.
+func TestPropertyStoreBatchAtomicity(t *testing.T) {
+	err := quick.Check(func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%16) + 1
+		batch := make([]Op, n)
+		model := map[string]string{}
+		for i := range batch {
+			key := fmt.Sprintf("k%d", r.Intn(5))
+			if r.Intn(3) == 0 {
+				batch[i] = Del(key)
+				model[key] = ""
+			} else {
+				val := fmt.Sprintf("v%d", i)
+				batch[i] = Put(key, []byte(val))
+				model[key] = val
+			}
+		}
+		store := NewMemStore(nil)
+		if err := store.Apply(batch...); err != nil {
+			return false
+		}
+		for key, want := range model {
+			v, ok, err := store.Get(key)
+			if err != nil {
+				return false
+			}
+			if want == "" {
+				if ok {
+					return false
+				}
+				continue
+			}
+			if !ok || string(v) != want {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,244 @@
+package stable
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Queue is the agent input queue of one node (§2 of the paper): a FIFO of
+// opaque agent containers on stable storage. It supports two write paths:
+//
+//   - Enqueue: direct, atomic insertion (used when an owner launches an
+//     agent into the system).
+//   - Prepare/CommitStaged/AbortStaged: two-phase insertion used by the
+//     distributed step and compensation transactions. A prepared entry is
+//     durable but invisible; committing makes it visible at the queue
+//     position reserved at prepare time.
+//
+// Removal is exposed as a batch Op (RemoveOp) so the destructive read of an
+// agent at the start of a step transaction commits atomically with the rest
+// of the transaction: if the step aborts or the node crashes, the agent is
+// still in the queue (§2, §4.3).
+type Queue struct {
+	store  Store
+	prefix string
+
+	mu     sync.Mutex
+	notify chan struct{}
+}
+
+// Entry is one committed queue element.
+type Entry struct {
+	ID   string // application-level identifier (agent ID)
+	Data []byte // opaque container bytes
+
+	key string // store key, used by RemoveOp
+}
+
+// stagedRec is the durable form of a prepared insertion.
+type stagedRec struct {
+	Seq  uint64
+	ID   string
+	Data []byte
+}
+
+// entryRec is the durable form of a committed entry.
+type entryRec struct {
+	ID   string
+	Data []byte
+}
+
+// NewQueue returns a queue stored under the given key prefix.
+func NewQueue(store Store, prefix string) *Queue {
+	return &Queue{
+		store:  store,
+		prefix: prefix,
+		notify: make(chan struct{}, 1),
+	}
+}
+
+// Notify returns a channel receiving a signal whenever an entry becomes
+// visible. The channel has capacity one; consumers must also poll.
+func (q *Queue) Notify() <-chan struct{} { return q.notify }
+
+func (q *Queue) signal() {
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (q *Queue) seqKey() string           { return q.prefix + "seq" }
+func (q *Queue) entryKey(n uint64) string { return fmt.Sprintf("%se/%016d", q.prefix, n) }
+func (q *Queue) stageKey(txn string) string {
+	return q.prefix + "s/" + txn
+}
+
+// nextSeq reserves and persists the next sequence number as part of ops.
+// The caller must hold q.mu.
+func (q *Queue) nextSeq() (uint64, Op, error) {
+	raw, ok, err := q.store.Get(q.seqKey())
+	if err != nil {
+		return 0, Op{}, err
+	}
+	var n uint64
+	if ok {
+		n, err = strconv.ParseUint(string(raw), 10, 64)
+		if err != nil {
+			return 0, Op{}, fmt.Errorf("stable: corrupt queue seq: %w", err)
+		}
+	}
+	return n, Put(q.seqKey(), []byte(strconv.FormatUint(n+1, 10))), nil
+}
+
+// Enqueue atomically inserts a committed entry at the tail.
+func (q *Queue) Enqueue(id string, data []byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	seq, seqOp, err := q.nextSeq()
+	if err != nil {
+		return err
+	}
+	rec, err := wire.Encode(entryRec{ID: id, Data: data})
+	if err != nil {
+		return err
+	}
+	if err := q.store.Apply(seqOp, Put(q.entryKey(seq), rec)); err != nil {
+		return err
+	}
+	q.signal()
+	return nil
+}
+
+// EnqueueOps reserves a tail position immediately (the sequence number is
+// burnt even if the surrounding transaction aborts) and returns the batch
+// Ops that make the entry visible; include them in the transaction's
+// commit batch. This is how a step transaction atomically re-enqueues an
+// agent on the *same* node without two-phase commit.
+func (q *Queue) EnqueueOps(id string, data []byte) ([]Op, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	seq, seqOp, err := q.nextSeq()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.store.Apply(seqOp); err != nil {
+		return nil, err
+	}
+	rec, err := wire.Encode(entryRec{ID: id, Data: data})
+	if err != nil {
+		return nil, err
+	}
+	return []Op{Put(q.entryKey(seq), rec)}, nil
+}
+
+// Prepare stages an insertion under txnID. The entry is durable but not
+// visible until CommitStaged. Prepare is idempotent per txnID.
+func (q *Queue) Prepare(txnID, id string, data []byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok, err := q.store.Get(q.stageKey(txnID)); err != nil {
+		return err
+	} else if ok {
+		return nil // already prepared (coordinator retry)
+	}
+	seq, seqOp, err := q.nextSeq()
+	if err != nil {
+		return err
+	}
+	rec, err := wire.Encode(stagedRec{Seq: seq, ID: id, Data: data})
+	if err != nil {
+		return err
+	}
+	return q.store.Apply(seqOp, Put(q.stageKey(txnID), rec))
+}
+
+// CommitStaged makes the entry staged under txnID visible. It is
+// idempotent: committing an unknown txnID is a no-op (already committed).
+func (q *Queue) CommitStaged(txnID string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	raw, ok, err := q.store.Get(q.stageKey(txnID))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	var st stagedRec
+	if err := wire.Decode(raw, &st); err != nil {
+		return fmt.Errorf("stable: corrupt staged entry %q: %w", txnID, err)
+	}
+	rec, err := wire.Encode(entryRec{ID: st.ID, Data: st.Data})
+	if err != nil {
+		return err
+	}
+	if err := q.store.Apply(
+		Del(q.stageKey(txnID)),
+		Put(q.entryKey(st.Seq), rec),
+	); err != nil {
+		return err
+	}
+	q.signal()
+	return nil
+}
+
+// AbortStaged discards the entry staged under txnID. Idempotent.
+func (q *Queue) AbortStaged(txnID string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.store.Apply(Del(q.stageKey(txnID)))
+}
+
+// StagedTxns returns the transaction IDs with prepared entries; used by
+// crash recovery to resolve in-doubt transactions with the coordinator.
+func (q *Queue) StagedTxns() ([]string, error) {
+	keys, err := q.store.Keys(q.prefix + "s/")
+	if err != nil {
+		return nil, err
+	}
+	txns := make([]string, len(keys))
+	for i, k := range keys {
+		txns[i] = k[len(q.prefix)+2:]
+	}
+	return txns, nil
+}
+
+// Peek returns the oldest visible entry, or nil if the queue is empty.
+func (q *Queue) Peek() (*Entry, error) {
+	keys, err := q.store.Keys(q.prefix + "e/")
+	if err != nil {
+		return nil, err
+	}
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	raw, ok, err := q.store.Get(keys[0])
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("stable: queue entry %q vanished", keys[0])
+	}
+	var rec entryRec
+	if err := wire.Decode(raw, &rec); err != nil {
+		return nil, fmt.Errorf("stable: corrupt queue entry %q: %w", keys[0], err)
+	}
+	return &Entry{ID: rec.ID, Data: rec.Data, key: keys[0]}, nil
+}
+
+// RemoveOp returns the batch Op deleting e; include it in the commit batch
+// of the transaction that consumed the entry.
+func (q *Queue) RemoveOp(e *Entry) Op { return Del(e.key) }
+
+// Len returns the number of visible entries.
+func (q *Queue) Len() (int, error) {
+	keys, err := q.store.Keys(q.prefix + "e/")
+	if err != nil {
+		return 0, err
+	}
+	return len(keys), nil
+}

@@ -1,0 +1,284 @@
+package stable
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// storeImpls runs a subtest against both store implementations.
+func storeImpls(t *testing.T, fn func(t *testing.T, s Store)) {
+	t.Helper()
+	t.Run("mem", func(t *testing.T) { fn(t, NewMemStore(nil)) })
+	t.Run("file", func(t *testing.T) {
+		s, err := OpenFileStore(t.TempDir(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(t, s)
+	})
+}
+
+func TestStoreBasics(t *testing.T) {
+	storeImpls(t, func(t *testing.T, s Store) {
+		if _, ok, err := s.Get("missing"); err != nil || ok {
+			t.Errorf("missing key: %v %v", ok, err)
+		}
+		if err := s.Apply(Put("a/1", []byte("x")), Put("a/2", []byte("y")), Put("b/1", []byte("z"))); err != nil {
+			t.Fatal(err)
+		}
+		v, ok, err := s.Get("a/1")
+		if err != nil || !ok || string(v) != "x" {
+			t.Errorf("get a/1 = %q %v %v", v, ok, err)
+		}
+		keys, err := s.Keys("a/")
+		if err != nil || !reflect.DeepEqual(keys, []string{"a/1", "a/2"}) {
+			t.Errorf("keys = %v, %v", keys, err)
+		}
+		if err := s.Apply(Del("a/1"), Put("a/2", []byte("y2"))); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, _ := s.Get("a/1"); ok {
+			t.Error("a/1 survived delete")
+		}
+		v, _, _ = s.Get("a/2")
+		if string(v) != "y2" {
+			t.Errorf("a/2 = %q, want y2", v)
+		}
+	})
+}
+
+func TestStoreValueIsolation(t *testing.T) {
+	storeImpls(t, func(t *testing.T, s Store) {
+		orig := []byte("hello")
+		if err := s.Apply(Put("k", orig)); err != nil {
+			t.Fatal(err)
+		}
+		orig[0] = 'X' // mutate caller's buffer
+		v, _, _ := s.Get("k")
+		if string(v) != "hello" {
+			t.Errorf("stored value shares caller's buffer: %q", v)
+		}
+		v[0] = 'Y' // mutate returned buffer
+		v2, _, _ := s.Get("k")
+		if string(v2) != "hello" {
+			t.Errorf("returned value aliases store: %q", v2)
+		}
+	})
+}
+
+func TestFileStorePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenFileStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Apply(Put("key", []byte("persisted"))); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenFileStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s2.Get("key")
+	if err != nil || !ok || string(v) != "persisted" {
+		t.Errorf("reopen: %q %v %v", v, ok, err)
+	}
+}
+
+func TestFileStoreJournalReplay(t *testing.T) {
+	// Simulate a crash between journal write and batch apply: a valid
+	// journal exists, the kv files do not. Opening must replay it.
+	dir := t.TempDir()
+	batch := []Op{Put("a", []byte("1")), Del("b")}
+	data, err := wire.Encode(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "kv"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "journal"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFileStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get("a")
+	if err != nil || !ok || string(v) != "1" {
+		t.Errorf("journal not replayed: %q %v %v", v, ok, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "journal")); !os.IsNotExist(err) {
+		t.Error("journal not cleared after replay")
+	}
+}
+
+func TestFileStoreTornJournalDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "kv"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "journal"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFileStore(dir, nil)
+	if err != nil {
+		t.Fatalf("torn journal should be discarded, got %v", err)
+	}
+	if _, ok, _ := s.Get("a"); ok {
+		t.Error("torn journal applied")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	storeImpls(t, func(t *testing.T, s Store) {
+		q := NewQueue(s, "q/")
+		for _, id := range []string{"first", "second", "third"} {
+			if err := q.Enqueue(id, []byte(id+"-data")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if n, _ := q.Len(); n != 3 {
+			t.Fatalf("Len = %d, want 3", n)
+		}
+		for _, want := range []string{"first", "second", "third"} {
+			e, err := q.Peek()
+			if err != nil || e == nil {
+				t.Fatalf("peek: %v %v", e, err)
+			}
+			if e.ID != want || string(e.Data) != want+"-data" {
+				t.Errorf("peeked %q, want %q", e.ID, want)
+			}
+			if err := s.Apply(q.RemoveOp(e)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e, err := q.Peek()
+		if err != nil || e != nil {
+			t.Errorf("empty queue peek = %v, %v", e, err)
+		}
+	})
+}
+
+func TestQueueStagedLifecycle(t *testing.T) {
+	storeImpls(t, func(t *testing.T, s Store) {
+		q := NewQueue(s, "q/")
+		if err := q.Prepare("tx1", "agent1", []byte("d1")); err != nil {
+			t.Fatal(err)
+		}
+		// Invisible while staged.
+		if e, _ := q.Peek(); e != nil {
+			t.Error("staged entry visible")
+		}
+		staged, err := q.StagedTxns()
+		if err != nil || !reflect.DeepEqual(staged, []string{"tx1"}) {
+			t.Errorf("staged = %v, %v", staged, err)
+		}
+		// Prepare is idempotent.
+		if err := q.Prepare("tx1", "agent1", []byte("d1")); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.CommitStaged("tx1"); err != nil {
+			t.Fatal(err)
+		}
+		e, err := q.Peek()
+		if err != nil || e == nil || e.ID != "agent1" {
+			t.Fatalf("after commit: %v %v", e, err)
+		}
+		// Commit is idempotent.
+		if err := q.CommitStaged("tx1"); err != nil {
+			t.Fatal(err)
+		}
+		if n, _ := q.Len(); n != 1 {
+			t.Errorf("duplicate commit duplicated entry: len %d", n)
+		}
+	})
+}
+
+func TestQueueAbortStaged(t *testing.T) {
+	s := NewMemStore(nil)
+	q := NewQueue(s, "q/")
+	if err := q.Prepare("tx1", "a", []byte("d")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AbortStaged("tx1"); err != nil {
+		t.Fatal(err)
+	}
+	if staged, _ := q.StagedTxns(); len(staged) != 0 {
+		t.Errorf("staged after abort = %v", staged)
+	}
+	// Commit after abort is a no-op (no resurrection).
+	if err := q.CommitStaged("tx1"); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := q.Peek(); e != nil {
+		t.Error("aborted entry resurrected by commit")
+	}
+}
+
+func TestQueueStagedKeepsReservedPosition(t *testing.T) {
+	s := NewMemStore(nil)
+	q := NewQueue(s, "q/")
+	if err := q.Prepare("tx1", "early", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue("late", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.CommitStaged("tx1"); err != nil {
+		t.Fatal(err)
+	}
+	e, err := q.Peek()
+	if err != nil || e == nil || e.ID != "early" {
+		t.Errorf("head = %v, want early (reserved position)", e)
+	}
+}
+
+func TestQueueEnqueueOps(t *testing.T) {
+	s := NewMemStore(nil)
+	q := NewQueue(s, "q/")
+	ops, err := q.EnqueueOps("a1", []byte("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not visible until the ops are applied.
+	if e, _ := q.Peek(); e != nil {
+		t.Error("entry visible before ops applied")
+	}
+	if err := s.Apply(ops...); err != nil {
+		t.Fatal(err)
+	}
+	e, err := q.Peek()
+	if err != nil || e == nil || e.ID != "a1" {
+		t.Errorf("after apply: %v %v", e, err)
+	}
+}
+
+func TestQueueNotify(t *testing.T) {
+	s := NewMemStore(nil)
+	q := NewQueue(s, "q/")
+	if err := q.Enqueue("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-q.Notify():
+	default:
+		t.Error("no notification after enqueue")
+	}
+}
+
+func TestQueueSeparatePrefixes(t *testing.T) {
+	s := NewMemStore(nil)
+	q1 := NewQueue(s, "q1/")
+	q2 := NewQueue(s, "q2/")
+	if err := q1.Enqueue("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := q2.Peek(); e != nil {
+		t.Error("queues share entries across prefixes")
+	}
+}

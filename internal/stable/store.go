@@ -1,0 +1,46 @@
+// Package stable provides the stable storage required by the exactly-once
+// execution protocol and the rollback mechanism.
+//
+// The paper keeps agents in per-node *agent input queues* residing on
+// stable storage (§2) and requires that the agent, its rollback log and the
+// rollback target survive node crashes between transactions (§4.3). This
+// package provides:
+//
+//   - Store: a key-value store whose mutations are applied in atomic
+//     batches, so a transaction commit (queue removal + remote hand-off
+//     bookkeeping + decision record) is a single crash-consistent action.
+//   - MemStore: in-memory store that survives *simulated* node crashes
+//     (the cluster keeps it while the node's volatile state is discarded).
+//   - FileStore: gob/raw files with a write-ahead journal, surviving real
+//     process death (used by cmd/agentnode).
+//   - Queue: a FIFO agent input queue with staged (prepared) entries for
+//     two-phase commit.
+package stable
+
+import "errors"
+
+// Op is one mutation in an atomic batch. A nil Value deletes the key.
+type Op struct {
+	Key   string
+	Value []byte
+}
+
+// Put returns an Op writing value under key.
+func Put(key string, value []byte) Op { return Op{Key: key, Value: value} }
+
+// Del returns an Op deleting key.
+func Del(key string) Op { return Op{Key: key} }
+
+// ErrClosed is returned by stores after Close.
+var ErrClosed = errors.New("stable: store closed")
+
+// Store is a crash-consistent key-value store. Apply executes the whole
+// batch atomically with respect to crashes and concurrent readers.
+type Store interface {
+	// Get returns the value stored under key, and whether it exists.
+	Get(key string) ([]byte, bool, error)
+	// Keys returns all keys with the given prefix in lexicographic order.
+	Keys(prefix string) ([]string, error)
+	// Apply executes the batch atomically.
+	Apply(batch ...Op) error
+}

@@ -1,0 +1,132 @@
+// Package wire provides the serialization substrate of the system.
+//
+// The paper's prototype (Mole) relied on Java object serialization to
+// capture an agent's private data and rollback log for migration and for
+// stable storage. This package plays the same role using encoding/gob:
+// it encodes and decodes arbitrary registered values, and frames messages
+// for the TCP transport used by cmd/agentnode.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize bounds a single framed message (64 MiB). Larger frames are
+// rejected so a corrupt length prefix cannot trigger an unbounded read.
+const MaxFrameSize = 64 << 20
+
+// ErrFrameTooLarge is returned when a frame exceeds MaxFrameSize.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// Register makes a concrete type known to gob. It must be called (typically
+// from package variables of the owning package) for every type stored in an
+// interface field of a serialized structure, e.g. rollback-log entries.
+func Register(v any) { gob.Register(v) }
+
+// RegisterName registers a concrete type under a stable name, decoupling the
+// wire format from Go package paths.
+func RegisterName(name string, v any) { gob.RegisterName(name, v) }
+
+// Encode gob-encodes v into a fresh byte slice.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("wire: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-decodes data into v, which must be a non-nil pointer.
+func Decode(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("wire: decode %T: %w", v, err)
+	}
+	return nil
+}
+
+// MustEncode is Encode for values that are known to be encodable (all types
+// registered by this repository). It panics on failure; use it only for
+// values constructed by this codebase, never for external input.
+func MustEncode(v any) []byte {
+	data, err := Encode(v)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// EncodedSize returns the gob-encoded size of v in bytes. It is used by the
+// experiments to account for log and agent transfer sizes.
+func EncodedSize(v any) (int, error) {
+	data, err := Encode(v)
+	if err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+// Frame is one length-prefixed message on a byte stream.
+type Frame struct {
+	Kind    string // message kind, e.g. "enqueue.prepare"
+	Payload []byte // gob-encoded body, interpreted per Kind
+}
+
+// WriteFrame writes f to w as: u32 total length, u16 kind length, kind
+// bytes, payload bytes. All integers are big endian.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Kind) > 0xffff {
+		return fmt.Errorf("wire: kind too long: %d bytes", len(f.Kind))
+	}
+	total := 2 + len(f.Kind) + len(f.Payload)
+	if total > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	hdr := make([]byte, 6, 6+len(f.Kind))
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(total))
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(f.Kind)))
+	hdr = append(hdr, f.Kind...)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return fmt.Errorf("wire: write frame payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame written by WriteFrame.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("wire: read frame length: %w", err)
+	}
+	total := binary.BigEndian.Uint32(lenBuf[:])
+	if total > MaxFrameSize {
+		return Frame{}, ErrFrameTooLarge
+	}
+	if total < 2 {
+		return Frame{}, fmt.Errorf("wire: frame too short: %d bytes", total)
+	}
+	body := make([]byte, total)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, fmt.Errorf("wire: read frame body: %w", err)
+	}
+	kindLen := int(binary.BigEndian.Uint16(body[0:2]))
+	if 2+kindLen > len(body) {
+		return Frame{}, fmt.Errorf("wire: kind length %d exceeds frame", kindLen)
+	}
+	return Frame{
+		Kind:    string(body[2 : 2+kindLen]),
+		Payload: body[2+kindLen:],
+	}, nil
+}
