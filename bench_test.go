@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 	"time"
@@ -10,6 +11,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/itinerary"
+	"repro/internal/network"
+	"repro/internal/stable"
+	"repro/internal/wire"
 )
 
 // The benchmarks regenerate one experiment per paper figure (see
@@ -93,6 +97,116 @@ func BenchmarkFig2LogEncode(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkWireCodec: one protocol message round-trip through the wire
+// layer. "standalone" is the per-value API (pooled scratch buffers, fresh
+// gob streams — used for containers and stable-store records); "stream"
+// is the persistent per-connection session the TCP transport uses, where
+// type descriptors cross once per connection.
+func BenchmarkWireCodec(b *testing.B) {
+	msg := &network.Message{From: "n1", To: "n2", Kind: "q.prepare", Payload: make([]byte, 1024)}
+	b.Run("standalone", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			data, err := wire.Encode(msg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var out network.Message
+			if err := wire.Decode(data, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		var buf bytes.Buffer
+		enc := wire.NewStreamEncoder(&buf)
+		dec := wire.NewStreamDecoder(&buf)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := enc.Encode(msg); err != nil {
+				b.Fatal(err)
+			}
+			var out network.Message
+			if err := dec.Decode(&out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStableApplyParallel: concurrent step commits against one
+// file-backed store; group commit coalesces the journal writes
+// (commits/op < 1 under contention).
+func BenchmarkStableApplyParallel(b *testing.B) {
+	s, err := stable.OpenFileStore(b.TempDir(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, 512)
+	b.SetParallelism(4) // ensure concurrent committers even on one core
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			key := fmt.Sprintf("k%d", i%64)
+			if err := s.Apply(stable.Put(key, val), stable.Put(key+"/meta", val[:16])); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	b.ReportMetric(float64(s.GroupCommits())/float64(b.N), "commits/op")
+}
+
+// BenchmarkLogEncodedSize: per-step log-size accounting on a growing log —
+// the incremental path measures only the appended entries, the full path
+// re-encodes the whole log every step (the pre-change behavior).
+func BenchmarkLogEncodedSize(b *testing.B) {
+	const resetAt = 512 // bound log growth across b.N
+	seed := func(l *core.Log) {
+		if err := l.AppendSavepoint("sp", map[string][]byte{"v": make([]byte, 256)}, core.StateLogging, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	step := func(l *core.Log, i int) {
+		l.Append(&core.BeginStepEntry{Node: "n", Seq: i})
+		l.Append(&core.OpEntry{Kind: core.OpResource, Op: "op", Params: core.NewParams().Set("amt", int64(i))})
+		l.Append(&core.EndStepEntry{Node: "n", Seq: i})
+	}
+	b.Run("incremental", func(b *testing.B) {
+		var l core.Log
+		seed(&l)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if l.Len() > resetAt {
+				l.Clear()
+				seed(&l)
+			}
+			step(&l, i)
+			if _, err := l.EncodedSize(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		var l core.Log
+		seed(&l)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if l.Len() > resetAt {
+				l.Clear()
+				seed(&l)
+			}
+			step(&l, i)
+			if _, err := wire.EncodedSize(&l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkFig3Rollback: partial rollback cost vs rollback depth

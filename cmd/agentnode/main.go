@@ -52,6 +52,7 @@ func run(args []string) error {
 		resFlag   = fs.String("resources", "", "comma-separated kind=name resource list (bank=, shop=, dir=)")
 		seedFlag  = fs.String("seed", "", "semicolon-separated seeding directives: "+demo.FormatHint())
 		optimized = fs.Bool("optimized", true, "use the optimized (Figure 5) rollback algorithm")
+		sync      = fs.Bool("sync", true, "fsync stable-storage writes (crash-safe across power loss); disable only for throwaway deployments")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,7 +65,7 @@ func run(args []string) error {
 		return err
 	}
 
-	store, err := stable.OpenFileStore(*dataDir, nil)
+	store, err := stable.OpenFileStoreWith(*dataDir, nil, stable.FileStoreOptions{Sync: *sync})
 	if err != nil {
 		return err
 	}

@@ -7,9 +7,11 @@
 //	rollbacksim                 # run every experiment
 //	rollbacksim -exp f5         # run one experiment (f1..f6, tlog, tft)
 //	rollbacksim -list           # list experiments
+//	rollbacksim -json out.json  # also write the tables as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,10 +26,22 @@ func main() {
 	}
 }
 
+// jsonTable is the machine-readable form of one experiment table, written
+// by -json so successive PRs can diff a perf trajectory (see
+// scripts/bench.sh, which snapshots them as BENCH_PR<N>.json).
+type jsonTable struct {
+	Name   string     `json:"name"`
+	Title  string     `json:"title"`
+	Note   string     `json:"note,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("rollbacksim", flag.ContinueOnError)
 	exp := fs.String("exp", "", "run a single experiment (f1..f6, tlog, tft, tperf)")
 	list := fs.Bool("list", false, "list experiments and exit")
+	jsonPath := fs.String("json", "", "write the experiment tables as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,17 +57,34 @@ func run(args []string) error {
 		fmt.Println("tperf §4.4.1: remote-compensation strategy model ([16])")
 		return nil
 	}
-	if *exp == "" {
-		return experiments.All(os.Stdout)
+
+	var out []jsonTable
+	for _, e := range experiments.List() {
+		if *exp != "" && e.Name != *exp {
+			continue
+		}
+		tbl, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.Name, err)
+		}
+		tbl.Fprint(os.Stdout)
+		out = append(out, jsonTable{
+			Name: e.Name, Title: tbl.Title, Note: tbl.Note,
+			Header: tbl.Header, Rows: tbl.Rows,
+		})
 	}
-	fn, ok := experiments.ByName(*exp)
-	if !ok {
+	if len(out) == 0 {
 		return fmt.Errorf("unknown experiment %q (use -list)", *exp)
 	}
-	tbl, err := fn()
-	if err != nil {
-		return err
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d experiment table(s) to %s\n", len(out), *jsonPath)
 	}
-	tbl.Fprint(os.Stdout)
 	return nil
 }

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestListFlag(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -19,5 +24,26 @@ func TestSingleCheapExperiment(t *testing.T) {
 		if err := run([]string{"-exp", exp}); err != nil {
 			t.Errorf("experiment %s: %v", exp, err)
 		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := run([]string{"-exp", "f2", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tables []jsonTable
+	if err := json.Unmarshal(data, &tables); err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].Name != "f2" || len(tables[0].Rows) == 0 {
+		t.Errorf("tables = %+v", tables)
+	}
+	if len(tables[0].Header) == 0 || len(tables[0].Rows[0]) != len(tables[0].Header) {
+		t.Errorf("header/row mismatch: %+v", tables[0])
 	}
 }

@@ -96,13 +96,11 @@ func (a *Agent) SystemImage() (map[string][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	seq, err := wire.Encode(a.StepSeq)
-	if err != nil {
-		return nil, err
-	}
 	img[sysKeyCursor] = cur
 	img[sysKeyItin] = itin
-	img[sysKeyStepSeq] = seq
+	// The step counter takes the tagged-scalar fast path; RestoreSystemImage
+	// still decodes gob-encoded counters from older savepoint images.
+	img[sysKeyStepSeq] = wire.EncodeInt64(int64(a.StepSeq))
 	return img, nil
 }
 
@@ -145,7 +143,9 @@ func (a *Agent) RestoreSystemImage(img map[string][]byte) error {
 		return err
 	}
 	var seq int
-	if err := wire.Decode(img[sysKeyStepSeq], &seq); err != nil {
+	if v, ok := wire.DecodeInt64(img[sysKeyStepSeq]); ok {
+		seq = int(v)
+	} else if err := wire.Decode(img[sysKeyStepSeq], &seq); err != nil {
 		return err
 	}
 	a.Cursor = cursor

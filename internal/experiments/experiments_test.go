@@ -166,14 +166,16 @@ func TestSmallFigures(t *testing.T) {
 	}
 }
 
-func TestByName(t *testing.T) {
-	for _, name := range []string{"f1", "f2", "f3", "f4", "f5", "f6", "tlog", "tft", "tperf"} {
-		if _, ok := ByName(name); !ok {
-			t.Errorf("experiment %q not found", name)
-		}
+func TestList(t *testing.T) {
+	want := []string{"f1", "f2", "f3", "f4", "f5", "f6", "tlog", "tft", "tperf"}
+	got := List()
+	if len(got) != len(want) {
+		t.Fatalf("List has %d experiments, want %d", len(got), len(want))
 	}
-	if _, ok := ByName("nope"); ok {
-		t.Error("unknown experiment resolved")
+	for i, e := range got {
+		if e.Name != want[i] || e.Run == nil {
+			t.Errorf("List[%d] = %q (run nil: %v), want %q", i, e.Name, e.Run == nil, want[i])
+		}
 	}
 }
 

@@ -3,7 +3,6 @@ package experiments
 import (
 	"errors"
 	"fmt"
-	"io"
 	"sync/atomic"
 	"time"
 
@@ -473,34 +472,17 @@ func runUnreachable(withAlt bool) (string, time.Duration, error) {
 	}
 }
 
-// All runs every experiment and prints the tables.
-func All(w io.Writer) error {
-	type namedExp struct {
-		name string
-		run  func() (*Table, error)
-	}
-	exps := []namedExp{
+// Experiment is one named experiment of the suite.
+type Experiment struct {
+	Name string
+	Run  func() (*Table, error)
+}
+
+// List returns every experiment in suite order.
+func List() []Experiment {
+	return []Experiment{
 		{"f1", Fig1}, {"f2", Fig2}, {"f3", Fig3}, {"f4", Fig4},
 		{"f5", Fig5}, {"f6", Fig6}, {"tlog", TLog}, {"tft", TFT},
 		{"tperf", TPerf},
 	}
-	for _, e := range exps {
-		tbl, err := e.run()
-		if err != nil {
-			return fmt.Errorf("experiment %s: %w", e.name, err)
-		}
-		tbl.Fprint(w)
-	}
-	return nil
-}
-
-// ByName resolves an experiment runner by its short name.
-func ByName(name string) (func() (*Table, error), bool) {
-	m := map[string]func() (*Table, error){
-		"f1": Fig1, "f2": Fig2, "f3": Fig3, "f4": Fig4,
-		"f5": Fig5, "f6": Fig6, "tlog": TLog, "tft": TFT,
-		"tperf": TPerf,
-	}
-	fn, ok := m[name]
-	return fn, ok
 }

@@ -29,21 +29,32 @@ type TCPConfig struct {
 	Counters *metrics.Counters
 }
 
-// TCPEndpoint implements Endpoint over TCP with frame-encoded messages.
-// Outbound connections are cached per destination and re-dialed on error;
-// a failed send is dropped silently (the caller's protocol retries),
-// matching the simulator's crashed-destination semantics.
+// TCPEndpoint implements Endpoint over TCP with persistent per-connection
+// gob streams: each outbound connection carries one encode session, so gob
+// type descriptors cross the wire once per connection instead of once per
+// message, and each message costs only its value bytes. Outbound
+// connections are cached per destination and re-dialed on error; a failed
+// send is dropped silently (the caller's protocol retries), matching the
+// simulator's crashed-destination semantics.
 type TCPEndpoint struct {
 	cfg      TCPConfig
 	listener net.Listener
 	mb       *mailbox
 
 	mu      sync.Mutex
-	conns   map[string]net.Conn
+	conns   map[string]*peerConn
 	inbound map[net.Conn]struct{}
 	closed  bool
 
 	wg sync.WaitGroup
+}
+
+// peerConn is one cached outbound connection with its encode session. The
+// session's internal lock serializes concurrent senders, so messages never
+// interleave on the stream.
+type peerConn struct {
+	c   net.Conn
+	enc *wire.StreamEncoder
 }
 
 var _ Endpoint = (*TCPEndpoint)(nil)
@@ -60,7 +71,7 @@ func NewTCP(cfg TCPConfig) (*TCPEndpoint, error) {
 	ep := &TCPEndpoint{
 		cfg:     cfg,
 		mb:      newMailbox(),
-		conns:   make(map[string]net.Conn),
+		conns:   make(map[string]*peerConn),
 		inbound: make(map[net.Conn]struct{}),
 	}
 	if cfg.Listen != "" {
@@ -101,43 +112,41 @@ func (e *TCPEndpoint) Send(to, kind string, payload []byte) error {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
 	}
 	msg := Message{From: e.cfg.Name, To: to, Kind: kind, Payload: payload}
-	data, err := wire.Encode(&msg)
-	if err != nil {
-		return err
-	}
 	if e.cfg.Counters != nil {
 		e.cfg.Counters.IncMessages(int64(len(payload)))
 	}
-	if err := e.writeTo(to, addr, data); err != nil {
+	if err := e.writeTo(to, addr, &msg); err != nil {
 		// One reconnect attempt: the cached connection may be stale.
-		if err := e.writeTo(to, addr, data); err != nil {
+		if err := e.writeTo(to, addr, &msg); err != nil {
 			return nil // dropped, like a message to a crashed node
 		}
 	}
 	return nil
 }
 
-func (e *TCPEndpoint) writeTo(to, addr string, frame []byte) error {
-	conn, err := e.conn(to, addr)
+func (e *TCPEndpoint) writeTo(to, addr string, msg *Message) error {
+	pc, err := e.conn(to, addr)
 	if err != nil {
 		return err
 	}
-	if err := wire.WriteFrame(conn, wire.Frame{Kind: "msg", Payload: frame}); err != nil {
-		e.dropConn(to, conn)
+	if err := pc.enc.Encode(msg); err != nil {
+		// The stream is undefined after an encode error (a partial
+		// message may be on the wire); a fresh dial restarts it.
+		e.dropConn(to, pc)
 		return err
 	}
 	return nil
 }
 
-func (e *TCPEndpoint) conn(to, addr string) (net.Conn, error) {
+func (e *TCPEndpoint) conn(to, addr string) (*peerConn, error) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return nil, ErrNetworkClosed
 	}
-	if c, ok := e.conns[to]; ok {
+	if pc, ok := e.conns[to]; ok {
 		e.mu.Unlock()
-		return c, nil
+		return pc, nil
 	}
 	e.mu.Unlock()
 
@@ -156,17 +165,18 @@ func (e *TCPEndpoint) conn(to, addr string) (net.Conn, error) {
 		_ = c.Close()
 		return old, nil
 	}
-	e.conns[to] = c
-	return c, nil
+	pc := &peerConn{c: c, enc: wire.NewStreamEncoder(c)}
+	e.conns[to] = pc
+	return pc, nil
 }
 
-func (e *TCPEndpoint) dropConn(to string, conn net.Conn) {
+func (e *TCPEndpoint) dropConn(to string, pc *peerConn) {
 	e.mu.Lock()
-	if e.conns[to] == conn {
+	if e.conns[to] == pc {
 		delete(e.conns, to)
 	}
 	e.mu.Unlock()
-	_ = conn.Close()
+	_ = pc.c.Close()
 }
 
 // accept serves inbound peer connections.
@@ -198,16 +208,16 @@ func (e *TCPEndpoint) accept() {
 	}
 }
 
-// serve decodes frames from one inbound connection into the mailbox.
+// serve decodes one inbound connection's persistent gob stream into the
+// mailbox. A decode error poisons the whole stream (unlike the old framed
+// protocol there is no per-message resynchronization), so the connection
+// is dropped and the peer re-dials — the protocol's retries cover the gap.
 func (e *TCPEndpoint) serve(conn net.Conn) {
+	dec := wire.NewStreamDecoder(conn)
 	for {
-		frame, err := wire.ReadFrame(conn)
-		if err != nil {
-			return
-		}
 		var msg Message
-		if err := wire.Decode(frame.Payload, &msg); err != nil {
-			continue // corrupt frame; drop
+		if err := dec.Decode(&msg); err != nil {
+			return
 		}
 		if msg.To != e.cfg.Name {
 			continue // misrouted
@@ -226,13 +236,13 @@ func (e *TCPEndpoint) Close() {
 	}
 	e.closed = true
 	conns := make([]net.Conn, 0, len(e.conns)+len(e.inbound))
-	for _, c := range e.conns {
-		conns = append(conns, c)
+	for _, pc := range e.conns {
+		conns = append(conns, pc.c)
 	}
 	for c := range e.inbound {
 		conns = append(conns, c)
 	}
-	e.conns = make(map[string]net.Conn)
+	e.conns = make(map[string]*peerConn)
 	e.mu.Unlock()
 
 	if e.listener != nil {

@@ -61,15 +61,6 @@ func (b *base) Kind() string { return b.kind }
 
 func (b *base) storeKey() string { return "res/" + b.kind + "/" + b.name }
 
-// persistOp serializes state into the op persisting this resource.
-func (b *base) persistOp(state any) (stable.Op, error) {
-	data, err := wire.Encode(state)
-	if err != nil {
-		return stable.Op{}, fmt.Errorf("resource %s: persist: %w", b.name, err)
-	}
-	return stable.Put(b.storeKey(), data), nil
-}
-
 // load decodes persisted state into state; reports whether it existed.
 func (b *base) load(state any) (bool, error) {
 	raw, ok, err := b.store.Get(b.storeKey())
@@ -87,14 +78,18 @@ func (b *base) load(state any) (bool, error) {
 func (b *base) lockTx(tx *txn.Tx) error { return tx.Lock(&b.lock) }
 
 // persist schedules the (already mutated) state for atomic persistence at
-// commit. Ops for the same key are deduplicated to the last one by the
-// transaction, so calling persist after every mutation is cheap and always
-// captures the final state.
+// commit. The encode is lazy: the transaction materializes the op at
+// commit/prepare time, after last-writer-wins dedup, so a transaction
+// touching this resource N times pays one state encode instead of N. The
+// closure runs while the resource lock is still held, so it captures the
+// transaction's final state.
 func (b *base) persist(tx *txn.Tx, state any) error {
-	op, err := b.persistOp(state)
-	if err != nil {
-		return err
-	}
-	tx.AddCommitOps(op)
+	tx.AddLazyOp(b.storeKey(), func() ([]byte, error) {
+		data, err := wire.Encode(state)
+		if err != nil {
+			return nil, fmt.Errorf("resource %s: persist: %w", b.name, err)
+		}
+		return data, nil
+	})
 	return nil
 }

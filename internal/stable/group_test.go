@@ -1,0 +1,244 @@
+package stable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestFileStoreApplyConcurrent hammers Apply from many goroutines and
+// verifies that every caller's batch took full effect, the journal is
+// gone, and a reopen sees the same state — i.e. group commit preserves
+// per-batch atomicity and durability while coalescing journal writes.
+func TestFileStoreApplyConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const writes = 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < writes; i++ {
+				// Each batch writes the goroutine's counter key and a
+				// shadow key; both must always agree.
+				v := []byte(strconv.Itoa(i))
+				err := s.Apply(
+					Put(fmt.Sprintf("g%d", g), v),
+					Put(fmt.Sprintf("g%d/shadow", g), v),
+				)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	check := func(st Store, label string) {
+		for g := 0; g < goroutines; g++ {
+			v, ok, err := st.Get(fmt.Sprintf("g%d", g))
+			if err != nil || !ok {
+				t.Fatalf("%s: g%d missing: %v %v", label, g, ok, err)
+			}
+			sh, ok, err := st.Get(fmt.Sprintf("g%d/shadow", g))
+			if err != nil || !ok {
+				t.Fatalf("%s: g%d shadow missing: %v %v", label, g, ok, err)
+			}
+			if string(v) != strconv.Itoa(writes-1) || string(sh) != string(v) {
+				t.Errorf("%s: g%d = %q shadow %q, want %d", label, g, v, sh, writes-1)
+			}
+		}
+	}
+	check(s, "live")
+	if _, err := os.Stat(filepath.Join(dir, "journal")); !os.IsNotExist(err) {
+		t.Error("journal left behind after quiescence")
+	}
+	if got, want := s.GroupCommits(), int64(goroutines*writes); got > want {
+		t.Errorf("GroupCommits = %d > Apply calls %d", got, want)
+	}
+	reopened, err := OpenFileStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(reopened, "reopened")
+}
+
+// TestFileStoreGroupJournalReplay simulates a crash after a *group*
+// journal (several callers' batches coalesced) was written but before the
+// ops were applied: replay must apply every batch of the group.
+func TestFileStoreGroupJournalReplay(t *testing.T) {
+	dir := t.TempDir()
+	group := []Op{
+		// caller 1's batch
+		Put("a", []byte("1")), Put("a/shadow", []byte("1")),
+		// caller 2's batch
+		Put("b", []byte("2")), Del("stale"),
+	}
+	data, err := wire.Encode(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "kv"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "journal"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFileStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]string{"a": "1", "a/shadow": "1", "b": "2"} {
+		v, ok, err := s.Get(key)
+		if err != nil || !ok || string(v) != want {
+			t.Errorf("replayed %q = %q %v %v, want %q", key, v, ok, err, want)
+		}
+	}
+	if _, ok, _ := s.Get("stale"); ok {
+		t.Error("deleted key resurrected by replay")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "journal")); !os.IsNotExist(err) {
+		t.Error("journal not cleared after replay")
+	}
+}
+
+// TestFileStoreGetCache: a second Get must be served from the cache (the
+// backing file is removed out from under the store to prove it), and
+// Apply must keep the cache coherent.
+func TestFileStoreGetCache(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(Put("k", []byte("v1"))); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := s.Get("k"); !ok || string(v) != "v1" {
+		t.Fatalf("first get = %q %v", v, ok)
+	}
+	// Remove the file behind the store's back; the cache must still hit.
+	if err := os.Remove(s.keyPath("k")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := s.Get("k"); !ok || string(v) != "v1" {
+		t.Errorf("cached get = %q %v, want v1", v, ok)
+	}
+	// A write-through updates the cache …
+	if err := s.Apply(Put("k", []byte("v2"))); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := s.Get("k"); string(v) != "v2" {
+		t.Errorf("after update = %q, want v2", v)
+	}
+	// … and a delete evicts it.
+	if err := s.Apply(Del("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("k"); ok {
+		t.Error("deleted key still served from cache")
+	}
+}
+
+func TestFileStoreCacheDisabled(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStoreWith(dir, nil, FileStoreOptions{CacheEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(Put("k", []byte("v"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(s.keyPath("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("k"); ok {
+		t.Error("cache served a value with caching disabled")
+	}
+}
+
+func TestFileStoreCacheBounded(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStoreWith(dir, nil, FileStoreOptions{CacheEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Apply(Put(fmt.Sprintf("k%d", i), []byte("v"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mu.RLock()
+	n := len(s.cache)
+	s.mu.RUnlock()
+	if n > 4 {
+		t.Errorf("cache holds %d entries, cap 4", n)
+	}
+	// Every key still readable (falls through to files).
+	for i := 0; i < 20; i++ {
+		if _, ok, err := s.Get(fmt.Sprintf("k%d", i)); err != nil || !ok {
+			t.Fatalf("k%d unreadable: %v %v", i, ok, err)
+		}
+	}
+}
+
+// TestFileStoreSyncOption smoke-tests the fsync path end to end (correct
+// data, journal cleared); the actual durability claim is not testable
+// without killing the kernel.
+func TestFileStoreSyncOption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStoreWith(dir, nil, FileStoreOptions{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(Put("a", []byte("x")), Put("b", []byte("y")), Del("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("a"); ok {
+		t.Error("deleted key present")
+	}
+	if v, ok, _ := s.Get("b"); !ok || string(v) != "y" {
+		t.Errorf("b = %q %v", v, ok)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "journal")); !os.IsNotExist(err) {
+		t.Error("journal left behind")
+	}
+}
+
+// TestQueueSeqCacheSurvivesRestart: the cached tail counter must pick up
+// where the persisted counter left off when a fresh Queue (post-crash)
+// opens the same store.
+func TestQueueSeqCacheSurvivesRestart(t *testing.T) {
+	s := NewMemStore(nil)
+	q1 := NewQueue(s, "q/")
+	for i := 0; i < 3; i++ {
+		if err := q1.Enqueue(fmt.Sprintf("a%d", i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "Crash": a fresh queue over the same store.
+	q2 := NewQueue(s, "q/")
+	if err := q2.Enqueue("a3", nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"a0", "a1", "a2", "a3"} {
+		e, err := q2.Peek()
+		if err != nil || e == nil || e.ID != want {
+			t.Fatalf("head = %v %v, want %s", e, err, want)
+		}
+		if err := s.Apply(q2.RemoveOp(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

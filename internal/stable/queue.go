@@ -28,6 +28,14 @@ type Queue struct {
 
 	mu     sync.Mutex
 	notify chan struct{}
+
+	// seq caches the next sequence number after the first read, so tail
+	// reservations cost no store round-trip. The store copy is only read
+	// again by a fresh Queue (i.e. after a crash/restart), and every
+	// reservation persists seq+1 in the same batch as its entry, so the
+	// cache and the store can never diverge observably.
+	seq       uint64
+	seqLoaded bool
 }
 
 // Entry is one committed queue element.
@@ -77,20 +85,28 @@ func (q *Queue) stageKey(txn string) string {
 	return q.prefix + "s/" + txn
 }
 
-// nextSeq reserves and persists the next sequence number as part of ops.
-// The caller must hold q.mu.
+// nextSeq reserves the next sequence number and returns the op persisting
+// the successor; the caller includes it in the batch that uses the number.
+// The caller must hold q.mu. The counter is read from the store once and
+// cached; a reservation whose batch never commits burns the number, which
+// only leaves a harmless gap in the ordering.
 func (q *Queue) nextSeq() (uint64, Op, error) {
-	raw, ok, err := q.store.Get(q.seqKey())
-	if err != nil {
-		return 0, Op{}, err
-	}
-	var n uint64
-	if ok {
-		n, err = strconv.ParseUint(string(raw), 10, 64)
+	if !q.seqLoaded {
+		raw, ok, err := q.store.Get(q.seqKey())
 		if err != nil {
-			return 0, Op{}, fmt.Errorf("stable: corrupt queue seq: %w", err)
+			return 0, Op{}, err
 		}
+		if ok {
+			n, err := strconv.ParseUint(string(raw), 10, 64)
+			if err != nil {
+				return 0, Op{}, fmt.Errorf("stable: corrupt queue seq: %w", err)
+			}
+			q.seq = n
+		}
+		q.seqLoaded = true
 	}
+	n := q.seq
+	q.seq = n + 1
 	return n, Put(q.seqKey(), []byte(strconv.FormatUint(n+1, 10))), nil
 }
 

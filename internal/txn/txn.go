@@ -198,9 +198,19 @@ type Tx struct {
 	mgr    *Manager
 	status Status
 
-	undo      []func()
-	commitOps []stable.Op
-	locks     []*Lock
+	undo    []func()
+	pending []pendingOp
+	locks   []*Lock
+}
+
+// pendingOp is one scheduled commit mutation: either an eager op with its
+// value in hand, or a lazy op whose value is produced only if the
+// transaction actually commits or prepares (and only if the op survives
+// last-writer-wins dedup) — resources use this to encode their state once
+// per transaction instead of once per operation.
+type pendingOp struct {
+	op   stable.Op
+	lazy func() ([]byte, error)
 }
 
 // ID returns the transaction ID.
@@ -237,7 +247,45 @@ func (tx *Tx) RecordUndo(f func()) {
 // Later ops for the same key supersede earlier ones (last-writer-wins
 // within the batch), so resources may simply re-persist their full state.
 func (tx *Tx) AddCommitOps(ops ...stable.Op) {
-	tx.commitOps = append(tx.commitOps, ops...)
+	for _, op := range ops {
+		tx.pending = append(tx.pending, pendingOp{op: op})
+	}
+}
+
+// AddLazyOp schedules a commit-time put under key whose value is produced
+// by enc at commit (or prepare) time, after last-writer-wins dedup — so a
+// resource persisting its full state after every operation pays one encode
+// per transaction, not one per operation. enc runs while the transaction
+// still holds its locks; it must not error for state the transaction
+// itself constructed.
+func (tx *Tx) AddLazyOp(key string, enc func() ([]byte, error)) {
+	tx.pending = append(tx.pending, pendingOp{op: stable.Op{Key: key}, lazy: enc})
+}
+
+// materialize resolves the pending mutations into the final redo batch:
+// only the last op per key survives, and only surviving lazy ops are
+// encoded.
+func (tx *Tx) materialize() ([]stable.Op, error) {
+	last := make(map[string]int, len(tx.pending))
+	for i := range tx.pending {
+		last[tx.pending[i].op.Key] = i
+	}
+	out := make([]stable.Op, 0, len(last))
+	for i := range tx.pending {
+		p := tx.pending[i]
+		if last[p.op.Key] != i {
+			continue
+		}
+		if p.lazy != nil {
+			val, err := p.lazy()
+			if err != nil {
+				return nil, err
+			}
+			p.op.Value = val
+		}
+		out = append(out, p.op)
+	}
+	return out, nil
 }
 
 // Commit atomically applies the accumulated redo batch and releases locks.
@@ -245,7 +293,12 @@ func (tx *Tx) Commit() error {
 	if tx.status != StatusActive {
 		return fmt.Errorf("%w: %s", ErrNotActive, tx.status)
 	}
-	if err := tx.mgr.store.Apply(dedupOps(tx.commitOps)...); err != nil {
+	ops, err := tx.materialize()
+	if err != nil {
+		// The transaction stays active; the caller aborts it.
+		return fmt.Errorf("txn %s: commit: %w", tx.id, err)
+	}
+	if err := tx.mgr.store.Apply(ops...); err != nil {
 		return fmt.Errorf("txn %s: commit: %w", tx.id, err)
 	}
 	tx.status = StatusCommitted
@@ -280,12 +333,22 @@ func (tx *Tx) Prepare() error {
 	if tx.status != StatusActive {
 		return fmt.Errorf("%w: %s", ErrNotActive, tx.status)
 	}
-	rec, err := wire.Encode(dedupOps(tx.commitOps))
+	ops, err := tx.materialize()
+	if err != nil {
+		return fmt.Errorf("txn %s: prepare: %w", tx.id, err)
+	}
+	rec, err := wire.Encode(ops)
 	if err != nil {
 		return err
 	}
 	if err := tx.mgr.store.Apply(stable.Put(tx.mgr.branchKey(tx.id), rec)); err != nil {
 		return fmt.Errorf("txn %s: prepare: %w", tx.id, err)
+	}
+	// Pin the materialized batch so CommitPrepared applies exactly what
+	// was persisted in the branch record.
+	tx.pending = tx.pending[:0]
+	for _, op := range ops {
+		tx.pending = append(tx.pending, pendingOp{op: op})
 	}
 	tx.status = StatusPrepared
 	return nil
@@ -297,7 +360,11 @@ func (tx *Tx) CommitPrepared() error {
 	if tx.status != StatusPrepared {
 		return fmt.Errorf("%w: %s", ErrNotPrepared, tx.status)
 	}
-	batch := append(dedupOps(tx.commitOps), stable.Del(tx.mgr.branchKey(tx.id)))
+	ops, err := tx.materialize() // pinned eager ops after Prepare
+	if err != nil {
+		return fmt.Errorf("txn %s: commit prepared: %w", tx.id, err)
+	}
+	batch := append(ops, stable.Del(tx.mgr.branchKey(tx.id)))
 	if err := tx.mgr.store.Apply(batch...); err != nil {
 		return fmt.Errorf("txn %s: commit prepared: %w", tx.id, err)
 	}
@@ -311,22 +378,6 @@ func (tx *Tx) releaseLocks() {
 		tx.locks[i].release(tx)
 	}
 	tx.locks = nil
-}
-
-// dedupOps keeps only the last op per key, preserving relative order of the
-// survivors.
-func dedupOps(ops []stable.Op) []stable.Op {
-	last := make(map[string]int, len(ops))
-	for i, op := range ops {
-		last[op.Key] = i
-	}
-	out := make([]stable.Op, 0, len(last))
-	for i, op := range ops {
-		if last[op.Key] == i {
-			out = append(out, op)
-		}
-	}
-	return out
 }
 
 // DecisionOp returns the stable-store op recording a commit decision for

@@ -3,25 +3,27 @@
 // The paper's prototype (Mole) relied on Java object serialization to
 // capture an agent's private data and rollback log for migration and for
 // stable storage. This package plays the same role using encoding/gob:
-// it encodes and decodes arbitrary registered values, and frames messages
-// for the TCP transport used by cmd/agentnode.
+// per-value encoding for containers and stable-storage records, persistent
+// stream sessions for the TCP transport used by cmd/agentnode, and tagged
+// zero-gob fast paths for the common scalar kinds.
 package wire
 
 import (
 	"bytes"
-	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"io"
+	"sync"
 )
 
-// MaxFrameSize bounds a single framed message (64 MiB). Larger frames are
-// rejected so a corrupt length prefix cannot trigger an unbounded read.
-const MaxFrameSize = 64 << 20
+// MaxMessageSize bounds a single streamed message (64 MiB). A decoder
+// refusing larger messages keeps a corrupt or malicious byte stream from
+// triggering an unbounded allocation.
+const MaxMessageSize = 64 << 20
 
-// ErrFrameTooLarge is returned when a frame exceeds MaxFrameSize.
-var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+// ErrMessageTooLarge is returned when a streamed message exceeds
+// MaxMessageSize.
+var ErrMessageTooLarge = errors.New("wire: message exceeds maximum size")
 
 // Register makes a concrete type known to gob. It must be called (typically
 // from package variables of the owning package) for every type stored in an
@@ -32,13 +34,39 @@ func Register(v any) { gob.Register(v) }
 // wire format from Go package paths.
 func RegisterName(name string, v any) { gob.RegisterName(name, v) }
 
-// Encode gob-encodes v into a fresh byte slice.
+// bufPool recycles encode scratch buffers. A buffer grows to the largest
+// value it ever encoded and is then reused, so steady-state encoding
+// allocates only the exact-size result slice instead of re-growing a fresh
+// bytes.Buffer per call.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBuf caps the capacity of scratch buffers kept alive by pools
+// and sessions: a rare huge value (a multi-MiB agent container) must not
+// pin a same-sized buffer for the process lifetime.
+const maxPooledBuf = 1 << 20
+
+// putBuf returns a scratch buffer to the pool unless it grew past the
+// retention cap.
+func putBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledBuf {
+		bufPool.Put(buf)
+	}
+}
+
+// Encode gob-encodes v into a fresh byte slice sized exactly to the
+// encoding. The scratch buffer is pooled; the returned slice is owned by
+// the caller.
 func Encode(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		putBuf(buf)
 		return nil, fmt.Errorf("wire: encode %T: %w", v, err)
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	putBuf(buf)
+	return out, nil
 }
 
 // Decode gob-decodes data into v, which must be a non-nil pointer.
@@ -60,73 +88,22 @@ func MustEncode(v any) []byte {
 	return data
 }
 
-// EncodedSize returns the gob-encoded size of v in bytes. It is used by the
+// countingWriter counts bytes without retaining them.
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// EncodedSize returns the gob-encoded size of v in bytes without
+// materializing the encoding: the encoder writes into a counting sink, so
+// sizing a value allocates no payload-sized buffers. It is used by the
 // experiments to account for log and agent transfer sizes.
 func EncodedSize(v any) (int, error) {
-	data, err := Encode(v)
-	if err != nil {
-		return 0, err
+	var cw countingWriter
+	if err := gob.NewEncoder(&cw).Encode(v); err != nil {
+		return 0, fmt.Errorf("wire: size %T: %w", v, err)
 	}
-	return len(data), nil
-}
-
-// Frame is one length-prefixed message on a byte stream.
-type Frame struct {
-	Kind    string // message kind, e.g. "enqueue.prepare"
-	Payload []byte // gob-encoded body, interpreted per Kind
-}
-
-// WriteFrame writes f to w as: u32 total length, u16 kind length, kind
-// bytes, payload bytes. All integers are big endian.
-func WriteFrame(w io.Writer, f Frame) error {
-	if len(f.Kind) > 0xffff {
-		return fmt.Errorf("wire: kind too long: %d bytes", len(f.Kind))
-	}
-	total := 2 + len(f.Kind) + len(f.Payload)
-	if total > MaxFrameSize {
-		return ErrFrameTooLarge
-	}
-	hdr := make([]byte, 6, 6+len(f.Kind))
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(total))
-	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(f.Kind)))
-	hdr = append(hdr, f.Kind...)
-	if _, err := w.Write(hdr); err != nil {
-		return fmt.Errorf("wire: write frame header: %w", err)
-	}
-	if len(f.Payload) > 0 {
-		if _, err := w.Write(f.Payload); err != nil {
-			return fmt.Errorf("wire: write frame payload: %w", err)
-		}
-	}
-	return nil
-}
-
-// ReadFrame reads one frame written by WriteFrame.
-func ReadFrame(r io.Reader) (Frame, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		if errors.Is(err, io.EOF) {
-			return Frame{}, io.EOF
-		}
-		return Frame{}, fmt.Errorf("wire: read frame length: %w", err)
-	}
-	total := binary.BigEndian.Uint32(lenBuf[:])
-	if total > MaxFrameSize {
-		return Frame{}, ErrFrameTooLarge
-	}
-	if total < 2 {
-		return Frame{}, fmt.Errorf("wire: frame too short: %d bytes", total)
-	}
-	body := make([]byte, total)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return Frame{}, fmt.Errorf("wire: read frame body: %w", err)
-	}
-	kindLen := int(binary.BigEndian.Uint16(body[0:2]))
-	if 2+kindLen > len(body) {
-		return Frame{}, fmt.Errorf("wire: kind length %d exceeds frame", kindLen)
-	}
-	return Frame{
-		Kind:    string(body[2 : 2+kindLen]),
-		Payload: body[2+kindLen:],
-	}, nil
+	return cw.n, nil
 }

@@ -1,12 +1,8 @@
 package wire
 
 import (
-	"bytes"
-	"errors"
-	"io"
 	"strings"
 	"testing"
-	"testing/quick"
 )
 
 type payload struct {
@@ -54,91 +50,6 @@ func TestDecodeCorrupt(t *testing.T) {
 	var out payload
 	if err := Decode([]byte("not gob"), &out); err == nil {
 		t.Error("corrupt input decoded")
-	}
-}
-
-func TestFrameRoundTrip(t *testing.T) {
-	err := quick.Check(func(kind string, data []byte) bool {
-		if len(kind) > 0xffff {
-			kind = kind[:0xffff]
-		}
-		var buf bytes.Buffer
-		if err := WriteFrame(&buf, Frame{Kind: kind, Payload: data}); err != nil {
-			return false
-		}
-		got, err := ReadFrame(&buf)
-		if err != nil {
-			return false
-		}
-		return got.Kind == kind && bytes.Equal(got.Payload, data)
-	}, &quick.Config{MaxCount: 200})
-	if err != nil {
-		t.Error(err)
-	}
-}
-
-func TestFrameEmptyPayload(t *testing.T) {
-	var buf bytes.Buffer
-	if err := WriteFrame(&buf, Frame{Kind: "ping"}); err != nil {
-		t.Fatal(err)
-	}
-	got, err := ReadFrame(&buf)
-	if err != nil || got.Kind != "ping" || len(got.Payload) != 0 {
-		t.Errorf("got %+v, %v", got, err)
-	}
-}
-
-func TestFrameSequence(t *testing.T) {
-	var buf bytes.Buffer
-	for i := 0; i < 3; i++ {
-		if err := WriteFrame(&buf, Frame{Kind: "k", Payload: []byte{byte(i)}}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	for i := 0; i < 3; i++ {
-		f, err := ReadFrame(&buf)
-		if err != nil || f.Payload[0] != byte(i) {
-			t.Errorf("frame %d: %+v, %v", i, f, err)
-		}
-	}
-	if _, err := ReadFrame(&buf); !errors.Is(err, io.EOF) {
-		t.Errorf("after last frame: %v, want EOF", err)
-	}
-}
-
-func TestFrameTooLarge(t *testing.T) {
-	var buf bytes.Buffer
-	big := make([]byte, MaxFrameSize+1)
-	if err := WriteFrame(&buf, Frame{Kind: "k", Payload: big}); !errors.Is(err, ErrFrameTooLarge) {
-		t.Errorf("write: %v, want ErrFrameTooLarge", err)
-	}
-	// A corrupt length prefix must not trigger a giant allocation.
-	buf.Reset()
-	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0, 0})
-	if _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
-		t.Errorf("read: %v, want ErrFrameTooLarge", err)
-	}
-}
-
-func TestFrameTruncated(t *testing.T) {
-	var buf bytes.Buffer
-	if err := WriteFrame(&buf, Frame{Kind: "kind", Payload: []byte("data")}); err != nil {
-		t.Fatal(err)
-	}
-	full := buf.Bytes()
-	for cut := 1; cut < len(full); cut++ {
-		r := bytes.NewReader(full[:cut])
-		if _, err := ReadFrame(r); err == nil {
-			t.Errorf("truncation at %d not detected", cut)
-		}
-	}
-}
-
-func TestFrameBadKindLength(t *testing.T) {
-	// total=3, kindLen=10 exceeds the body.
-	raw := []byte{0, 0, 0, 3, 0, 10, 'x'}
-	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
-		t.Error("inconsistent kind length accepted")
 	}
 }
 

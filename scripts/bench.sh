@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# bench.sh — snapshot the repo's perf surface for the PR trajectory.
+#
+# Usage: scripts/bench.sh [N]
+#   N is the PR number used in the output names (default 1):
+#     BENCH_PR<N>.json  experiment tables (machine-readable)
+#     BENCH_PR<N>.txt   raw `go test -bench` output
+#
+# Compare two snapshots with your favorite diff / benchstat on the .txt
+# files; the .json tables carry the counter-level metrics per figure.
+set -eu
+
+N="${1:-1}"
+cd "$(dirname "$0")/.."
+
+echo "== benchmarks (allocs + custom metrics) =="
+go test -run '^$' -bench . -benchtime=1x -benchmem -cpu 4 . | tee "BENCH_PR${N}.txt"
+
+echo "== experiment tables =="
+go run ./cmd/rollbacksim -json "BENCH_PR${N}.json" >/dev/null
+echo "wrote BENCH_PR${N}.json and BENCH_PR${N}.txt"
