@@ -52,6 +52,7 @@ func run(args []string) error {
 		resFlag   = fs.String("resources", "", "comma-separated kind=name resource list (bank=, shop=, dir=)")
 		seedFlag  = fs.String("seed", "", "semicolon-separated seeding directives: "+demo.FormatHint())
 		optimized = fs.Bool("optimized", true, "use the optimized (Figure 5) rollback algorithm")
+		workers   = fs.Int("workers", 1, "concurrent step-transaction workers (1 = the paper's serial node model)")
 		sync      = fs.Bool("sync", true, "fsync stable-storage writes (crash-safe across power loss); disable only for throwaway deployments")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -90,6 +91,7 @@ func run(args []string) error {
 	n, err := node.New(node.Config{
 		Name:      *name,
 		Optimized: *optimized,
+		Workers:   *workers,
 	}, ep, store, reg, factories...)
 	if err != nil {
 		return err

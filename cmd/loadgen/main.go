@@ -1,0 +1,138 @@
+// Command loadgen drives the throughput load harness against a simulated
+// cluster: K agents over M nodes with a configurable conflict ratio,
+// reporting agents/sec and step-latency percentiles.
+//
+// Usage:
+//
+//	loadgen                                  # defaults: 64 agents, 4 nodes, 1 worker
+//	loadgen -workers 8                       # 8 scheduler workers per node
+//	loadgen -workers 8 -conflict 0.5         # half the agents pinned to one bank
+//	loadgen -sweep 1,2,4,8 -json out.json    # worker sweep, machine-readable
+//
+// The per-step service time (-stepwork) is spent inside the step
+// transaction with the bank lock held; it is what makes the workload
+// wait-dominated, so throughput scales with -workers until conflicts
+// serialize it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type runReport struct {
+	Workers       int     `json:"workers"`
+	Nodes         int     `json:"nodes"`
+	Agents        int     `json:"agents"`
+	Steps         int     `json:"steps"`
+	ConflictRatio float64 `json:"conflict_ratio"`
+	StepWorkMS    float64 `json:"step_work_ms"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	AgentsPerSec  float64 `json:"agents_per_sec"`
+	StepsPerSec   float64 `json:"steps_per_sec"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	InFlightPeak  int64   `json:"inflight_peak"`
+	ClaimConflict int64   `json:"claim_conflicts"`
+	LockAborts    int64   `json:"lock_aborts"`
+	Retries       int64   `json:"retries"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	nodes := fs.Int("nodes", 4, "number of cluster nodes")
+	workers := fs.Int("workers", 1, "scheduler workers per node")
+	agents := fs.Int("agents", 64, "number of agents to launch")
+	steps := fs.Int("steps", 8, "steps per agent (round-robin over nodes)")
+	banks := fs.Int("banks", 8, "bank resources per node")
+	conflict := fs.Float64("conflict", 0, "fraction of agents pinned to one bank [0,1]")
+	stepwork := fs.Duration("stepwork", 8*time.Millisecond, "per-step service time inside the transaction")
+	latency := fs.Duration("latency", 200*time.Microsecond, "one-way network latency")
+	optimized := fs.Bool("optimized", false, "use the Figure-5 optimized rollback algorithm")
+	sweep := fs.String("sweep", "", "comma-separated worker counts to sweep (overrides -workers)")
+	jsonPath := fs.String("json", "", "write the reports as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	counts := []int{*workers}
+	if *sweep != "" {
+		counts = counts[:0]
+		for _, f := range strings.Split(*sweep, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -sweep element %q", f)
+			}
+			counts = append(counts, n)
+		}
+	}
+
+	var reports []runReport
+	for _, w := range counts {
+		res, err := experiments.RunThroughput(experiments.ThroughputConfig{
+			Nodes:         *nodes,
+			Workers:       w,
+			Agents:        *agents,
+			Steps:         *steps,
+			Banks:         *banks,
+			ConflictRatio: *conflict,
+			StepWork:      *stepwork,
+			Latency:       *latency,
+			Optimized:     *optimized,
+		})
+		if err != nil {
+			return err
+		}
+		r := runReport{
+			Workers:       w,
+			Nodes:         *nodes,
+			Agents:        *agents,
+			Steps:         *steps,
+			ConflictRatio: *conflict,
+			StepWorkMS:    float64(stepwork.Microseconds()) / 1000,
+			ElapsedMS:     float64(res.Elapsed.Microseconds()) / 1000,
+			AgentsPerSec:  res.AgentsPerSec,
+			StepsPerSec:   res.StepsPerSec,
+			P50MS:         float64(res.P50.Microseconds()) / 1000,
+			P99MS:         float64(res.P99.Microseconds()) / 1000,
+			InFlightPeak:  res.Metrics.SchedInFlightPeak,
+			ClaimConflict: res.Metrics.SchedClaimConflicts,
+			LockAborts:    res.Metrics.SchedLockAborts,
+			Retries:       res.Metrics.SchedRetries,
+		}
+		reports = append(reports, r)
+		fmt.Printf("workers=%-3d agents/s=%-8.1f steps/s=%-8.1f p50=%6.2fms p99=%7.2fms elapsed=%7.1fms inflight=%-3d claimConf=%-4d lockAborts=%-3d retries=%d\n",
+			r.Workers, r.AgentsPerSec, r.StepsPerSec, r.P50MS, r.P99MS, r.ElapsedMS,
+			r.InFlightPeak, r.ClaimConflict, r.LockAborts, r.Retries)
+	}
+	if len(reports) > 1 {
+		base, top := reports[0], reports[len(reports)-1]
+		fmt.Printf("scaling: %d→%d workers = %.2fx agents/sec\n",
+			base.Workers, top.Workers, top.AgentsPerSec/base.AgentsPerSec)
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d report(s) to %s\n", len(reports), *jsonPath)
+	}
+	return nil
+}

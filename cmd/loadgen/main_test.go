@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadgenSmoke runs a tiny sweep end to end and checks the JSON
+// report shape.
+func TestLoadgenSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "load.json")
+	err := run([]string{
+		"-nodes", "2", "-agents", "6", "-steps", "2", "-banks", "2",
+		"-stepwork", "1ms", "-latency", "0",
+		"-sweep", "1,2", "-json", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []runReport
+	if err := json.Unmarshal(data, &reports); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	for _, r := range reports {
+		if r.AgentsPerSec <= 0 || r.StepsPerSec <= 0 {
+			t.Errorf("workers=%d: non-positive throughput %+v", r.Workers, r)
+		}
+		if r.P99MS < r.P50MS {
+			t.Errorf("workers=%d: p99 %.3f < p50 %.3f", r.Workers, r.P99MS, r.P50MS)
+		}
+	}
+	if reports[0].Workers != 1 || reports[1].Workers != 2 {
+		t.Errorf("sweep order wrong: %v", reports)
+	}
+}
+
+func TestLoadgenBadFlags(t *testing.T) {
+	if err := run([]string{"-sweep", "1,zero"}); err == nil {
+		t.Error("bad sweep accepted")
+	}
+}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	rollbacksim                 # run every experiment
-//	rollbacksim -exp f5         # run one experiment (f1..f6, tlog, tft)
+//	rollbacksim -exp f5         # run one experiment (f1..f6, tlog, tft, tperf, tput)
 //	rollbacksim -list           # list experiments
 //	rollbacksim -json out.json  # also write the tables as JSON
 package main
@@ -39,7 +39,7 @@ type jsonTable struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("rollbacksim", flag.ContinueOnError)
-	exp := fs.String("exp", "", "run a single experiment (f1..f6, tlog, tft, tperf)")
+	exp := fs.String("exp", "", "run a single experiment (f1..f6, tlog, tft, tperf, tput)")
 	list := fs.Bool("list", false, "list experiments and exit")
 	jsonPath := fs.String("json", "", "write the experiment tables as JSON to this file")
 	if err := fs.Parse(args); err != nil {
@@ -55,6 +55,7 @@ func run(args []string) error {
 		fmt.Println("tlog  §4.2: state vs transition logging")
 		fmt.Println("tft   §4.3: rollback with an unreachable node")
 		fmt.Println("tperf §4.4.1: remote-compensation strategy model ([16])")
+		fmt.Println("tput  node throughput vs scheduler workers (see also cmd/loadgen)")
 		return nil
 	}
 

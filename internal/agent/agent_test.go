@@ -303,3 +303,36 @@ func TestRollbackRequestError(t *testing.T) {
 		t.Errorf("errors.As failed: %v", err)
 	}
 }
+
+func TestRegistryStepHints(t *testing.T) {
+	r := NewRegistry()
+	if r.HasHints() {
+		t.Error("empty registry claims hints")
+	}
+	if err := r.RegisterStepHints("nope", StaticHint("bank")); err == nil {
+		t.Error("hint for unregistered step accepted")
+	}
+	if err := r.RegisterStep("s", func(StepContext) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterStepHints("s", StaticHint("bank", "shop")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterStepHints("s", StaticHint("bank")); err == nil {
+		t.Error("duplicate hint accepted")
+	}
+	if !r.HasHints() {
+		t.Error("HasHints false after registration")
+	}
+	h, ok := r.StepHintFor("s")
+	if !ok {
+		t.Fatal("hint not resolvable")
+	}
+	keys := h(nil, itinerary.Step{})
+	if len(keys) != 2 || keys[0] != "bank" || keys[1] != "shop" {
+		t.Errorf("hint keys = %v", keys)
+	}
+	if _, ok := r.StepHintFor("other"); ok {
+		t.Error("hint resolved for unknown method")
+	}
+}

@@ -3,8 +3,10 @@ package agent
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/itinerary"
 	"repro/internal/resource"
 	"repro/internal/txn"
 )
@@ -76,6 +78,18 @@ type StepFunc func(ctx StepContext) error
 // CompFunc implements one compensating operation.
 type CompFunc func(ctx CompContext) error
 
+// StepHint reports which node-local resources a step method will touch
+// when executed for the given agent at the given itinerary step. The
+// scheduler uses the returned names as conflict keys for dispatch
+// ordering — purely advisory, never enforcement: a step may still touch
+// resources the hint missed (2PL arbitrates the truth).
+type StepHint func(a *Agent, step itinerary.Step) []string
+
+// StaticHint is a StepHint for methods with a fixed resource set.
+func StaticHint(resources ...string) StepHint {
+	return func(*Agent, itinerary.Step) []string { return resources }
+}
+
 // Registry maps method names to step and compensation functions. One
 // registry is shared by all nodes of a cluster — the stand-in for code
 // being available everywhere (see the code-mobility substitution note in
@@ -84,6 +98,9 @@ type Registry struct {
 	mu    sync.RWMutex
 	steps map[string]StepFunc
 	comps map[string]CompFunc
+	hints map[string]StepHint
+
+	hintCount atomic.Int32
 }
 
 // NewRegistry returns an empty registry.
@@ -91,6 +108,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		steps: make(map[string]StepFunc),
 		comps: make(map[string]CompFunc),
+		hints: make(map[string]StepHint),
 	}
 }
 
@@ -115,6 +133,35 @@ func (r *Registry) RegisterComp(name string, fn CompFunc) error {
 	r.comps[name] = fn
 	return nil
 }
+
+// RegisterStepHints attaches a resource-conflict hint to a registered step
+// method (see StepHint). Registering a hint for an unknown method or
+// re-registering one is an error.
+func (r *Registry) RegisterStepHints(name string, hint StepHint) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.steps[name]; !ok {
+		return fmt.Errorf("agent: hints for unregistered step %q", name)
+	}
+	if _, ok := r.hints[name]; ok {
+		return fmt.Errorf("agent: hints for step %q already registered", name)
+	}
+	r.hints[name] = hint
+	r.hintCount.Add(1)
+	return nil
+}
+
+// StepHintFor resolves the conflict hint of a step method, if any.
+func (r *Registry) StepHintFor(name string) (StepHint, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok := r.hints[name]
+	return h, ok
+}
+
+// HasHints reports whether any step hint is registered — a cheap gate so
+// hint-less deployments skip container decoding in the dispatch path.
+func (r *Registry) HasHints() bool { return r.hintCount.Load() > 0 }
 
 // Step resolves a step method.
 func (r *Registry) Step(name string) (StepFunc, bool) {

@@ -41,6 +41,9 @@ type Options struct {
 	AckTimeout  time.Duration
 	RetryDelay  time.Duration
 	MaxAttempts int
+	// Workers sets the step-scheduler worker count on every node
+	// (node.Config.Workers; default 1, the paper's serial model).
+	Workers int
 	// SagaBaseline enables the deliberately wrong saga-style WRO
 	// restore (S16b ablation; see node.Config.SagaBaseline).
 	SagaBaseline bool
@@ -173,6 +176,7 @@ func (c *Cluster) bootNode(name string) error {
 		AckTimeout:   c.opts.AckTimeout,
 		RetryDelay:   c.opts.RetryDelay,
 		MaxAttempts:  c.opts.MaxAttempts,
+		Workers:      c.opts.Workers,
 		SagaBaseline: c.opts.SagaBaseline,
 		Counters:     c.counters,
 	}, ep, st.store, c.registry, st.factories...)

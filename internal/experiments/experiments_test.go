@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 )
@@ -167,7 +168,7 @@ func TestSmallFigures(t *testing.T) {
 }
 
 func TestList(t *testing.T) {
-	want := []string{"f1", "f2", "f3", "f4", "f5", "f6", "tlog", "tft", "tperf"}
+	want := []string{"f1", "f2", "f3", "f4", "f5", "f6", "tlog", "tft", "tperf", "tput"}
 	got := List()
 	if len(got) != len(want) {
 		t.Fatalf("List has %d experiments, want %d", len(got), len(want))
@@ -191,5 +192,30 @@ func TestTransitionLoggingPipeline(t *testing.T) {
 	}
 	if res.Failed {
 		t.Fatalf("failed: %s", res.Reason)
+	}
+}
+
+// TestThroughputHarness: a small load run completes, the exactly-once
+// deposit invariant holds (checked inside RunThroughput), and the report
+// is sane.
+func TestThroughputHarness(t *testing.T) {
+	res, err := RunThroughput(ThroughputConfig{
+		Nodes: 2, Workers: 4, Agents: 8, Steps: 3, Banks: 2,
+		ConflictRatio: 0.5, StepWork: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AgentsPerSec <= 0 || res.StepsPerSec <= 0 {
+		t.Errorf("non-positive throughput: %+v", res)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Errorf("implausible percentiles p50=%v p99=%v", res.P50, res.P99)
+	}
+	if res.Metrics.StepTxns != 8*3 {
+		t.Errorf("step txns = %d, want 24", res.Metrics.StepTxns)
+	}
+	if res.Metrics.SchedClaims == 0 {
+		t.Error("scheduler claimed nothing; pool not engaged")
 	}
 }

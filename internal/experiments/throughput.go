@@ -1,0 +1,334 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/itinerary"
+	"repro/internal/metrics"
+	"repro/internal/node"
+	"repro/internal/resource"
+	"repro/internal/stable"
+	"repro/internal/txn"
+)
+
+// ThroughputConfig configures the multi-agent load workload driving the
+// concurrent step scheduler: Agents agents, each executing Steps step
+// transactions round-robin over Nodes nodes, every step depositing into
+// one of Banks bank resources per node. ConflictRatio pins that fraction
+// of the agents to bank 0, so their step transactions contend on one 2PL
+// lock; the rest spread over the remaining banks.
+type ThroughputConfig struct {
+	Nodes   int
+	Workers int
+	Agents  int
+	Steps   int
+	Banks   int
+	// ConflictRatio in [0,1]: fraction of agents pinned to bank0.
+	ConflictRatio float64
+	// StepWork is simulated per-step service time, spent *inside* the
+	// step transaction while the bank lock is held (the paper's steps
+	// are long-running transactions). It is what makes the workload
+	// wait-dominated: scheduler workers overlap this held time, so
+	// throughput scales with Workers even on one core — except where
+	// conflicting agents serialize on the lock.
+	StepWork  time.Duration
+	Latency   time.Duration
+	Optimized bool
+}
+
+func (cfg *ThroughputConfig) fillDefaults() {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Agents <= 0 {
+		cfg.Agents = 64
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = 8
+	}
+	if cfg.Banks <= 0 {
+		cfg.Banks = 8
+	}
+}
+
+// ThroughputResult reports one load run.
+type ThroughputResult struct {
+	Elapsed      time.Duration
+	AgentsPerSec float64
+	StepsPerSec  float64
+	P50, P99     time.Duration // successful step-attempt latency
+	Metrics      metrics.Snapshot
+}
+
+const tputDeposit = 1
+
+// bankName returns the bank resource an agent uses, honouring the
+// conflict pinning (the flag vector is spread evenly, like MixedFlags).
+func tputBank(i int, cfg ThroughputConfig, conflicted []bool) string {
+	if conflicted[i] {
+		return "bank0"
+	}
+	return fmt.Sprintf("bank%d", i%cfg.Banks)
+}
+
+// BuildThroughputCluster assembles the cluster: Nodes nodes, Banks bank
+// resources each, the load step (with its scheduler conflict hint) and a
+// matching compensation registered.
+func BuildThroughputCluster(cfg ThroughputConfig) (*cluster.Cluster, error) {
+	cl := cluster.New(cluster.Options{
+		Optimized:   cfg.Optimized,
+		Latency:     cfg.Latency,
+		Workers:     cfg.Workers,
+		RetryDelay:  2 * time.Millisecond,
+		AckTimeout:  2 * time.Second,
+		MaxAttempts: 100,
+	})
+	for i := 0; i < cfg.Nodes; i++ {
+		var factories []node.ResourceFactory
+		for b := 0; b < cfg.Banks; b++ {
+			name := fmt.Sprintf("bank%d", b)
+			factories = append(factories, func(store stable.Store) (resource.Resource, error) {
+				return resource.NewBank(store, name, true)
+			})
+		}
+		if err := cl.AddNode(workerName(i), factories...); err != nil {
+			return nil, err
+		}
+	}
+	reg := cl.Registry()
+	if err := reg.RegisterStep("tput.work", func(ctx agent.StepContext) error {
+		var bank string
+		if _, err := ctx.WRO().Get("bank", &bank); err != nil {
+			return err
+		}
+		r, ok := ctx.Resource(bank)
+		if !ok {
+			return errors.New("tput.work: no bank " + bank)
+		}
+		if err := r.(*resource.Bank).Deposit(ctx.Tx(), sinkAccount, tputDeposit); err != nil {
+			return err
+		}
+		if cfg.StepWork > 0 {
+			time.Sleep(cfg.StepWork) // service time, lock held
+		}
+		ctx.LogComp(core.OpResource, "tput.comp", core.NewParams().
+			Set("bank", bank).Set("amt", int64(tputDeposit)))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := reg.RegisterStepHints("tput.work",
+		func(a *agent.Agent, _ itinerary.Step) []string {
+			var bank string
+			if _, err := a.WRO.Get("bank", &bank); err != nil {
+				return nil
+			}
+			return []string{bank}
+		}); err != nil {
+		return nil, err
+	}
+	if err := reg.RegisterComp("tput.comp", func(ctx agent.CompContext) error {
+		var bank string
+		if err := ctx.Params().Get("bank", &bank); err != nil {
+			return err
+		}
+		var amt int64
+		if err := ctx.Params().Get("amt", &amt); err != nil {
+			return err
+		}
+		r, err := ctx.Resource(bank)
+		if err != nil {
+			return err
+		}
+		return r.(*resource.Bank).Withdraw(ctx.Tx(), sinkAccount, amt)
+	}); err != nil {
+		return nil, err
+	}
+	if err := cl.Start(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		name := workerName(i)
+		nd, ok := cl.Node(name)
+		if !ok {
+			return nil, fmt.Errorf("throughput: node %s missing", name)
+		}
+		if err := cl.WithTx(name, func(tx *txn.Tx, _ *node.Node) error {
+			for b := 0; b < cfg.Banks; b++ {
+				r, _ := nd.Resource(fmt.Sprintf("bank%d", b))
+				if err := r.(*resource.Bank).OpenAccount(tx, sinkAccount, 0); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return cl, nil
+}
+
+// tputItinerary builds one agent's itinerary: Steps steps round-robin over
+// the nodes, starting at node start.
+func tputItinerary(id string, start int, cfg ThroughputConfig) (*itinerary.Itinerary, error) {
+	sub := &itinerary.Sub{ID: "load-" + id}
+	for s := 0; s < cfg.Steps; s++ {
+		sub.Entries = append(sub.Entries, itinerary.Step{
+			Method: "tput.work", Loc: workerName((start + s) % cfg.Nodes),
+		})
+	}
+	return itinerary.New(sub)
+}
+
+// RunThroughput launches cfg.Agents agents concurrently, waits for every
+// completion, verifies the deposit invariant and reports throughput and
+// step-latency percentiles.
+func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
+	cfg.fillDefaults()
+	cl, err := BuildThroughputCluster(cfg)
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	defer cl.Close()
+
+	conflicted := MixedFlags(cfg.Agents, cfg.ConflictRatio)
+	type launch struct {
+		a       *agent.Agent
+		entered []string
+		at      string
+	}
+	launches := make([]launch, cfg.Agents)
+	for i := 0; i < cfg.Agents; i++ {
+		id := fmt.Sprintf("load%04d", i)
+		start := i % cfg.Nodes
+		it, err := tputItinerary(id, start, cfg)
+		if err != nil {
+			return ThroughputResult{}, err
+		}
+		a, entered, err := agent.NewAt(id, "", it, workerName(start))
+		if err != nil {
+			return ThroughputResult{}, err
+		}
+		if err := a.WRO.Set("bank", tputBank(i, cfg, conflicted)); err != nil {
+			return ThroughputResult{}, err
+		}
+		launches[i] = launch{a: a, entered: entered, at: workerName(start)}
+	}
+
+	before := cl.Counters().Snapshot()
+	start := time.Now()
+	chans := make([]<-chan cluster.Result, cfg.Agents)
+	for i, l := range launches {
+		ch, err := cl.Launch(l.a, l.entered, l.at)
+		if err != nil {
+			return ThroughputResult{}, err
+		}
+		chans[i] = ch
+	}
+	deadline := time.NewTimer(runTimeout)
+	defer deadline.Stop()
+	for _, ch := range chans {
+		select {
+		case res := <-ch:
+			if res.Failed {
+				return ThroughputResult{}, fmt.Errorf("throughput: agent %s failed: %s", res.AgentID, res.Reason)
+			}
+		case <-deadline.C:
+			return ThroughputResult{}, errors.New("throughput: agents timed out")
+		}
+	}
+	elapsed := time.Since(start)
+
+	// Invariant: every step deposited exactly once.
+	var total int64
+	for i := 0; i < cfg.Nodes; i++ {
+		name := workerName(i)
+		nd, _ := cl.Node(name)
+		if err := cl.WithTx(name, func(tx *txn.Tx, _ *node.Node) error {
+			for b := 0; b < cfg.Banks; b++ {
+				r, _ := nd.Resource(fmt.Sprintf("bank%d", b))
+				bal, err := r.(*resource.Bank).Balance(tx, sinkAccount)
+				if err != nil {
+					return err
+				}
+				total += bal
+			}
+			return nil
+		}); err != nil {
+			return ThroughputResult{}, err
+		}
+	}
+	if want := int64(cfg.Agents * cfg.Steps * tputDeposit); total != want {
+		return ThroughputResult{}, fmt.Errorf("throughput: sink total %d, want %d (exactly-once violated)", total, want)
+	}
+
+	p50, p99, _ := cl.Counters().StepLatency()
+	sec := elapsed.Seconds()
+	return ThroughputResult{
+		Elapsed:      elapsed,
+		AgentsPerSec: float64(cfg.Agents) / sec,
+		StepsPerSec:  float64(cfg.Agents*cfg.Steps) / sec,
+		P50:          p50,
+		P99:          p99,
+		Metrics:      cl.Counters().Snapshot().Sub(before),
+	}, nil
+}
+
+// tputStepWork is the per-step service time of the `tput` experiment:
+// large against the per-step CPU cost, so the table measures scheduler
+// overlap rather than single-core CPU saturation.
+const tputStepWork = 8 * time.Millisecond
+
+// Throughput is the worker-scaling experiment (`tput`): the 64-agent load
+// on 4 nodes at increasing per-node worker counts and varying conflict
+// ratios. Steps hold their transaction (and bank lock) for tputStepWork,
+// so worker concurrency — overlapping held time, not raw CPU — is what
+// the scaling column measures. The acceptance bar is Workers=8 ≥ 3×
+// Workers=1 on the non-conflicting rows; the conflict rows show 2PL
+// serialization capping exactly the pinned fraction of the load.
+func Throughput() (*Table, error) {
+	t := &Table{
+		Title: "TPUT: node throughput vs scheduler workers (64 agents, 4 nodes, 8 steps, 8 ms/step service time)",
+		Note:  "conflict c pins c·agents to one bank/node (2PL-serialized); the rest spread over 8 banks",
+		Header: []string{"workers", "conflict", "agents/s", "steps/s", "p50 ms", "p99 ms",
+			"elapsed ms", "inflight peak", "claim conf", "lock aborts", "retries"},
+	}
+	type pt struct {
+		workers  int
+		conflict float64
+	}
+	pts := []pt{
+		{1, 0}, {2, 0}, {4, 0}, {8, 0},
+		{1, 0.5}, {8, 0.5},
+		{1, 1}, {8, 1},
+	}
+	for _, p := range pts {
+		res, err := RunThroughput(ThroughputConfig{
+			Workers:       p.workers,
+			ConflictRatio: p.conflict,
+			StepWork:      tputStepWork,
+			Latency:       expLatency,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(p.workers, fmt.Sprintf("%.2f", p.conflict),
+			res.AgentsPerSec, res.StepsPerSec,
+			float64(res.P50.Microseconds())/1000,
+			float64(res.P99.Microseconds())/1000,
+			float64(res.Elapsed.Microseconds())/1000,
+			res.Metrics.SchedInFlightPeak,
+			res.Metrics.SchedClaimConflicts,
+			res.Metrics.SchedLockAborts,
+			res.Metrics.SchedRetries)
+	}
+	return t, nil
+}

@@ -5,7 +5,16 @@
 // use. Snapshots are plain structs so experiment harnesses can diff them.
 package metrics
 
-import "sync/atomic"
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latRingSize bounds the step-latency reservoir: percentiles are computed
+// over the most recent latRingSize observations.
+const latRingSize = 8192
 
 // Counters accumulates event counts for one cluster run.
 // The zero value is ready to use.
@@ -24,6 +33,20 @@ type Counters struct {
 	logBytesPeak      atomic.Int64
 	stableWrites      atomic.Int64
 	stableBytes       atomic.Int64
+
+	// Scheduler (internal/sched) instrumentation.
+	schedClaims     atomic.Int64
+	claimConflicts  atomic.Int64
+	lockAborts      atomic.Int64
+	schedRetries    atomic.Int64
+	inFlight        atomic.Int64
+	inFlightPeak    atomic.Int64
+	queueDepthPeak  atomic.Int64
+	workerBusyNanos atomic.Int64
+
+	latMu    sync.Mutex
+	latCount int64
+	latRing  []time.Duration
 }
 
 // Snapshot is a point-in-time copy of all counters.
@@ -42,6 +65,14 @@ type Snapshot struct {
 	LogBytesPeak      int64 // largest encoded rollback log observed
 	StableWrites      int64 // writes to stable storage
 	StableBytes       int64 // bytes written to stable storage
+
+	SchedClaims          int64 // queue entries claimed by scheduler workers
+	SchedClaimConflicts  int64 // dispatches reordered past a conflicting task
+	SchedLockAborts      int64 // step attempts aborted on 2PL lock conflicts
+	SchedRetries         int64 // retryable step attempt failures
+	SchedInFlightPeak    int64 // peak concurrently executing steps
+	SchedQueueDepthPeak  int64 // peak observed input-queue depth
+	SchedWorkerBusyNanos int64 // cumulative worker time spent executing
 }
 
 // IncMessages records one delivered network message carrying n payload bytes.
@@ -94,6 +125,83 @@ func (c *Counters) IncStableWrite(n int64) {
 	c.stableBytes.Add(n)
 }
 
+// IncSchedClaim records one claimed queue entry and the queue depth
+// observed at claim time (peak-tracked).
+func (c *Counters) IncSchedClaim(depth int64) {
+	c.schedClaims.Add(1)
+	peakMax(&c.queueDepthPeak, depth)
+}
+
+// IncClaimConflict records one conflict-aware dispatch decision: a ready
+// task was passed over because its resource set collided with running work.
+func (c *Counters) IncClaimConflict() { c.claimConflicts.Add(1) }
+
+// IncLockConflictAbort records a step attempt aborted by a 2PL lock
+// conflict between concurrent transactions.
+func (c *Counters) IncLockConflictAbort() { c.lockAborts.Add(1) }
+
+// IncSchedRetry records a retryable step attempt failure.
+func (c *Counters) IncSchedRetry() { c.schedRetries.Add(1) }
+
+// StepStarted marks one step entering execution; it returns the current
+// in-flight count. Pair with StepFinished.
+func (c *Counters) StepStarted() int64 {
+	n := c.inFlight.Add(1)
+	peakMax(&c.inFlightPeak, n)
+	return n
+}
+
+// StepFinished marks one step leaving execution after busy time d,
+// recording its latency for percentile reporting when ok.
+func (c *Counters) StepFinished(d time.Duration, ok bool) {
+	c.inFlight.Add(-1)
+	c.workerBusyNanos.Add(int64(d))
+	if !ok {
+		return
+	}
+	c.latMu.Lock()
+	if c.latRing == nil {
+		c.latRing = make([]time.Duration, 0, latRingSize)
+	}
+	if len(c.latRing) < latRingSize {
+		c.latRing = append(c.latRing, d)
+	} else {
+		c.latRing[c.latCount%latRingSize] = d
+	}
+	c.latCount++
+	c.latMu.Unlock()
+}
+
+// InFlight returns the number of steps currently executing.
+func (c *Counters) InFlight() int64 { return c.inFlight.Load() }
+
+// StepLatency reports the p50 and p99 of the most recent successful step
+// executions (bounded reservoir) and the total number observed.
+func (c *Counters) StepLatency() (p50, p99 time.Duration, n int64) {
+	c.latMu.Lock()
+	buf := append([]time.Duration(nil), c.latRing...)
+	n = c.latCount
+	c.latMu.Unlock()
+	if len(buf) == 0 {
+		return 0, 0, n
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(buf)-1))
+		return buf[i]
+	}
+	return pct(0.50), pct(0.99), n
+}
+
+func peakMax(peak *atomic.Int64, n int64) {
+	for {
+		cur := peak.Load()
+		if n <= cur || peak.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // Snapshot returns a copy of the current counter values.
 func (c *Counters) Snapshot() Snapshot {
 	return Snapshot{
@@ -111,6 +219,14 @@ func (c *Counters) Snapshot() Snapshot {
 		LogBytesPeak:      c.logBytesPeak.Load(),
 		StableWrites:      c.stableWrites.Load(),
 		StableBytes:       c.stableBytes.Load(),
+
+		SchedClaims:          c.schedClaims.Load(),
+		SchedClaimConflicts:  c.claimConflicts.Load(),
+		SchedLockAborts:      c.lockAborts.Load(),
+		SchedRetries:         c.schedRetries.Load(),
+		SchedInFlightPeak:    c.inFlightPeak.Load(),
+		SchedQueueDepthPeak:  c.queueDepthPeak.Load(),
+		SchedWorkerBusyNanos: c.workerBusyNanos.Load(),
 	}
 }
 
@@ -131,5 +247,13 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		LogBytesPeak:      s.LogBytesPeak, // peak is not differential
 		StableWrites:      s.StableWrites - o.StableWrites,
 		StableBytes:       s.StableBytes - o.StableBytes,
+
+		SchedClaims:          s.SchedClaims - o.SchedClaims,
+		SchedClaimConflicts:  s.SchedClaimConflicts - o.SchedClaimConflicts,
+		SchedLockAborts:      s.SchedLockAborts - o.SchedLockAborts,
+		SchedRetries:         s.SchedRetries - o.SchedRetries,
+		SchedInFlightPeak:    s.SchedInFlightPeak, // peak is not differential
+		SchedQueueDepthPeak:  s.SchedQueueDepthPeak,
+		SchedWorkerBusyNanos: s.SchedWorkerBusyNanos - o.SchedWorkerBusyNanos,
 	}
 }

@@ -3,6 +3,7 @@ package metrics
 import (
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCountersSnapshot(t *testing.T) {
@@ -85,5 +86,71 @@ func TestCountersConcurrent(t *testing.T) {
 	}
 	if s.LogBytesPeak != perW-1 {
 		t.Errorf("peak = %d, want %d", s.LogBytesPeak, perW-1)
+	}
+}
+
+func TestSchedulerCounters(t *testing.T) {
+	var c Counters
+	c.IncSchedClaim(5)
+	c.IncSchedClaim(3)
+	c.IncClaimConflict()
+	c.IncLockConflictAbort()
+	c.IncSchedRetry()
+	if n := c.StepStarted(); n != 1 {
+		t.Errorf("in-flight after start = %d", n)
+	}
+	c.StepStarted()
+	c.StepFinished(10*time.Millisecond, true)
+	c.StepFinished(20*time.Millisecond, false) // failed attempt: busy, no latency sample
+	s := c.Snapshot()
+	if s.SchedClaims != 2 || s.SchedQueueDepthPeak != 5 {
+		t.Errorf("claims=%d depthPeak=%d", s.SchedClaims, s.SchedQueueDepthPeak)
+	}
+	if s.SchedClaimConflicts != 1 || s.SchedLockAborts != 1 || s.SchedRetries != 1 {
+		t.Errorf("conflicts=%d lockAborts=%d retries=%d",
+			s.SchedClaimConflicts, s.SchedLockAborts, s.SchedRetries)
+	}
+	if s.SchedInFlightPeak != 2 || c.InFlight() != 0 {
+		t.Errorf("inFlightPeak=%d inFlight=%d", s.SchedInFlightPeak, c.InFlight())
+	}
+	if s.SchedWorkerBusyNanos != int64(30*time.Millisecond) {
+		t.Errorf("busy=%d", s.SchedWorkerBusyNanos)
+	}
+	d := s.Sub(Snapshot{SchedClaims: 1, SchedInFlightPeak: 99})
+	if d.SchedClaims != 1 || d.SchedInFlightPeak != 2 {
+		t.Errorf("diff claims=%d peak=%d", d.SchedClaims, d.SchedInFlightPeak)
+	}
+}
+
+func TestStepLatencyPercentiles(t *testing.T) {
+	var c Counters
+	if p50, p99, n := c.StepLatency(); p50 != 0 || p99 != 0 || n != 0 {
+		t.Errorf("empty latency = %v %v %d", p50, p99, n)
+	}
+	for i := 1; i <= 100; i++ {
+		c.StepStarted()
+		c.StepFinished(time.Duration(i)*time.Millisecond, true)
+	}
+	p50, p99, n := c.StepLatency()
+	if n != 100 {
+		t.Errorf("n = %d", n)
+	}
+	if p50 < 45*time.Millisecond || p50 > 55*time.Millisecond {
+		t.Errorf("p50 = %v", p50)
+	}
+	if p99 < 95*time.Millisecond || p99 > 100*time.Millisecond {
+		t.Errorf("p99 = %v", p99)
+	}
+}
+
+func TestStepLatencyRingBounded(t *testing.T) {
+	var c Counters
+	for i := 0; i < latRingSize+100; i++ {
+		c.StepStarted()
+		c.StepFinished(time.Millisecond, true)
+	}
+	_, _, n := c.StepLatency()
+	if n != int64(latRingSize+100) {
+		t.Errorf("count = %d", n)
 	}
 }

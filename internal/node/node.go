@@ -3,12 +3,15 @@
 // the optimized mechanism of Figure 5, over the substrates in
 // internal/{network,stable,txn,resource}.
 //
-// Concurrency model. Each node runs two goroutines: a dispatcher handling
+// Concurrency model. Each node runs a dispatcher goroutine handling
 // protocol messages (queue hand-off two-phase commit, remote compensation
-// batches, in-doubt resolution, completion notifications) and a worker
-// processing the agent input queue one container at a time. The worker
-// blocks on acknowledgements from remote participants; the dispatcher never
-// blocks on the worker.
+// batches, in-doubt resolution, completion notifications) and a sched.Pool
+// of Config.Workers step workers draining the agent input queue through
+// volatile claim/lease hand-out (default 1: the paper's serial node model).
+// Workers block on acknowledgements from remote participants; the
+// dispatcher never blocks on a worker. Concurrent step transactions are
+// serialized by the txn layer's strict 2PL; the pool additionally avoids
+// co-scheduling steps whose registered resource hints collide.
 //
 // Crash behaviour. A node's volatile state (in-flight transactions, locks,
 // pending acks) is lost on Stop/crash; its stable store (input queue,
@@ -32,6 +35,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/resource"
+	"repro/internal/sched"
 	"repro/internal/stable"
 	"repro/internal/txn"
 	"repro/internal/wire"
@@ -58,6 +62,11 @@ type Config struct {
 	// MaxAttempts bounds retries of a queue container before the agent
 	// is reported failed to its owner. 0 means unbounded.
 	MaxAttempts int
+	// Workers is the number of concurrent step-transaction workers
+	// draining the input queue (the internal/sched pool). The default 1
+	// reproduces the paper's one-step-at-a-time node model; higher
+	// values run independent step transactions in parallel under 2PL.
+	Workers int
 	// SagaBaseline restores weakly reversible objects from savepoint
 	// before-images, the saga-style behaviour the paper rejects (§4.1).
 	// For the S16b ablation only — it demonstrably corrupts agents whose
@@ -80,6 +89,9 @@ func (c *Config) fillDefaults() {
 	if c.MaxAttempts == 0 {
 		c.MaxAttempts = 25
 	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
 }
 
 // Node is one agent-system node.
@@ -99,6 +111,7 @@ type Node struct {
 	rceBranches map[string]*rceBranch
 	rceInFlight map[string]bool
 	pendingCtl  map[string]pendingCtl
+	pool        *sched.Pool // step scheduler; set once recovery completes
 
 	ready chan struct{}
 	stop  chan struct{}
@@ -188,17 +201,22 @@ func (n *Node) Start() {
 
 // Stop halts the node, abandoning volatile state (the crash case). The
 // stable store is left intact; a new Node on the same store recovers.
+// Closing the stop channel first unblocks workers waiting on remote
+// acknowledgements, so the scheduler pool drains promptly: in-flight step
+// attempts finish (committed work stands, aborted work is still queued),
+// and claims on never-started entries are released.
 func (n *Node) Stop() {
 	n.mu.Lock()
 	select {
 	case <-n.stop:
-		n.mu.Unlock()
-		n.wg.Wait()
-		return
 	default:
+		close(n.stop)
 	}
-	close(n.stop)
+	pool := n.pool
 	n.mu.Unlock()
+	if pool != nil {
+		pool.Stop()
+	}
 	n.wg.Wait()
 }
 

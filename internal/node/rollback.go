@@ -92,14 +92,15 @@ func (n *Node) runCompensation(entry *stable.Entry, c *Container, attempt int) e
 	}
 
 	a.SRO.Freeze(false) // clear runtime-only flag before serialization
-	if err := n.shipContainer(tx, next, dest, parts); err != nil {
+	var onCommit func()
+	if n.cfg.Counters != nil {
+		onCommit = n.cfg.Counters.IncCompTxn
+	}
+	if err := n.shipContainer(tx, next, dest, parts, onCommit); err != nil {
 		if n.cfg.Counters != nil {
 			n.cfg.Counters.IncCompTxnAbort()
 		}
 		return err
-	}
-	if n.cfg.Counters != nil {
-		n.cfg.Counters.IncCompTxn()
 	}
 	return nil
 }

@@ -55,9 +55,20 @@ func (n *Node) prepareRCERemote(tx *txn.Tx, dest string, msg *rceExecMsg) (remot
 // participants, the commit decision record joins the local commit batch
 // (atomic "decide"), then the participants are driven to commit reliably.
 // Without participants it is a plain local commit.
-func (n *Node) commitDistributed(tx *txn.Tx, parts []remotePrep) error {
+//
+// onCommit (may be nil) runs immediately before the commit is applied:
+// metric increments belong there, because the instant the commit lands its
+// effects are visible to concurrent workers and remote nodes — a counter
+// bumped *after* could be missed by a snapshot taken on completion of the
+// chain this commit enables. If the commit itself fails (store I/O error;
+// never in the simulated environment) the count is one high — the retry
+// recounts — which is harmless for advisory metrics.
+func (n *Node) commitDistributed(tx *txn.Tx, parts []remotePrep, onCommit func()) error {
 	if len(parts) > 0 {
 		tx.AddCommitOps(n.mgr.DecisionOp(tx.ID()))
+	}
+	if onCommit != nil {
+		onCommit()
 	}
 	if err := tx.Commit(); err != nil {
 		n.abortParts(tx, parts)

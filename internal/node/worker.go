@@ -8,6 +8,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/itinerary"
+	"repro/internal/sched"
 	"repro/internal/stable"
 	"repro/internal/txn"
 	"repro/internal/wire"
@@ -47,14 +48,72 @@ func init() { wire.RegisterName("node.doneRec", &doneRec{}) }
 func doneKey(agentID string) string          { return "done/" + agentID }
 func stableDelDone(agentID string) stable.Op { return stable.Del(doneKey(agentID)) }
 
-// recoverThenWork resolves in-doubt work, loads resources, then processes
-// the input queue until stopped.
+// recoverThenWork resolves in-doubt work, loads resources, then starts
+// the step scheduler pool over the input queue. The pool is only started
+// after recovery completes, so in-doubt transactions are resolved before
+// any new step transaction can observe resource state.
 func (n *Node) recoverThenWork() {
 	if !n.runRecovery() {
 		return
 	}
 	close(n.ready)
-	n.workLoop()
+	pool := sched.New(sched.Config{
+		Workers:     n.cfg.Workers,
+		RetryDelay:  n.cfg.RetryDelay,
+		MaxAttempts: n.cfg.MaxAttempts,
+		Queue:       n.queue,
+		Exec:        n.process,
+		Permanent:   isPermanent,
+		Fail:        n.failAgent,
+		Hints:       n.conflictKeys,
+		Busy:        n.lockBusy,
+		Counters:    n.cfg.Counters,
+	})
+	n.mu.Lock()
+	select {
+	case <-n.stop:
+		n.mu.Unlock()
+		return
+	default:
+		n.pool = pool
+	}
+	n.mu.Unlock()
+	pool.Start()
+}
+
+// conflictKeys derives the scheduler's conflict hints for one queued
+// container: the resource names the next step method declared through
+// Registry.RegisterStepHints. Hint-less methods — and rollback
+// containers, whose compensations span many steps — return nil and
+// schedule freely; 2PL remains the arbiter of actual conflicts.
+func (n *Node) conflictKeys(e *stable.Entry) []string {
+	if !n.registry.HasHints() {
+		return nil // skip the container decode entirely
+	}
+	c, err := DecodeContainer(e.Data)
+	if err != nil || c.Mode != ModeStep || c.Agent == nil {
+		return nil
+	}
+	step, err := c.Agent.Itin.StepAt(c.Agent.Cursor)
+	if err != nil {
+		return nil
+	}
+	hint, ok := n.registry.StepHintFor(step.Method)
+	if !ok {
+		return nil
+	}
+	return hint(c.Agent, step)
+}
+
+// lockBusy reports whether the transaction lock of the named local
+// resource is currently held — the scheduler's lock-conflict hint
+// (txn.Lock.Busy).
+func (n *Node) lockBusy(key string) bool {
+	r, ok := n.Resource(key)
+	if !ok {
+		return false
+	}
+	return r.ConflictLock().Busy()
 }
 
 // runRecovery resolves in-doubt prepared work (staged queue entries and
@@ -109,51 +168,6 @@ func (n *Node) runRecovery() bool {
 		n.mu.Unlock()
 	}
 	return true
-}
-
-// workLoop processes the agent input queue, one container at a time, with
-// bounded retries per container.
-func (n *Node) workLoop() {
-	attempts := make(map[string]int)
-	for {
-		select {
-		case <-n.stop:
-			return
-		default:
-		}
-		entry, err := n.queue.Peek()
-		if err != nil || entry == nil {
-			timer := time.NewTimer(50 * time.Millisecond)
-			select {
-			case <-n.stop:
-				timer.Stop()
-				return
-			case <-n.queue.Notify():
-				timer.Stop()
-			case <-timer.C:
-			}
-			continue
-		}
-		attempt := attempts[entry.ID] + 1
-		procErr := n.process(entry, attempt)
-		if procErr == nil {
-			delete(attempts, entry.ID)
-			continue
-		}
-		attempts[entry.ID] = attempt
-		if isPermanent(procErr) || (n.cfg.MaxAttempts > 0 && attempt >= n.cfg.MaxAttempts) {
-			n.failAgent(entry, procErr)
-			delete(attempts, entry.ID)
-			continue
-		}
-		timer := time.NewTimer(n.cfg.RetryDelay)
-		select {
-		case <-n.stop:
-			timer.Stop()
-			return
-		case <-timer.C:
-		}
-	}
 }
 
 // process decodes and executes one queued container. Decoding is fresh on
@@ -213,6 +227,12 @@ func (n *Node) finishAgent(tx *txn.Tx, a *agent.Agent, failed bool, reason strin
 	tx.AddCommitOps(stable.Put(doneKey(a.ID), raw))
 	if err := tx.Commit(); err != nil {
 		return err
+	}
+	// Count the committed step transaction BEFORE the notification goes
+	// out: once the owner sees the done message it may snapshot metrics,
+	// and the final step must already be in them.
+	if !failed && n.cfg.Counters != nil {
+		n.cfg.Counters.IncStepTxn()
 	}
 	n.send(a.Owner, kindAgentDone, &rec.Msg)
 	return nil
@@ -328,12 +348,11 @@ func (n *Node) runStep(entry *stable.Entry, c *Container, attempt int) error {
 	n.observeLogSize(a)
 
 	if move.Next.Done {
+		// finishAgent counts the committed step transaction itself,
+		// before the completion notification can race a metrics reader.
 		if err := n.finishAgent(tx, a, false, ""); err != nil {
 			_ = tx.Abort()
 			return err
-		}
-		if n.cfg.Counters != nil {
-			n.cfg.Counters.IncStepTxn()
 		}
 		return nil
 	}
@@ -344,13 +363,11 @@ func (n *Node) runStep(entry *stable.Entry, c *Container, attempt int) error {
 		return permanent(err)
 	}
 	dest := n.pickDestination(next.Loc, next.Alt, attempt)
-	if err := n.shipContainer(tx, &Container{Mode: ModeStep, Agent: a}, dest, nil); err != nil {
-		return err
-	}
+	var onCommit func()
 	if n.cfg.Counters != nil {
-		n.cfg.Counters.IncStepTxn()
+		onCommit = n.cfg.Counters.IncStepTxn
 	}
-	return nil
+	return n.shipContainer(tx, &Container{Mode: ModeStep, Agent: a}, dest, nil, onCommit)
 }
 
 // pickDestination returns the node to send the agent to, falling back to
@@ -484,7 +501,7 @@ func (n *Node) startRollback(entry *stable.Entry, spID string) error {
 		return err
 	}
 	tx.AddCommitOps(n.queue.RemoveOp(entry))
-	return n.shipContainer(tx, &Container{Mode: ModeRollback, SpID: spID, Agent: a}, dest, nil)
+	return n.shipContainer(tx, &Container{Mode: ModeRollback, SpID: spID, Agent: a}, dest, nil, nil)
 }
 
 // popToTarget pops trailing savepoint entries that are not the rollback
@@ -530,12 +547,23 @@ func peekEOS(l *core.Log) (*core.EndStepEntry, bool) {
 // two-phase commit with the destination queue (prepare, decide+commit
 // locally, reliably commit remotely). Extra pre-prepared participants
 // (the RCE branch of Figure 5b) are committed with the same decision.
-func (n *Node) shipContainer(tx *txn.Tx, c *Container, dest string, parts []remotePrep) error {
+// onCommit (may be nil) is the caller's metric hook, run just before the
+// commit lands (see commitDistributed).
+func (n *Node) shipContainer(tx *txn.Tx, c *Container, dest string, parts []remotePrep, onCommit func()) error {
 	data, err := EncodeContainer(c)
 	if err != nil {
 		_ = tx.Abort()
 		n.abortParts(tx, parts)
 		return permanent(err)
+	}
+	hook := onCommit
+	if dest != n.cfg.Name && n.cfg.Counters != nil {
+		hook = func() {
+			n.cfg.Counters.IncAgentTransfer(int64(len(data)))
+			if onCommit != nil {
+				onCommit()
+			}
+		}
 	}
 	if dest == n.cfg.Name {
 		ops, err := n.queue.EnqueueOps(c.Agent.ID, data)
@@ -545,7 +573,7 @@ func (n *Node) shipContainer(tx *txn.Tx, c *Container, dest string, parts []remo
 			return err
 		}
 		tx.AddCommitOps(ops...)
-		return n.commitDistributed(tx, parts)
+		return n.commitDistributed(tx, parts, hook)
 	}
 	prep, err := n.prepareEnqueueRemote(tx, dest, c.Agent.ID, data)
 	if err != nil {
@@ -553,11 +581,5 @@ func (n *Node) shipContainer(tx *txn.Tx, c *Container, dest string, parts []remo
 		n.abortParts(tx, parts)
 		return fmt.Errorf("node %s: hand-off to %s: %w", n.cfg.Name, dest, err)
 	}
-	if err := n.commitDistributed(tx, append(parts, prep)); err != nil {
-		return err
-	}
-	if n.cfg.Counters != nil {
-		n.cfg.Counters.IncAgentTransfer(int64(len(data)))
-	}
-	return nil
+	return n.commitDistributed(tx, append(parts, prep), hook)
 }

@@ -36,6 +36,10 @@ type Resource interface {
 	Name() string
 	// Kind returns the resource type ("bank", "shop", ...).
 	Kind() string
+	// ConflictLock exposes the resource's transaction lock for scheduler
+	// conflict hints (txn.Lock.Busy); operations still acquire it through
+	// the transaction, never directly.
+	ConflictLock() *txn.Lock
 }
 
 // Common errors surfaced to agents and compensation operations.
@@ -58,6 +62,8 @@ type base struct {
 
 func (b *base) Name() string { return b.name }
 func (b *base) Kind() string { return b.kind }
+
+func (b *base) ConflictLock() *txn.Lock { return &b.lock }
 
 func (b *base) storeKey() string { return "res/" + b.kind + "/" + b.name }
 

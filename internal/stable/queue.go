@@ -22,12 +22,25 @@ import (
 // agent at the start of a step transaction commits atomically with the rest
 // of the transaction: if the step aborts or the node crashes, the agent is
 // still in the queue (§2, §4.3).
+//
+// For concurrent consumers the queue adds claim/lease semantics (Claim,
+// Release): a claim marks an entry as taken by one worker without removing
+// it. Claims are volatile — a fresh Queue over the same store (i.e. after a
+// crash) starts with no claims, so recovery sees every unprocessed entry
+// exactly as the serial runtime does, preserving §4.3's "the agent still
+// resides in the input queue" invariant.
 type Queue struct {
 	store  Store
 	prefix string
 
 	mu     sync.Mutex
 	notify chan struct{}
+
+	// Volatile claims: store key -> agent ID, plus a per-agent count so
+	// Claim can preserve per-agent FIFO order (a younger entry for an
+	// agent is never handed out while an older one is claimed).
+	claimed    map[string]string
+	claimedIDs map[string]int
 
 	// seq caches the next sequence number after the first read, so tail
 	// reservations cost no store round-trip. The store copy is only read
@@ -62,21 +75,28 @@ type entryRec struct {
 // NewQueue returns a queue stored under the given key prefix.
 func NewQueue(store Store, prefix string) *Queue {
 	return &Queue{
-		store:  store,
-		prefix: prefix,
-		notify: make(chan struct{}, 1),
+		store:      store,
+		prefix:     prefix,
+		notify:     make(chan struct{}),
+		claimed:    make(map[string]string),
+		claimedIDs: make(map[string]int),
 	}
 }
 
-// Notify returns a channel receiving a signal whenever an entry becomes
-// visible. The channel has capacity one; consumers must also poll.
-func (q *Queue) Notify() <-chan struct{} { return q.notify }
+// Notify returns a channel that is closed when the next entry becomes
+// visible (or a claim is released) — a broadcast, so any number of waiting
+// consumers wake. Grab the channel *before* checking the queue, then wait
+// on it only if the check came up empty; that ordering cannot miss a
+// wakeup. Each signal replaces the channel, so loop and re-grab.
+func (q *Queue) Notify() <-chan struct{} {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.notify
+}
 
 func (q *Queue) signal() {
-	select {
-	case q.notify <- struct{}{}:
-	default:
-	}
+	close(q.notify)
+	q.notify = make(chan struct{})
 }
 
 func (q *Queue) seqKey() string           { return q.prefix + "seq" }
@@ -244,6 +264,78 @@ func (q *Queue) Peek() (*Entry, error) {
 		return nil, fmt.Errorf("stable: corrupt queue entry %q: %w", keys[0], err)
 	}
 	return &Entry{ID: rec.ID, Data: rec.Data, key: keys[0]}, nil
+}
+
+// Claim returns the oldest visible entry that is not claimed and whose
+// agent has no claimed entry (per-agent FIFO: while one worker holds an
+// agent's oldest entry, younger entries of the same agent are withheld).
+// skip, if non-nil, lets the caller veto agents (e.g. retry back-off); a
+// vetoed agent's entries stay unclaimed. Returns a nil entry when nothing
+// is claimable; depth is the number of visible entries observed by the
+// scan (a free queue-depth sample for the caller's metrics). The claim is
+// volatile: it is not persisted, and a fresh Queue over the same store
+// starts unclaimed.
+func (q *Queue) Claim(skip func(id string) bool) (e *Entry, depth int, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	keys, err := q.store.Keys(q.prefix + "e/")
+	if err != nil {
+		return nil, 0, err
+	}
+	depth = len(keys)
+	for _, k := range keys {
+		if _, taken := q.claimed[k]; taken {
+			continue
+		}
+		raw, ok, err := q.store.Get(k)
+		if err != nil {
+			return nil, depth, err
+		}
+		if !ok {
+			return nil, depth, fmt.Errorf("stable: queue entry %q vanished", k)
+		}
+		var rec entryRec
+		if err := wire.Decode(raw, &rec); err != nil {
+			return nil, depth, fmt.Errorf("stable: corrupt queue entry %q: %w", k, err)
+		}
+		if q.claimedIDs[rec.ID] > 0 {
+			continue // an older entry of this agent is in flight
+		}
+		if skip != nil && skip(rec.ID) {
+			continue
+		}
+		q.claimed[k] = rec.ID
+		q.claimedIDs[rec.ID]++
+		return &Entry{ID: rec.ID, Data: rec.Data, key: k}, depth, nil
+	}
+	return nil, depth, nil
+}
+
+// Release drops the claim on e. Call it after the entry was durably
+// removed (the claim bookkeeping is discarded) or when the worker gives
+// the entry up for another consumer (the entry becomes claimable again,
+// and blocked consumers are woken).
+func (q *Queue) Release(e *Entry) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	id, ok := q.claimed[e.key]
+	if !ok {
+		return
+	}
+	delete(q.claimed, e.key)
+	if q.claimedIDs[id] <= 1 {
+		delete(q.claimedIDs, id)
+	} else {
+		q.claimedIDs[id]--
+	}
+	q.signal()
+}
+
+// Claimed returns the number of currently claimed entries.
+func (q *Queue) Claimed() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.claimed)
 }
 
 // RemoveOp returns the batch Op deleting e; include it in the commit batch

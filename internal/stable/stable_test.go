@@ -261,13 +261,22 @@ func TestQueueEnqueueOps(t *testing.T) {
 func TestQueueNotify(t *testing.T) {
 	s := NewMemStore(nil)
 	q := NewQueue(s, "q/")
+	// Broadcast contract: grab the channel first; a later enqueue closes
+	// it, waking every holder.
+	ch := q.Notify()
 	if err := q.Enqueue("a", nil); err != nil {
 		t.Fatal(err)
 	}
 	select {
-	case <-q.Notify():
+	case <-ch:
 	default:
 		t.Error("no notification after enqueue")
+	}
+	// A channel grabbed after the signal only reports future arrivals.
+	select {
+	case <-q.Notify():
+		t.Error("stale notification on fresh channel")
+	default:
 	}
 }
 

@@ -107,6 +107,16 @@ func (l *Lock) acquire(tx *Tx, timeout time.Duration) error {
 	}
 }
 
+// Busy reports whether the lock is currently held by some transaction. It
+// is a racy snapshot intended as a *scheduling hint* (conflict-aware
+// dispatch avoids co-scheduling work that would contend on a busy lock);
+// correctness never depends on it — strict 2PL does the real arbitration.
+func (l *Lock) Busy() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.holder != nil
+}
+
 func (l *Lock) release(tx *Tx) {
 	l.mu.Lock()
 	defer l.mu.Unlock()

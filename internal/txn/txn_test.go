@@ -308,3 +308,24 @@ func TestStatusString(t *testing.T) {
 		}
 	}
 }
+
+func TestLockBusyHint(t *testing.T) {
+	m, _ := newMgr(t)
+	var l Lock
+	if l.Busy() {
+		t.Error("fresh lock reported busy")
+	}
+	tx, _ := m.Begin()
+	if err := tx.Lock(&l); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Busy() {
+		t.Error("held lock reported idle")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Busy() {
+		t.Error("released lock reported busy")
+	}
+}
