@@ -13,6 +13,7 @@ import (
 	"repro/internal/itinerary"
 	"repro/internal/network"
 	"repro/internal/stable"
+	"repro/internal/stable/wal"
 	"repro/internal/wire"
 )
 
@@ -158,6 +159,95 @@ func BenchmarkStableApplyParallel(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(s.GroupCommits())/float64(b.N), "commits/op")
+}
+
+// BenchmarkStoreApplyDurable: the fully durable (fsync-on) grouped commit
+// path, FileStore vs the log-structured WAL engine — the PR-3 headline.
+// The file engine pays several fsyncs per group (journal temp file, dir,
+// each op file, kv dir); the WAL appends one record and fsyncs once.
+func BenchmarkStoreApplyDurable(b *testing.B) {
+	val := make([]byte, 512)
+	run := func(b *testing.B, s stable.Store, commits func() int64) {
+		b.SetParallelism(4)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				key := fmt.Sprintf("k%d", i%64)
+				if err := s.Apply(stable.Put(key, val), stable.Put(key+"/meta", val[:16])); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+		b.ReportMetric(float64(commits())/float64(b.N), "commits/op")
+	}
+	b.Run("file", func(b *testing.B) {
+		s, err := stable.OpenFileStoreWith(b.TempDir(), nil, stable.FileStoreOptions{Sync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, s, s.GroupCommits)
+	})
+	b.Run("wal", func(b *testing.B) {
+		s, err := wal.Open(b.TempDir(), wal.Options{Sync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		run(b, s, s.GroupCommits)
+	})
+}
+
+// BenchmarkWALRecovery: time to reopen a WAL store (checkpoint load +
+// bounded tail replay) after ~4k batches of churn, with and without a
+// checkpoint — the §4.3 "agent still resides in the input queue" replay
+// cost the checkpoints bound.
+func BenchmarkWALRecovery(b *testing.B) {
+	build := func(b *testing.B, checkpoint bool) string {
+		dir := b.TempDir()
+		s, err := wal.Open(dir, wal.Options{NoBackground: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		val := make([]byte, 256)
+		for i := 0; i < 4096; i++ {
+			if err := s.Apply(stable.Put(fmt.Sprintf("k%d", i%512), val)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if checkpoint {
+			if err := s.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return dir
+	}
+	for _, ckpt := range []bool{true, false} {
+		name := "checkpointed"
+		if !ckpt {
+			name = "full-replay"
+		}
+		b.Run(name, func(b *testing.B) {
+			dir := build(b, ckpt)
+			var replayed float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := wal.Open(dir, wal.Options{NoBackground: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				replayed += float64(s.Recovery().BytesReplayed) / 1024
+				b.StopTimer()
+				_ = s.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(replayed/float64(b.N), "replayedKiB/op")
+		})
+	}
 }
 
 // BenchmarkLogEncodedSize: per-step log-size accounting on a growing log —

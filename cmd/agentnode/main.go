@@ -1,8 +1,13 @@
 // Command agentnode runs one agent-system node as a standalone OS process
-// over TCP, with a file-backed stable store — the multi-process deployment
+// over TCP, with a disk-backed stable store — the multi-process deployment
 // of the system (gob on the wire and on disk). Killing the process and
 // restarting it with the same -data directory exercises the crash-recovery
-// protocol for real.
+// protocol for real. The default -store=wal engine appends commits to
+// checksummed log segments with index checkpoints, so restart replays
+// only the log tail written since the last checkpoint; -store=file keeps
+// the one-file-per-key layout of earlier deployments (the engines do not
+// migrate in place — restart existing data dirs with the engine that
+// wrote them).
 //
 // Example three-node cluster (plus the agentctl client as peer "ctl"):
 //
@@ -19,9 +24,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -32,6 +39,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/resource"
 	"repro/internal/stable"
+	"repro/internal/stable/wal"
 	"repro/internal/txn"
 )
 
@@ -54,6 +62,9 @@ func run(args []string) error {
 		optimized = fs.Bool("optimized", true, "use the optimized (Figure 5) rollback algorithm")
 		workers   = fs.Int("workers", 1, "concurrent step-transaction workers (1 = the paper's serial node model)")
 		sync      = fs.Bool("sync", true, "fsync stable-storage writes (crash-safe across power loss); disable only for throwaway deployments")
+		storeKind = fs.String("store", "wal", "stable storage engine: wal (log-structured segments + checkpoints, recommended), file (one file per key), mem (volatile, testing only)")
+		segSize   = fs.Int64("wal-segment", 0, "wal engine: segment rotation size in bytes (0 = default 4 MiB)")
+		ckptEvery = fs.Int64("wal-checkpoint", 0, "wal engine: bytes appended between index checkpoints (0 = default 1 MiB, negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,9 +77,12 @@ func run(args []string) error {
 		return err
 	}
 
-	store, err := stable.OpenFileStoreWith(*dataDir, nil, stable.FileStoreOptions{Sync: *sync})
+	store, err := openStore(*storeKind, *dataDir, *sync, *segSize, *ckptEvery)
 	if err != nil {
 		return err
+	}
+	if closer, ok := store.(io.Closer); ok {
+		defer closer.Close()
 	}
 	ep, err := network.NewTCP(network.TCPConfig{
 		Name:   *name,
@@ -112,6 +126,42 @@ func run(args []string) error {
 	<-sig
 	log.Printf("node %s shutting down", *name)
 	return nil
+}
+
+// openStore builds the node's stable store. Opening a data directory that
+// was written by a different engine is refused rather than silently
+// starting empty — the layouts are disjoint, so the agent queue and
+// resource states would all be invisible.
+func openStore(kind, dataDir string, sync bool, segSize, ckptEvery int64) (stable.Store, error) {
+	hasFileLayout := false
+	if _, err := os.Stat(filepath.Join(dataDir, "kv")); err == nil {
+		hasFileLayout = true
+	}
+	hasWALLayout := false
+	if segs, _ := filepath.Glob(filepath.Join(dataDir, "*.seg")); len(segs) > 0 {
+		hasWALLayout = true
+	}
+	switch kind {
+	case "wal":
+		if hasFileLayout {
+			return nil, fmt.Errorf("data dir %s holds a file-store layout; restart with -store=file (engines do not migrate in place)", dataDir)
+		}
+		return wal.Open(dataDir, wal.Options{
+			Sync:            sync,
+			SegmentSize:     segSize,
+			CheckpointEvery: ckptEvery,
+		})
+	case "file":
+		if hasWALLayout {
+			return nil, fmt.Errorf("data dir %s holds a wal layout; restart with -store=wal (engines do not migrate in place)", dataDir)
+		}
+		return stable.OpenFileStoreWith(dataDir, nil, stable.FileStoreOptions{Sync: sync})
+	case "mem":
+		log.Printf("warning: -store=mem is volatile; a restart loses the input queue and all resource state")
+		return stable.NewMemStore(nil), nil
+	default:
+		return nil, fmt.Errorf("unknown -store %q (want wal, file or mem)", kind)
+	}
 }
 
 func parsePeers(s string) (map[string]string, error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"testing"
 
 	"repro/internal/stable"
@@ -61,5 +62,51 @@ func TestRunRequiresFlags(t *testing.T) {
 	}
 	if err := run([]string{"-name", "A"}); err == nil {
 		t.Error("missing listen/data accepted")
+	}
+}
+
+// TestOpenStoreLayoutGuard: opening a data dir written by a different
+// engine must be refused, never silently started empty.
+func TestOpenStoreLayoutGuard(t *testing.T) {
+	fileDir := t.TempDir()
+	fs, err := openStore("file", fileDir, false, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Apply(stable.Put("k", []byte("v"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openStore("wal", fileDir, false, 0, 0); err == nil {
+		t.Error("wal engine opened a file-store layout")
+	}
+
+	walDir := t.TempDir()
+	ws, err := openStore("wal", walDir, false, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Apply(stable.Put("k", []byte("v"))); err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := ws.(io.Closer); ok {
+		_ = c.Close()
+	}
+	if _, err := openStore("file", walDir, false, 0, 0); err == nil {
+		t.Error("file engine opened a wal layout")
+	}
+	// Reopening with the matching engine works.
+	ws2, err := openStore("wal", walDir, false, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := ws2.Get("k"); !ok || string(v) != "v" {
+		t.Errorf("wal reopen lost data: %q %v", v, ok)
+	}
+	if c, ok := ws2.(io.Closer); ok {
+		_ = c.Close()
+	}
+
+	if _, err := openStore("papyrus", t.TempDir(), false, 0, 0); err == nil {
+		t.Error("unknown engine accepted")
 	}
 }

@@ -8,6 +8,8 @@
 //	loadgen -workers 8                       # 8 scheduler workers per node
 //	loadgen -workers 8 -conflict 0.5         # half the agents pinned to one bank
 //	loadgen -sweep 1,2,4,8 -json out.json    # worker sweep, machine-readable
+//	loadgen -store wal                       # nodes on the log-structured WAL engine
+//	loadgen -storesweep -workers 4           # backend sweep: mem vs file vs wal
 //
 // The per-step service time (-stepwork) is spent inside the step
 // transaction with the bank lock held; it is what makes the workload
@@ -32,6 +34,7 @@ type runReport struct {
 	Nodes         int     `json:"nodes"`
 	Agents        int     `json:"agents"`
 	Steps         int     `json:"steps"`
+	Store         string  `json:"store"`
 	ConflictRatio float64 `json:"conflict_ratio"`
 	StepWorkMS    float64 `json:"step_work_ms"`
 	ElapsedMS     float64 `json:"elapsed_ms"`
@@ -43,6 +46,8 @@ type runReport struct {
 	ClaimConflict int64   `json:"claim_conflicts"`
 	LockAborts    int64   `json:"lock_aborts"`
 	Retries       int64   `json:"retries"`
+	StableWrites  int64   `json:"stable_writes"`
+	Fsyncs        int64   `json:"fsyncs"`
 }
 
 func main() {
@@ -63,6 +68,8 @@ func run(args []string) error {
 	stepwork := fs.Duration("stepwork", 8*time.Millisecond, "per-step service time inside the transaction")
 	latency := fs.Duration("latency", 200*time.Microsecond, "one-way network latency")
 	optimized := fs.Bool("optimized", false, "use the Figure-5 optimized rollback algorithm")
+	store := fs.String("store", "mem", "stable-storage backend per node: mem|file|wal")
+	storeSweep := fs.Bool("storesweep", false, "run the full backend sweep (mem, file, wal) per worker count")
 	sweep := fs.String("sweep", "", "comma-separated worker counts to sweep (overrides -workers)")
 	jsonPath := fs.String("json", "", "write the reports as JSON to this file")
 	if err := fs.Parse(args); err != nil {
@@ -81,45 +88,56 @@ func run(args []string) error {
 		}
 	}
 
+	backends := []string{*store}
+	if *storeSweep {
+		backends = experiments.StoreBackends
+	}
+
 	var reports []runReport
 	for _, w := range counts {
-		res, err := experiments.RunThroughput(experiments.ThroughputConfig{
-			Nodes:         *nodes,
-			Workers:       w,
-			Agents:        *agents,
-			Steps:         *steps,
-			Banks:         *banks,
-			ConflictRatio: *conflict,
-			StepWork:      *stepwork,
-			Latency:       *latency,
-			Optimized:     *optimized,
-		})
-		if err != nil {
-			return err
+		for _, backend := range backends {
+			res, err := experiments.RunThroughput(experiments.ThroughputConfig{
+				Nodes:         *nodes,
+				Workers:       w,
+				Agents:        *agents,
+				Steps:         *steps,
+				Banks:         *banks,
+				ConflictRatio: *conflict,
+				StepWork:      *stepwork,
+				Latency:       *latency,
+				Optimized:     *optimized,
+				Store:         backend,
+			})
+			if err != nil {
+				return err
+			}
+			r := runReport{
+				Workers:       w,
+				Nodes:         *nodes,
+				Agents:        *agents,
+				Steps:         *steps,
+				Store:         backend,
+				ConflictRatio: *conflict,
+				StepWorkMS:    float64(stepwork.Microseconds()) / 1000,
+				ElapsedMS:     float64(res.Elapsed.Microseconds()) / 1000,
+				AgentsPerSec:  res.AgentsPerSec,
+				StepsPerSec:   res.StepsPerSec,
+				P50MS:         float64(res.P50.Microseconds()) / 1000,
+				P99MS:         float64(res.P99.Microseconds()) / 1000,
+				InFlightPeak:  res.Metrics.SchedInFlightPeak,
+				ClaimConflict: res.Metrics.SchedClaimConflicts,
+				LockAborts:    res.Metrics.SchedLockAborts,
+				Retries:       res.Metrics.SchedRetries,
+				StableWrites:  res.Metrics.StableWrites,
+				Fsyncs:        res.Metrics.Fsyncs,
+			}
+			reports = append(reports, r)
+			fmt.Printf("workers=%-3d store=%-4s agents/s=%-8.1f steps/s=%-8.1f p50=%6.2fms p99=%7.2fms elapsed=%7.1fms inflight=%-3d claimConf=%-4d lockAborts=%-3d retries=%d\n",
+				r.Workers, r.Store, r.AgentsPerSec, r.StepsPerSec, r.P50MS, r.P99MS, r.ElapsedMS,
+				r.InFlightPeak, r.ClaimConflict, r.LockAborts, r.Retries)
 		}
-		r := runReport{
-			Workers:       w,
-			Nodes:         *nodes,
-			Agents:        *agents,
-			Steps:         *steps,
-			ConflictRatio: *conflict,
-			StepWorkMS:    float64(stepwork.Microseconds()) / 1000,
-			ElapsedMS:     float64(res.Elapsed.Microseconds()) / 1000,
-			AgentsPerSec:  res.AgentsPerSec,
-			StepsPerSec:   res.StepsPerSec,
-			P50MS:         float64(res.P50.Microseconds()) / 1000,
-			P99MS:         float64(res.P99.Microseconds()) / 1000,
-			InFlightPeak:  res.Metrics.SchedInFlightPeak,
-			ClaimConflict: res.Metrics.SchedClaimConflicts,
-			LockAborts:    res.Metrics.SchedLockAborts,
-			Retries:       res.Metrics.SchedRetries,
-		}
-		reports = append(reports, r)
-		fmt.Printf("workers=%-3d agents/s=%-8.1f steps/s=%-8.1f p50=%6.2fms p99=%7.2fms elapsed=%7.1fms inflight=%-3d claimConf=%-4d lockAborts=%-3d retries=%d\n",
-			r.Workers, r.AgentsPerSec, r.StepsPerSec, r.P50MS, r.P99MS, r.ElapsedMS,
-			r.InFlightPeak, r.ClaimConflict, r.LockAborts, r.Retries)
 	}
-	if len(reports) > 1 {
+	if len(reports) > 1 && len(backends) == 1 {
 		base, top := reports[0], reports[len(reports)-1]
 		fmt.Printf("scaling: %d→%d workers = %.2fx agents/sec\n",
 			base.Workers, top.Workers, top.AgentsPerSec/base.AgentsPerSec)

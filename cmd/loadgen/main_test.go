@@ -47,4 +47,40 @@ func TestLoadgenBadFlags(t *testing.T) {
 	if err := run([]string{"-sweep", "1,zero"}); err == nil {
 		t.Error("bad sweep accepted")
 	}
+	if err := run([]string{"-store", "papyrus"}); err == nil {
+		t.Error("unknown store backend accepted")
+	}
+}
+
+// TestLoadgenStoreBackends drives a tiny run against each storage engine
+// and checks the durable backends actually hit stable storage.
+func TestLoadgenStoreBackends(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "stores.json")
+	err := run([]string{
+		"-nodes", "2", "-agents", "4", "-steps", "2", "-banks", "2",
+		"-stepwork", "1ms", "-latency", "0", "-workers", "2",
+		"-storesweep", "-json", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []runReport
+	if err := json.Unmarshal(data, &reports); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports, want 3 (mem, file, wal)", len(reports))
+	}
+	for _, r := range reports {
+		if r.AgentsPerSec <= 0 {
+			t.Errorf("store=%s: non-positive throughput", r.Store)
+		}
+		if r.StableWrites <= 0 {
+			t.Errorf("store=%s: no stable writes recorded", r.Store)
+		}
+	}
 }

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	rollbacksim                 # run every experiment
-//	rollbacksim -exp f5         # run one experiment (f1..f6, tlog, tft, tperf, tput)
+//	rollbacksim -exp f5         # run one experiment (f1..f6, tlog, tft, tperf, tput, stor)
 //	rollbacksim -list           # list experiments
 //	rollbacksim -json out.json  # also write the tables as JSON
 package main
@@ -56,6 +56,7 @@ func run(args []string) error {
 		fmt.Println("tft   §4.3: rollback with an unreachable node")
 		fmt.Println("tperf §4.4.1: remote-compensation strategy model ([16])")
 		fmt.Println("tput  node throughput vs scheduler workers (see also cmd/loadgen)")
+		fmt.Println("stor  stable-storage engines: durable Apply throughput + crash-recovery time")
 		return nil
 	}
 

@@ -13,6 +13,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -49,6 +50,15 @@ type Options struct {
 	SagaBaseline bool
 	// Counters receives all metrics; one is created if nil.
 	Counters *metrics.Counters
+	// StoreFactory builds one node's stable store (nil: a MemStore per
+	// node, owned by the cluster so it survives simulated crashes). A
+	// file- or WAL-backed factory lets simulations run over real disks.
+	StoreFactory func(node string) (stable.Store, error)
+	// ReopenStores makes Crash close the node's store (if it implements
+	// io.Closer) and Recover re-invoke StoreFactory on the same node
+	// name, so a durable engine runs its real crash-recovery path
+	// (checkpoint load + log replay) instead of surviving in memory.
+	ReopenStores bool
 }
 
 // Result is the final outcome of one agent delivered to the collector.
@@ -112,19 +122,43 @@ func (c *Cluster) Counters() *metrics.Counters { return c.counters }
 // AddNode registers a node with its resource factories. Must be called
 // before Start.
 func (c *Cluster) AddNode(name string, factories ...node.ResourceFactory) error {
+	if c.opts.ReopenStores && c.opts.StoreFactory == nil {
+		// Recover would otherwise silently swap in a fresh MemStore,
+		// destroying the "stable store survives the crash" contract.
+		return errors.New("cluster: ReopenStores requires a StoreFactory")
+	}
+	store, err := c.newStore(name)
+	if err != nil {
+		return err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.started {
-		return errors.New("cluster: AddNode after Start")
-	}
-	if _, ok := c.nodes[name]; ok {
+	if c.started || c.nodes[name] != nil {
+		if closer, ok := store.(io.Closer); ok {
+			_ = closer.Close()
+		}
+		if c.started {
+			return errors.New("cluster: AddNode after Start")
+		}
 		return fmt.Errorf("cluster: duplicate node %q", name)
 	}
 	c.nodes[name] = &nodeState{
-		store:     stable.NewMemStore(c.counters),
+		store:     store,
 		factories: factories,
 	}
 	return nil
+}
+
+// newStore builds one node's stable store via the configured factory.
+func (c *Cluster) newStore(name string) (stable.Store, error) {
+	if c.opts.StoreFactory == nil {
+		return stable.NewMemStore(c.counters), nil
+	}
+	store, err := c.opts.StoreFactory(name)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: store for %q: %w", name, err)
+	}
+	return store, nil
 }
 
 // Start boots all nodes and the collector, and waits for every node to
@@ -291,7 +325,9 @@ func (c *Cluster) Run(a *agent.Agent, entered []string, at string, timeout time.
 }
 
 // Crash stops a node abruptly: volatile state is lost, messages to it are
-// dropped, the stable store survives.
+// dropped, the stable store survives. With Options.ReopenStores the store
+// handle is closed too (the on-disk state survives, like a machine
+// reboot), and Recover reopens it through the factory.
 func (c *Cluster) Crash(name string) error {
 	c.mu.Lock()
 	st, ok := c.nodes[name]
@@ -301,9 +337,15 @@ func (c *Cluster) Crash(name string) error {
 	}
 	st.crashed = true
 	n := st.n
+	store := st.store
 	c.mu.Unlock()
 	c.sim.Crash(name)
 	n.Stop()
+	if c.opts.ReopenStores {
+		if closer, ok := store.(io.Closer); ok {
+			_ = closer.Close()
+		}
+	}
 	return nil
 }
 
@@ -317,6 +359,15 @@ func (c *Cluster) Recover(name string) error {
 		return fmt.Errorf("cluster: cannot recover %q", name)
 	}
 	c.mu.Unlock()
+	if c.opts.ReopenStores {
+		store, err := c.newStore(name)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		st.store = store
+		c.mu.Unlock()
+	}
 	return c.bootNode(name)
 }
 
@@ -342,6 +393,9 @@ func (c *Cluster) Close() {
 	for _, st := range nodes {
 		if st.n != nil && !st.crashed {
 			st.n.Stop()
+		}
+		if closer, ok := st.store.(io.Closer); ok {
+			_ = closer.Close()
 		}
 	}
 	c.sim.Close()

@@ -168,7 +168,7 @@ func TestSmallFigures(t *testing.T) {
 }
 
 func TestList(t *testing.T) {
-	want := []string{"f1", "f2", "f3", "f4", "f5", "f6", "tlog", "tft", "tperf", "tput"}
+	want := []string{"f1", "f2", "f3", "f4", "f5", "f6", "tlog", "tft", "tperf", "tput", "stor"}
 	got := List()
 	if len(got) != len(want) {
 		t.Fatalf("List has %d experiments, want %d", len(got), len(want))

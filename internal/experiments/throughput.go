@@ -3,6 +3,7 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/agent"
@@ -39,6 +40,12 @@ type ThroughputConfig struct {
 	StepWork  time.Duration
 	Latency   time.Duration
 	Optimized bool
+	// Store selects the stable-storage backend under every node: "mem"
+	// (default), "file" or "wal" — the backend sweep for the engine
+	// comparison. Durable backends root their files under StoreDir
+	// (RunThroughput provisions a temp dir when empty).
+	Store    string
+	StoreDir string
 }
 
 func (cfg *ThroughputConfig) fillDefaults() {
@@ -83,13 +90,23 @@ func tputBank(i int, cfg ThroughputConfig, conflicted []bool) string {
 // resources each, the load step (with its scheduler conflict hint) and a
 // matching compensation registered.
 func BuildThroughputCluster(cfg ThroughputConfig) (*cluster.Cluster, error) {
+	counters := &metrics.Counters{}
+	if cfg.Store != "" && cfg.Store != "mem" && cfg.StoreDir == "" {
+		return nil, fmt.Errorf("throughput: backend %q needs a StoreDir", cfg.Store)
+	}
+	factory, err := StoreFactory(cfg.Store, cfg.StoreDir, counters)
+	if err != nil {
+		return nil, err
+	}
 	cl := cluster.New(cluster.Options{
-		Optimized:   cfg.Optimized,
-		Latency:     cfg.Latency,
-		Workers:     cfg.Workers,
-		RetryDelay:  2 * time.Millisecond,
-		AckTimeout:  2 * time.Second,
-		MaxAttempts: 100,
+		Optimized:    cfg.Optimized,
+		Latency:      cfg.Latency,
+		Workers:      cfg.Workers,
+		RetryDelay:   2 * time.Millisecond,
+		AckTimeout:   2 * time.Second,
+		MaxAttempts:  100,
+		Counters:     counters,
+		StoreFactory: factory,
 	})
 	for i := 0; i < cfg.Nodes; i++ {
 		var factories []node.ResourceFactory
@@ -193,6 +210,14 @@ func tputItinerary(id string, start int, cfg ThroughputConfig) (*itinerary.Itine
 // step-latency percentiles.
 func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	cfg.fillDefaults()
+	if cfg.Store != "" && cfg.Store != "mem" && cfg.StoreDir == "" {
+		dir, err := os.MkdirTemp("", "tput-"+cfg.Store)
+		if err != nil {
+			return ThroughputResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.StoreDir = dir
+	}
 	cl, err := BuildThroughputCluster(cfg)
 	if err != nil {
 		return ThroughputResult{}, err

@@ -44,6 +44,14 @@ type Counters struct {
 	queueDepthPeak  atomic.Int64
 	workerBusyNanos atomic.Int64
 
+	// WAL storage engine (internal/stable/wal) instrumentation.
+	walRotations      atomic.Int64
+	walCompactions    atomic.Int64
+	walCompactedBytes atomic.Int64
+	walCheckpoints    atomic.Int64
+	fsyncs            atomic.Int64
+	fsyncNanos        atomic.Int64
+
 	latMu    sync.Mutex
 	latCount int64
 	latRing  []time.Duration
@@ -73,6 +81,13 @@ type Snapshot struct {
 	SchedInFlightPeak    int64 // peak concurrently executing steps
 	SchedQueueDepthPeak  int64 // peak observed input-queue depth
 	SchedWorkerBusyNanos int64 // cumulative worker time spent executing
+
+	WALRotations      int64 // WAL segments sealed and rotated
+	WALCompactions    int64 // cold segments compacted and deleted
+	WALCompactedBytes int64 // garbage bytes reclaimed by compaction
+	WALCheckpoints    int64 // index checkpoints persisted
+	Fsyncs            int64 // fsync calls issued by stable storage
+	FsyncNanos        int64 // cumulative time spent in fsync
 }
 
 // IncMessages records one delivered network message carrying n payload bytes.
@@ -142,6 +157,25 @@ func (c *Counters) IncLockConflictAbort() { c.lockAborts.Add(1) }
 
 // IncSchedRetry records a retryable step attempt failure.
 func (c *Counters) IncSchedRetry() { c.schedRetries.Add(1) }
+
+// IncWALRotation records one WAL segment sealed and a new one opened.
+func (c *Counters) IncWALRotation() { c.walRotations.Add(1) }
+
+// IncWALCompaction records one compacted segment and the garbage bytes it
+// held (reclaimed disk space).
+func (c *Counters) IncWALCompaction(reclaimed int64) {
+	c.walCompactions.Add(1)
+	c.walCompactedBytes.Add(reclaimed)
+}
+
+// IncWALCheckpoint records one persisted index checkpoint.
+func (c *Counters) IncWALCheckpoint() { c.walCheckpoints.Add(1) }
+
+// ObserveFsync records one fsync call and its duration.
+func (c *Counters) ObserveFsync(d time.Duration) {
+	c.fsyncs.Add(1)
+	c.fsyncNanos.Add(int64(d))
+}
 
 // StepStarted marks one step entering execution; it returns the current
 // in-flight count. Pair with StepFinished.
@@ -227,6 +261,13 @@ func (c *Counters) Snapshot() Snapshot {
 		SchedInFlightPeak:    c.inFlightPeak.Load(),
 		SchedQueueDepthPeak:  c.queueDepthPeak.Load(),
 		SchedWorkerBusyNanos: c.workerBusyNanos.Load(),
+
+		WALRotations:      c.walRotations.Load(),
+		WALCompactions:    c.walCompactions.Load(),
+		WALCompactedBytes: c.walCompactedBytes.Load(),
+		WALCheckpoints:    c.walCheckpoints.Load(),
+		Fsyncs:            c.fsyncs.Load(),
+		FsyncNanos:        c.fsyncNanos.Load(),
 	}
 }
 
@@ -255,5 +296,12 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		SchedInFlightPeak:    s.SchedInFlightPeak, // peak is not differential
 		SchedQueueDepthPeak:  s.SchedQueueDepthPeak,
 		SchedWorkerBusyNanos: s.SchedWorkerBusyNanos - o.SchedWorkerBusyNanos,
+
+		WALRotations:      s.WALRotations - o.WALRotations,
+		WALCompactions:    s.WALCompactions - o.WALCompactions,
+		WALCompactedBytes: s.WALCompactedBytes - o.WALCompactedBytes,
+		WALCheckpoints:    s.WALCheckpoints - o.WALCheckpoints,
+		Fsyncs:            s.Fsyncs - o.Fsyncs,
+		FsyncNanos:        s.FsyncNanos - o.FsyncNanos,
 	}
 }

@@ -139,6 +139,100 @@ func TestQueueClaimVolatile(t *testing.T) {
 	})
 }
 
+// TestQueueClaimCachedIDsStayCorrect drives the entryIDs cache through
+// enqueue / claim / remove / release / re-enqueue churn and checks the
+// hand-out order never deviates from a cache-less queue.
+func TestQueueClaimCachedIDsStayCorrect(t *testing.T) {
+	storeImpls(t, func(t *testing.T, s Store) {
+		q := NewQueue(s, "q/")
+		// Interleave two agents, claim through twice so the second pass
+		// is served from the warm cache.
+		for round := 0; round < 2; round++ {
+			for i := 0; i < 4; i++ {
+				if err := q.Enqueue(fmt.Sprintf("ag%d", i%2), []byte(fmt.Sprintf("r%d-%d", round, i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var claimed []*Entry
+			for i := 0; i < 2; i++ {
+				e, _, err := q.Claim(nil)
+				if err != nil || e == nil {
+					t.Fatalf("round %d claim %d: %v %v", round, i, e, err)
+				}
+				if want := fmt.Sprintf("r%d-%d", round, i); string(e.Data) != want {
+					t.Fatalf("round %d claim %d = %q, want %q", round, i, e.Data, want)
+				}
+				claimed = append(claimed, e)
+			}
+			// Younger entries of both agents are withheld.
+			if e, _, _ := q.Claim(nil); e != nil {
+				t.Fatalf("round %d: withheld entry handed out: %v", round, e)
+			}
+			for _, e := range claimed {
+				if err := s.Apply(q.RemoveOp(e)); err != nil {
+					t.Fatal(err)
+				}
+				q.Release(e)
+			}
+			for i := 2; i < 4; i++ {
+				e, _, err := q.Claim(nil)
+				if err != nil || e == nil {
+					t.Fatalf("round %d tail claim: %v %v", round, e, err)
+				}
+				if want := fmt.Sprintf("r%d-%d", round, i); string(e.Data) != want {
+					t.Fatalf("round %d tail = %q, want %q", round, e.Data, want)
+				}
+				if err := s.Apply(q.RemoveOp(e)); err != nil {
+					t.Fatal(err)
+				}
+				q.Release(e)
+			}
+		}
+	})
+}
+
+// BenchmarkQueueClaimWithheld measures one Claim call over a queue whose
+// visible entries are all withheld (every agent has its oldest entry in
+// flight) — the scheduler's steady state under load. Before the entryIDs
+// cache this re-read and re-decoded every withheld entry from the store
+// per call (O(depth) gob decodes); with it the scan is pure map lookups.
+func BenchmarkQueueClaimWithheld(b *testing.B) {
+	for _, agents := range []int{64, 512, 4096} {
+		b.Run(fmt.Sprintf("agents=%d", agents), func(b *testing.B) {
+			s := NewMemStore(nil)
+			q := NewQueue(s, "q/")
+			payload := make([]byte, 1024)
+			for i := 0; i < agents; i++ {
+				id := fmt.Sprintf("agent%05d", i)
+				// Oldest entry (will be claimed) + a younger withheld one.
+				if err := q.Enqueue(id, payload); err != nil {
+					b.Fatal(err)
+				}
+				if err := q.Enqueue(id, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for i := 0; i < agents; i++ {
+				e, _, err := q.Claim(nil)
+				if err != nil || e == nil {
+					b.Fatalf("setup claim %d: %v %v", i, e, err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e, _, err := q.Claim(nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if e != nil {
+					b.Fatal("claim should find everything withheld")
+				}
+			}
+		})
+	}
+}
+
 // TestQueueNotifyBroadcast checks the no-missed-wakeup contract for N
 // concurrent waiters: grab the channel, find the queue empty, block — an
 // enqueue wakes every waiter.

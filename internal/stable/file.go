@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/wire"
@@ -291,7 +292,7 @@ func (s *FileStore) commitGroup(group []*applyWaiter) error {
 		return fmt.Errorf("stable: write journal: %w", err)
 	}
 	if s.opts.Sync {
-		if err := syncDir(s.dir); err != nil {
+		if err := s.syncDir(s.dir); err != nil {
 			return fmt.Errorf("stable: sync journal dir: %w", err)
 		}
 	}
@@ -299,7 +300,7 @@ func (s *FileStore) commitGroup(group []*applyWaiter) error {
 		return err
 	}
 	if s.opts.Sync {
-		if err := syncDir(s.kvDir); err != nil {
+		if err := s.syncDir(s.kvDir); err != nil {
 			return fmt.Errorf("stable: sync kv dir: %w", err)
 		}
 	}
@@ -352,7 +353,12 @@ func (s *FileStore) writeFileAtomic(path string, data []byte) error {
 		return err
 	}
 	if s.opts.Sync {
-		if err := f.Sync(); err != nil {
+		start := time.Now()
+		err := f.Sync()
+		if s.counters != nil {
+			s.counters.ObserveFsync(time.Since(start))
+		}
+		if err != nil {
 			_ = f.Close()
 			return err
 		}
@@ -364,12 +370,16 @@ func (s *FileStore) writeFileAtomic(path string, data []byte) error {
 }
 
 // syncDir fsyncs a directory so renames within it are durable.
-func syncDir(dir string) error {
+func (s *FileStore) syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	err = d.Sync()
+	if s.counters != nil {
+		s.counters.ObserveFsync(time.Since(start))
+	}
 	if cerr := d.Close(); err == nil {
 		err = cerr
 	}

@@ -1,6 +1,7 @@
 package stable
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -42,6 +43,27 @@ type Queue struct {
 	claimed    map[string]string
 	claimedIDs map[string]int
 
+	// entryIDs caches the agent ID of visible entries by store key. The
+	// claim scan consults it so withheld entries (claimed keys, younger
+	// entries of in-flight agents, vetoed agents) cost a map lookup, not
+	// a store read plus a gob decode per entry per call — with hundreds
+	// of agents in flight the old scan re-decoded every withheld entry
+	// on every Claim. Entries are decoded at most once per lifetime; the
+	// cache is pruned against the live key set when it outgrows it.
+	entryIDs map[string]string
+
+	// view caches the sorted visible-key listing for the claim scan.
+	// Every visibility transition invalidates it through signal(): queue
+	// methods (Enqueue, CommitStaged) signal directly, and the external
+	// paths — EnqueueOps/RemoveOp batches committed by a worker's
+	// transaction — are always followed by the worker's Release, which
+	// signals. Until that Release the removed key is still in claimed
+	// and the scan skips it, so a stale view never surfaces a dead
+	// entry; as a second line of defense, a winner whose entry vanished
+	// from the store refreshes the view and rescans instead of failing.
+	view      []string
+	viewValid bool
+
 	// seq caches the next sequence number after the first read, so tail
 	// reservations cost no store round-trip. The store copy is only read
 	// again by a fresh Queue (i.e. after a crash/restart), and every
@@ -80,6 +102,7 @@ func NewQueue(store Store, prefix string) *Queue {
 		notify:     make(chan struct{}),
 		claimed:    make(map[string]string),
 		claimedIDs: make(map[string]int),
+		entryIDs:   make(map[string]string),
 	}
 }
 
@@ -95,6 +118,7 @@ func (q *Queue) Notify() <-chan struct{} {
 }
 
 func (q *Queue) signal() {
+	q.viewValid = false
 	close(q.notify)
 	q.notify = make(chan struct{})
 }
@@ -145,6 +169,7 @@ func (q *Queue) Enqueue(id string, data []byte) error {
 	if err := q.store.Apply(seqOp, Put(q.entryKey(seq), rec)); err != nil {
 		return err
 	}
+	q.entryIDs[q.entryKey(seq)] = id
 	q.signal()
 	return nil
 }
@@ -168,6 +193,10 @@ func (q *Queue) EnqueueOps(id string, data []byte) ([]Op, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Cache the ID now: the entry only becomes visible if the caller's
+	// transaction commits the ops, and a stale cache entry for a position
+	// that never materializes is pruned with the rest.
+	q.entryIDs[q.entryKey(seq)] = id
 	return []Op{Put(q.entryKey(seq), rec)}, nil
 }
 
@@ -218,6 +247,7 @@ func (q *Queue) CommitStaged(txnID string) error {
 	); err != nil {
 		return err
 	}
+	q.entryIDs[q.entryKey(st.Seq)] = st.ID
 	q.signal()
 	return nil
 }
@@ -275,40 +305,109 @@ func (q *Queue) Peek() (*Entry, error) {
 // scan (a free queue-depth sample for the caller's metrics). The claim is
 // volatile: it is not persisted, and a fresh Queue over the same store
 // starts unclaimed.
+//
+// Cost: entries passed over (claimed, withheld behind an in-flight agent,
+// vetoed) are judged from the entryIDs cache — no store reads, no
+// decodes — so the per-claim cost stays flat as the queue deepens with
+// in-flight agents; exactly one store read fetches the winning entry, and
+// each entry is decoded at most once over its lifetime.
 func (q *Queue) Claim(skip func(id string) bool) (e *Entry, depth int, err error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	keys, err := q.store.Keys(q.prefix + "e/")
-	if err != nil {
-		return nil, 0, err
+	// One retry: a fresh view resolves the benign vanished-entry race
+	// (removal committed, Release pending); a vanish that survives a
+	// fresh listing is real corruption and propagates.
+	for attempt := 0; ; attempt++ {
+		e, depth, err = q.claimScan(skip)
+		if errors.Is(err, errEntryVanished) && attempt == 0 {
+			q.viewValid = false
+			continue
+		}
+		return e, depth, err
 	}
-	depth = len(keys)
-	for _, k := range keys {
+}
+
+// claimScan is one pass of the claim scan over the (possibly cached)
+// visible-key view. Caller holds q.mu.
+func (q *Queue) claimScan(skip func(id string) bool) (e *Entry, depth int, err error) {
+	if !q.viewValid {
+		keys, err := q.store.Keys(q.prefix + "e/")
+		if err != nil {
+			return nil, 0, err
+		}
+		q.view = keys
+		q.viewValid = true
+		q.pruneEntryIDs(keys)
+	}
+	depth = len(q.view)
+	for _, k := range q.view {
 		if _, taken := q.claimed[k]; taken {
 			continue
 		}
-		raw, ok, err := q.store.Get(k)
-		if err != nil {
-			return nil, depth, err
+		id, cached := q.entryIDs[k]
+		var data []byte
+		if !cached {
+			var rec entryRec
+			if rec, err = q.readEntry(k); err != nil {
+				return nil, depth, err
+			}
+			id, data = rec.ID, rec.Data
+			q.entryIDs[k] = id
 		}
-		if !ok {
-			return nil, depth, fmt.Errorf("stable: queue entry %q vanished", k)
-		}
-		var rec entryRec
-		if err := wire.Decode(raw, &rec); err != nil {
-			return nil, depth, fmt.Errorf("stable: corrupt queue entry %q: %w", k, err)
-		}
-		if q.claimedIDs[rec.ID] > 0 {
+		if q.claimedIDs[id] > 0 {
 			continue // an older entry of this agent is in flight
 		}
-		if skip != nil && skip(rec.ID) {
+		if skip != nil && skip(id) {
 			continue
 		}
-		q.claimed[k] = rec.ID
-		q.claimedIDs[rec.ID]++
-		return &Entry{ID: rec.ID, Data: rec.Data, key: k}, depth, nil
+		if cached {
+			var rec entryRec
+			if rec, err = q.readEntry(k); err != nil {
+				return nil, depth, err
+			}
+			data = rec.Data
+		}
+		q.claimed[k] = id
+		q.claimedIDs[id]++
+		return &Entry{ID: id, Data: data, key: k}, depth, nil
 	}
 	return nil, depth, nil
+}
+
+// errEntryVanished marks a listed entry missing from the store: benign
+// when the listing was cached (refresh and rescan), corruption when not.
+var errEntryVanished = errors.New("stable: queue entry vanished")
+
+// readEntry fetches and decodes one committed entry record.
+func (q *Queue) readEntry(key string) (entryRec, error) {
+	raw, ok, err := q.store.Get(key)
+	if err != nil {
+		return entryRec{}, err
+	}
+	if !ok {
+		return entryRec{}, fmt.Errorf("%w: %q", errEntryVanished, key)
+	}
+	var rec entryRec
+	if err := wire.Decode(raw, &rec); err != nil {
+		return entryRec{}, fmt.Errorf("stable: corrupt queue entry %q: %w", key, err)
+	}
+	return rec, nil
+}
+
+// pruneEntryIDs drops cache entries for removed queue positions once the
+// cache has outgrown the live key set — O(live) work amortized over at
+// least as many removals.
+func (q *Queue) pruneEntryIDs(live []string) {
+	if len(q.entryIDs) <= 2*len(live)+64 {
+		return
+	}
+	fresh := make(map[string]string, len(live))
+	for _, k := range live {
+		if id, ok := q.entryIDs[k]; ok {
+			fresh[k] = id
+		}
+	}
+	q.entryIDs = fresh
 }
 
 // Release drops the claim on e. Call it after the entry was durably

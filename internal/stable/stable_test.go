@@ -22,53 +22,9 @@ func storeImpls(t *testing.T, fn func(t *testing.T, s Store)) {
 	})
 }
 
-func TestStoreBasics(t *testing.T) {
-	storeImpls(t, func(t *testing.T, s Store) {
-		if _, ok, err := s.Get("missing"); err != nil || ok {
-			t.Errorf("missing key: %v %v", ok, err)
-		}
-		if err := s.Apply(Put("a/1", []byte("x")), Put("a/2", []byte("y")), Put("b/1", []byte("z"))); err != nil {
-			t.Fatal(err)
-		}
-		v, ok, err := s.Get("a/1")
-		if err != nil || !ok || string(v) != "x" {
-			t.Errorf("get a/1 = %q %v %v", v, ok, err)
-		}
-		keys, err := s.Keys("a/")
-		if err != nil || !reflect.DeepEqual(keys, []string{"a/1", "a/2"}) {
-			t.Errorf("keys = %v, %v", keys, err)
-		}
-		if err := s.Apply(Del("a/1"), Put("a/2", []byte("y2"))); err != nil {
-			t.Fatal(err)
-		}
-		if _, ok, _ := s.Get("a/1"); ok {
-			t.Error("a/1 survived delete")
-		}
-		v, _, _ = s.Get("a/2")
-		if string(v) != "y2" {
-			t.Errorf("a/2 = %q, want y2", v)
-		}
-	})
-}
-
-func TestStoreValueIsolation(t *testing.T) {
-	storeImpls(t, func(t *testing.T, s Store) {
-		orig := []byte("hello")
-		if err := s.Apply(Put("k", orig)); err != nil {
-			t.Fatal(err)
-		}
-		orig[0] = 'X' // mutate caller's buffer
-		v, _, _ := s.Get("k")
-		if string(v) != "hello" {
-			t.Errorf("stored value shares caller's buffer: %q", v)
-		}
-		v[0] = 'Y' // mutate returned buffer
-		v2, _, _ := s.Get("k")
-		if string(v2) != "hello" {
-			t.Errorf("returned value aliases store: %q", v2)
-		}
-	})
-}
+// Store interface conformance (basics, value isolation, batch atomicity,
+// queue linearization) lives in the shared suite: see storetest and
+// conformance_test.go, which run it against every engine.
 
 func TestFileStorePersistsAcrossReopen(t *testing.T) {
 	dir := t.TempDir()

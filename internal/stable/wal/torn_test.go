@@ -1,0 +1,173 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/stable"
+)
+
+// TestTornWriteMatrix simulates a crash mid-append at every possible
+// point: the active segment is truncated at every byte offset of its
+// final record (including zero extra bytes and the full header), the
+// store is reopened, and the state must be exactly "everything before the
+// final record" — the torn record dropped cleanly, never corrupted state,
+// never lost earlier batches.
+func TestTornWriteMatrix(t *testing.T) {
+	// Build a reference store: several committed batches, then one final
+	// record whose every prefix we will crash inside.
+	master := t.TempDir()
+	s := openTest(t, master, Options{})
+	for i := 0; i < 8; i++ {
+		if err := s.Apply(
+			stable.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))),
+			stable.Put("overwritten", []byte(fmt.Sprintf("gen%d", i))),
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segPath := filepath.Join(master, segmentName(1))
+	fi, err := os.Stat(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preLen := fi.Size()
+	// The final record: overwrites one key, adds one, deletes one.
+	if err := s.Apply(
+		stable.Put("overwritten", []byte("final")),
+		stable.Put("late", []byte("arrival")),
+		stable.Del("k0"),
+	); err != nil {
+		t.Fatal(err)
+	}
+	fi, err = os.Stat(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullLen := fi.Size()
+	if fullLen <= preLen {
+		t.Fatalf("final record added no bytes: %d -> %d", preLen, fullLen)
+	}
+	_ = s.Close()
+	segData, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	verifyPreState := func(t *testing.T, s *Store) {
+		t.Helper()
+		for i := 0; i < 8; i++ {
+			v, ok, err := s.Get(fmt.Sprintf("k%d", i))
+			if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+				t.Fatalf("k%d = %q %v %v", i, v, ok, err)
+			}
+		}
+		if v, _, _ := s.Get("overwritten"); string(v) != "gen7" {
+			t.Fatalf("overwritten = %q, want pre-crash gen7", v)
+		}
+		if _, ok, _ := s.Get("late"); ok {
+			t.Fatal("torn record's new key visible")
+		}
+	}
+
+	for cut := preLen; cut < fullLen; cut++ {
+		t.Run(fmt.Sprintf("cut=%d", cut-preLen), func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, segmentName(1)), segData[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			r, err := Open(dir, Options{NoBackground: true})
+			if err != nil {
+				t.Fatalf("reopen with torn tail: %v", err)
+			}
+			defer r.Close()
+			if got := r.Recovery().TornTailBytes; got != cut-preLen {
+				t.Errorf("TornTailBytes = %d, want %d", got, cut-preLen)
+			}
+			verifyPreState(t, r)
+			// The store must accept new writes after truncation, and the
+			// re-appended record must survive another reopen.
+			if err := r.Apply(stable.Put("after", []byte("crash"))); err != nil {
+				t.Fatal(err)
+			}
+			_ = r.Close()
+			r2, err := Open(dir, Options{NoBackground: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r2.Close()
+			verifyPreState(t, r2)
+			if v, ok, _ := r2.Get("after"); !ok || string(v) != "crash" {
+				t.Fatalf("post-truncation write lost: %q %v", v, ok)
+			}
+		})
+	}
+
+	// Sanity: the untouched file replays the final record completely.
+	r, err := Open(master, Options{NoBackground: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if v, _, _ := r.Get("overwritten"); string(v) != "final" {
+		t.Fatalf("full replay: overwritten = %q", v)
+	}
+	if _, ok, _ := r.Get("k0"); ok {
+		t.Fatal("full replay: delete lost")
+	}
+	keys, _ := r.Keys("k")
+	sort.Strings(keys)
+	if len(keys) != 7 {
+		t.Fatalf("full replay keys = %v", keys)
+	}
+}
+
+// TestTornTailBitFlip covers the other torn-write shape: the final record
+// is complete in length but its payload bytes are damaged (a partially
+// persisted sector). Every single-byte corruption of the final record must
+// be detected by the CRC and the record dropped.
+func TestTornTailBitFlip(t *testing.T) {
+	master := t.TempDir()
+	s := openTest(t, master, Options{})
+	if err := s.Apply(stable.Put("base", []byte("safe"))); err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(master, segmentName(1))
+	fi, _ := os.Stat(segPath)
+	preLen := fi.Size()
+	if err := s.Apply(stable.Put("victim", []byte("payload-bytes-here"))); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Close()
+	segData, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for off := preLen; off < int64(len(segData)); off++ {
+		corrupted := append([]byte(nil), segData...)
+		corrupted[off] ^= 0x01
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), corrupted, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(dir, Options{NoBackground: true})
+		if err != nil {
+			t.Fatalf("off %d: reopen: %v", off, err)
+		}
+		if v, ok, _ := r.Get("base"); !ok || string(v) != "safe" {
+			t.Fatalf("off %d: base = %q %v", off, v, ok)
+		}
+		if v, ok, _ := r.Get("victim"); ok {
+			// A flip inside the length word can shorten the record to a
+			// still-valid prefix only if the CRC also matched — which the
+			// CRC makes astronomically unlikely; any surviving "victim"
+			// must carry the intact value.
+			t.Fatalf("off %d: corrupt record surfaced victim=%q", off, v)
+		}
+		_ = r.Close()
+	}
+}

@@ -1,0 +1,438 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/stable"
+)
+
+// openTest opens a store with small limits and no background goroutine so
+// tests drive rotation/checkpoint/compaction deterministically.
+func openTest(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	opts.NoBackground = true
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func TestBasicsAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	if err := s.Apply(stable.Put("a", []byte("1")), stable.Put("b", []byte("2"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(stable.Put("a", []byte("1'")), stable.Del("b"), stable.Put("c", nil)); err != nil {
+		t.Fatal(err)
+	}
+	check := func(s *Store) {
+		t.Helper()
+		if v, ok, err := s.Get("a"); err != nil || !ok || string(v) != "1'" {
+			t.Fatalf("a = %q %v %v", v, ok, err)
+		}
+		if _, ok, _ := s.Get("b"); ok {
+			t.Fatal("b survived delete")
+		}
+		// Put(k, nil) is Del per the Op contract.
+		if _, ok, _ := s.Get("c"); ok {
+			t.Fatal("nil-value put resurrected c")
+		}
+		keys, err := s.Keys("")
+		if err != nil || !reflect.DeepEqual(keys, []string{"a"}) {
+			t.Fatalf("keys = %v %v", keys, err)
+		}
+	}
+	check(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir, Options{})
+	check(s2)
+	if s2.Recovery().CheckpointLoaded {
+		t.Error("no checkpoint was written, yet recovery claims one")
+	}
+}
+
+func TestEmptyValueRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	if err := s.Apply(stable.Put("empty", []byte{})); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get("empty")
+	if err != nil || !ok || len(v) != 0 {
+		t.Fatalf("empty value = %v %v %v", v, ok, err)
+	}
+	_ = s.Close()
+	s2 := openTest(t, dir, Options{})
+	if v, ok, err := s2.Get("empty"); err != nil || !ok || len(v) != 0 {
+		t.Fatalf("empty value after reopen = %v %v %v", v, ok, err)
+	}
+}
+
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	c := &metrics.Counters{}
+	s := openTest(t, dir, Options{SegmentSize: 256, Counters: c})
+	val := make([]byte, 100)
+	for i := 0; i < 10; i++ {
+		if err := s.Apply(stable.Put(fmt.Sprintf("k%02d", i), val)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %v", segs)
+	}
+	if c.Snapshot().WALRotations == 0 {
+		t.Error("no rotations counted")
+	}
+	// All keys must survive a reopen that replays every segment.
+	_ = s.Close()
+	s2 := openTest(t, dir, Options{SegmentSize: 256})
+	for i := 0; i < 10; i++ {
+		if _, ok, err := s2.Get(fmt.Sprintf("k%02d", i)); err != nil || !ok {
+			t.Fatalf("k%02d lost after rotation+reopen: %v %v", i, ok, err)
+		}
+	}
+	if got := s2.Recovery().SegmentsScanned; got != len(segs) {
+		t.Errorf("replay scanned %d segments, want %d", got, len(segs))
+	}
+}
+
+func TestCheckpointBoundsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentSize: 1 << 10})
+	val := make([]byte, 64)
+	for i := 0; i < 64; i++ {
+		if err := s.Apply(stable.Put(fmt.Sprintf("k%02d", i%8), val)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// A little tail past the checkpoint.
+	for i := 0; i < 4; i++ {
+		if err := s.Apply(stable.Put(fmt.Sprintf("t%d", i), val)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = s.Close()
+
+	s2 := openTest(t, dir, Options{SegmentSize: 1 << 10})
+	rs := s2.Recovery()
+	if !rs.CheckpointLoaded {
+		t.Fatal("checkpoint not loaded")
+	}
+	if rs.CheckpointKeys != 8 {
+		t.Errorf("checkpoint keys = %d, want 8", rs.CheckpointKeys)
+	}
+	if rs.OpsReplayed != 4 {
+		t.Errorf("replayed %d ops past the checkpoint, want 4", rs.OpsReplayed)
+	}
+	for i := 0; i < 8; i++ {
+		if _, ok, _ := s2.Get(fmt.Sprintf("k%02d", i)); !ok {
+			t.Errorf("k%02d missing", i)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok, _ := s2.Get(fmt.Sprintf("t%d", i)); !ok {
+			t.Errorf("t%d missing", i)
+		}
+	}
+}
+
+func TestCheckpointReplayOrderPreservesLastWriter(t *testing.T) {
+	// A key overwritten after the checkpoint must come back with the new
+	// value: replayed records win over the checkpointed location.
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	if err := s.Apply(stable.Put("k", []byte("old"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(stable.Put("k", []byte("new")), stable.Put("d", []byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(stable.Del("d")); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Close()
+	s2 := openTest(t, dir, Options{})
+	if v, _, _ := s2.Get("k"); string(v) != "new" {
+		t.Fatalf("k = %q after replay, want new", v)
+	}
+	if _, ok, _ := s2.Get("d"); ok {
+		t.Fatal("post-checkpoint delete lost in replay")
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	c := &metrics.Counters{}
+	s := openTest(t, dir, Options{SegmentSize: 512, Counters: c})
+	val := make([]byte, 100)
+	// Churn a small key set so early segments are almost all garbage.
+	for i := 0; i < 40; i++ {
+		if err := s.Apply(stable.Put(fmt.Sprintf("k%d", i%4), val)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if len(after) >= len(before) {
+		t.Fatalf("compaction did not delete segments: %d -> %d", len(before), len(after))
+	}
+	snap := c.Snapshot()
+	if snap.WALCompactions == 0 || snap.WALCompactedBytes == 0 {
+		t.Errorf("compaction not counted: %+v", snap)
+	}
+	// All live keys intact, both now and after a reopen.
+	verify := func(s *Store) {
+		t.Helper()
+		for i := 0; i < 4; i++ {
+			if v, ok, err := s.Get(fmt.Sprintf("k%d", i)); err != nil || !ok || len(v) != 100 {
+				t.Fatalf("k%d after compaction: %v %v", i, ok, err)
+			}
+		}
+		keys, _ := s.Keys("")
+		if len(keys) != 4 {
+			t.Fatalf("keys after compaction = %v", keys)
+		}
+	}
+	verify(s)
+	_ = s.Close()
+	s2 := openTest(t, dir, Options{SegmentSize: 512})
+	verify(s2)
+}
+
+func TestCompactionRaceWithOverwrite(t *testing.T) {
+	// Keys overwritten between the compactor's read and its rewrite must
+	// keep the new value (the re-verification under the lock drops the
+	// stale rewrite). Simulate by overwriting through the normal path
+	// while compaction runs repeatedly.
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentSize: 256})
+	val := make([]byte, 64)
+	for i := 0; i < 64; i++ {
+		if err := s.Apply(stable.Put(fmt.Sprintf("k%d", i%8), val)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			_ = s.Apply(stable.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("final%d", i))))
+		}
+	}()
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i := 0; i < 8; i++ {
+		v, ok, err := s.Get(fmt.Sprintf("k%d", i))
+		if err != nil || !ok || string(v) != fmt.Sprintf("final%d", i) {
+			t.Fatalf("k%d = %q %v %v, want final%d", i, v, ok, err, i)
+		}
+	}
+}
+
+// TestStaleRewriteNeverReachesLog pins the crash-recovery contract of
+// compactor rewrites: a rewrite whose key was overwritten (or deleted)
+// since the compactor read it must be dropped BEFORE the record is
+// written — recovery replays the log blindly last-writer-wins, so a
+// stale value appended after the overwrite's record would win the replay
+// if the process crashed before the post-compaction checkpoint.
+func TestStaleRewriteNeverReachesLog(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	if err := s.Apply(stable.Put("k", []byte("v1")), stable.Put("d", []byte("x1"))); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.RLock()
+	lk, ld := s.index["k"], s.index["d"]
+	s.mu.RUnlock()
+
+	// The "concurrent" overwrite and delete land first.
+	if err := s.Apply(stable.Put("k", []byte("v2")), stable.Del("d")); err != nil {
+		t.Fatal(err)
+	}
+	// The compactor's rewrite arrives with the pre-overwrite locations:
+	// both ops are stale and must not reach the log.
+	if err := s.append([]stable.Op{stable.Put("k", []byte("v1")), stable.Put("d", []byte("x1"))},
+		true, lk, ld); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Close()
+
+	// Crash here (no checkpoint): blind replay must still yield v2 and
+	// keep d deleted.
+	r := openTest(t, dir, Options{})
+	if v, _, _ := r.Get("k"); string(v) != "v2" {
+		t.Fatalf("replay resurrected stale rewrite: k = %q, want v2", v)
+	}
+	if _, ok, _ := r.Get("d"); ok {
+		t.Fatal("replay resurrected deleted key from stale rewrite")
+	}
+}
+
+func TestGroupCommitCoalesces(t *testing.T) {
+	// Sync mode + fat values make each commit slow enough that concurrent
+	// callers pile up behind the leader and coalesce.
+	s := openTest(t, t.TempDir(), Options{Sync: true})
+	const callers, iters = 8, 25
+	val := make([]byte, 16<<10)
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				val := append(append([]byte(nil), val...), byte(i))
+				if err := s.Apply(stable.Put(fmt.Sprintf("g%d", g), val)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	applies := int64(callers * iters)
+	if got := s.GroupCommits(); got >= applies {
+		t.Errorf("no coalescing: %d commits for %d applies", got, applies)
+	}
+	for g := 0; g < callers; g++ {
+		if v, ok, _ := s.Get(fmt.Sprintf("g%d", g)); !ok || v[len(v)-1] != iters-1 {
+			t.Errorf("g%d = %v, want final write", g, ok)
+		}
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(stable.Put("k", []byte("v"))); err != stable.ErrClosed {
+		t.Errorf("Apply after close = %v, want ErrClosed", err)
+	}
+	if _, _, err := s.Get("k"); err != stable.ErrClosed {
+		t.Errorf("Get after close = %v, want ErrClosed", err)
+	}
+	if _, err := s.Keys(""); err != stable.ErrClosed {
+		t.Errorf("Keys after close = %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double close = %v", err)
+	}
+}
+
+func TestSyncModeCountsFsyncs(t *testing.T) {
+	c := &metrics.Counters{}
+	s := openTest(t, t.TempDir(), Options{Sync: true, Counters: c})
+	for i := 0; i < 4; i++ {
+		if err := s.Apply(stable.Put("k", []byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := c.Snapshot()
+	if snap.Fsyncs == 0 || snap.FsyncNanos == 0 {
+		t.Errorf("fsyncs not observed: %+v", snap)
+	}
+}
+
+func TestCorruptionInNonFinalSegmentRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentSize: 128})
+	val := make([]byte, 64)
+	for i := 0; i < 8; i++ {
+		if err := s.Apply(stable.Put(fmt.Sprintf("k%d", i), val)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = s.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if len(segs) < 2 {
+		t.Fatalf("need ≥2 segments, got %v", segs)
+	}
+	// Flip a payload byte in the FIRST segment: checksum mismatch that is
+	// not a torn tail must refuse to open, not silently drop data.
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{NoBackground: true}); err == nil {
+		t.Fatal("open succeeded over corrupt non-final segment")
+	}
+}
+
+func TestBackgroundMaintenance(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentSize: 1 << 10, CheckpointEvery: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	val := make([]byte, 128)
+	for i := 0; i < 256; i++ {
+		if err := s.Apply(stable.Put(fmt.Sprintf("k%d", i%8), val)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The maintenance goroutine runs asynchronously; wait for its first
+	// checkpoint to land before simulating the crash.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "checkpoint")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background maintenance never wrote a checkpoint")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_ = s.Close()
+	s2 := openTest(t, dir, Options{})
+	if !s2.Recovery().CheckpointLoaded {
+		t.Fatal("background maintenance never checkpointed")
+	}
+	// ~36 KiB were appended; any landed checkpoint bounds the replay
+	// strictly below the full history (the exact bound is timing
+	// dependent; TestCheckpointBoundsReplay pins it deterministically).
+	if s2.Recovery().BytesReplayed >= 36<<10 {
+		t.Errorf("replay not bounded: %d bytes", s2.Recovery().BytesReplayed)
+	}
+	for i := 0; i < 8; i++ {
+		if _, ok, _ := s2.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("k%d missing after background maintenance", i)
+		}
+	}
+}
