@@ -1,0 +1,147 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/demo"
+	"repro/internal/network"
+	"repro/internal/node"
+	"repro/internal/resource"
+	"repro/internal/stable"
+)
+
+// freeAddr reserves an ephemeral port and releases it for the caller —
+// the client's listen address must be known before the node's peer list
+// is built, so :0 cannot be used there directly.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	_ = l.Close()
+	return addr
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-listen", "not-an-address"}); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}
+
+// TestRunUnknownBankNode: launching toward a node absent from the peer
+// list must fail fast (permanent error), not hang until the timeout.
+func TestRunUnknownBankNode(t *testing.T) {
+	start := time.Now()
+	err := run([]string{
+		"-listen", "127.0.0.1:0",
+		"-peers", "B=127.0.0.1:1",
+		"-bank", "A", "-timeout", "5s",
+	})
+	if err == nil {
+		t.Fatal("launch to unknown peer succeeded")
+	}
+	if !strings.Contains(err.Error(), "unknown node") {
+		t.Errorf("error = %v, want unknown-node", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Errorf("unknown peer took %v, should fail fast", time.Since(start))
+	}
+}
+
+// TestRunTimesOutWithoutNode: with a resolvable but dead peer the launch
+// message is dropped (TCP dial fails) and the wait must end at -timeout.
+func TestRunTimesOutWithoutNode(t *testing.T) {
+	err := run([]string{
+		"-listen", "127.0.0.1:0",
+		"-peers", "A=127.0.0.1:1", // nothing listens there
+		"-bank", "A", "-shop", "A", "-dir", "A",
+		"-timeout", "300ms",
+	})
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("error = %v, want timeout", err)
+	}
+}
+
+// TestRunSmoke drives the full client flow against an in-process node
+// hosting all three demo resources: launch over real TCP, the demo
+// scenario's partial rollback on the bad review, and the completion
+// notification back to the client.
+func TestRunSmoke(t *testing.T) {
+	ctlAddr := freeAddr(t)
+	reg := agent.NewRegistry()
+	if err := demo.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := network.NewTCP(network.TCPConfig{
+		Name: "A", Listen: "127.0.0.1:0",
+		Peers: map[string]string{"ctl": ctlAddr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	nodeAddr := ep.Addr()
+	store := stable.NewMemStore(nil)
+	n, err := node.New(node.Config{
+		Name:       "A",
+		Optimized:  true,
+		RetryDelay: 2 * time.Millisecond,
+		AckTimeout: time.Second,
+	}, ep, store, reg,
+		func(st stable.Store) (resource.Resource, error) { return resource.NewBank(st, "bank", false) },
+		func(st stable.Store) (resource.Resource, error) {
+			return resource.NewShop(st, "shop", resource.ShopConfig{Currency: "USD", Mode: resource.RefundCash, FeePercent: 10})
+		},
+		func(st stable.Store) (resource.Resource, error) { return resource.NewDirectory(st, "dir") },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	defer n.Stop()
+	select {
+	case <-n.Ready():
+	case <-time.After(5 * time.Second):
+		t.Fatal("node never became ready")
+	}
+
+	tx, err := n.Manager().Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := n.Resource("bank")
+	if err := rb.(*resource.Bank).OpenAccount(tx, "alice", 1000); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := n.Resource("shop")
+	if err := rs.(*resource.Shop).Restock(tx, "book", 5, 100); err != nil {
+		t.Fatal(err)
+	}
+	rd, _ := n.Resource("dir")
+	if err := rd.(*resource.Directory).Put(tx, "review/book", "bad"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	err = run([]string{
+		"-name", "ctl", "-listen", ctlAddr,
+		"-peers", "A=" + nodeAddr + ",ctl=" + ctlAddr,
+		"-bank", "A", "-shop", "A", "-dir", "A",
+		"-acct", "alice", "-id", "smoke-agent",
+		"-timeout", "30s",
+	})
+	if err != nil {
+		t.Fatalf("agentctl run: %v", err)
+	}
+}

@@ -10,11 +10,21 @@
 //	loadgen -sweep 1,2,4,8 -json out.json    # worker sweep, machine-readable
 //	loadgen -store wal                       # nodes on the log-structured WAL engine
 //	loadgen -storesweep -workers 4           # backend sweep: mem vs file vs wal
+//	loadgen -chaos -chaos-seeds 20           # chaos sweep: 20 seeded fault schedules
+//	loadgen -chaos -chaos-seed 7 -store wal  # replay one failing seed, print its schedule
 //
 // The per-step service time (-stepwork) is spent inside the step
 // transaction with the bank lock held; it is what makes the workload
 // wait-dominated, so throughput scales with -workers until conflicts
 // serialize it.
+//
+// With -chaos the tool runs the deterministic fault-injection harness
+// (internal/chaos) instead of the plain load: each seed expands into a
+// schedule of node crashes, partitions, message drop/duplicate/reorder
+// faults and latency spikes, executed against the workload while the
+// §4.3 invariants are checked. A failing CI seed is replayed exactly with
+// `-chaos -chaos-seed=N -store=<engine> -workers=<W>`; the exact schedule
+// is printed and the exit status reflects the verdict.
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/experiments"
 )
 
@@ -72,8 +83,20 @@ func run(args []string) error {
 	storeSweep := fs.Bool("storesweep", false, "run the full backend sweep (mem, file, wal) per worker count")
 	sweep := fs.String("sweep", "", "comma-separated worker counts to sweep (overrides -workers)")
 	jsonPath := fs.String("json", "", "write the reports as JSON to this file")
+	chaosMode := fs.Bool("chaos", false, "run the seeded fault-injection harness instead of the plain load")
+	chaosSeed := fs.Int64("chaos-seed", -1, "chaos: replay exactly this seed (prints the schedule)")
+	chaosSeeds := fs.Int("chaos-seeds", 5, "chaos: number of consecutive seeds to sweep")
+	chaosBase := fs.Int64("chaos-base-seed", 1, "chaos: first seed of the sweep")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *chaosMode {
+		return runChaos(chaosConfig{
+			seed: *chaosSeed, seeds: *chaosSeeds, base: *chaosBase,
+			store: *store, workers: *workers, nodes: *nodes,
+			jsonPath: *jsonPath,
+		})
 	}
 
 	counts := []int{*workers}
@@ -151,6 +174,95 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %d report(s) to %s\n", len(reports), *jsonPath)
+	}
+	return nil
+}
+
+type chaosConfig struct {
+	seed     int64 // >= 0: replay exactly this seed
+	seeds    int
+	base     int64
+	store    string
+	workers  int
+	nodes    int
+	jsonPath string
+}
+
+type chaosReport struct {
+	Seed       int64    `json:"seed"`
+	Store      string   `json:"store"`
+	Workers    int      `json:"workers"`
+	Crashes    int      `json:"crashes"`
+	Partitions int      `json:"partitions"`
+	FaultWins  int      `json:"fault_windows"`
+	Drops      int64    `json:"drops"`
+	Dups       int64    `json:"dups"`
+	Reorders   int64    `json:"reorders"`
+	RolledBack int      `json:"rolled_back"`
+	ElapsedMS  float64  `json:"elapsed_ms"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// runChaos sweeps (or replays) chaos seeds; the exit status reflects the
+// verdict so CI can gate on it.
+func runChaos(cfg chaosConfig) error {
+	seeds := make([]int64, 0, cfg.seeds)
+	verbose := false
+	if cfg.seed >= 0 {
+		seeds, verbose = append(seeds, cfg.seed), true
+	} else {
+		for s := cfg.base; s < cfg.base+int64(cfg.seeds); s++ {
+			seeds = append(seeds, s)
+		}
+	}
+	var reports []chaosReport
+	failed := 0
+	for _, seed := range seeds {
+		res, err := chaos.Run(chaos.Options{
+			Seed:    seed,
+			Store:   cfg.store,
+			Workers: cfg.workers,
+			Nodes:   cfg.nodes,
+		})
+		if err != nil {
+			return err
+		}
+		if verbose || res.Failed() {
+			fmt.Print(res.Schedule.String())
+		}
+		fmt.Println(res.Summary())
+		r := chaosReport{
+			Seed: seed, Store: cfg.store, Workers: cfg.workers,
+			Drops: res.Faults.Drops, Dups: res.Faults.Dups, Reorders: res.Faults.Reorders,
+			RolledBack: res.RolledBack,
+			ElapsedMS:  float64(res.Elapsed.Microseconds()) / 1000,
+		}
+		r.Crashes, r.Partitions, r.FaultWins = res.Schedule.Counts()
+		for _, v := range res.Violations {
+			r.Violations = append(r.Violations, v.String())
+		}
+		reports = append(reports, r)
+		if res.Failed() {
+			failed++
+			for _, v := range res.Violations {
+				fmt.Printf("  violation: %s\n", v)
+			}
+			fmt.Printf("  reproduce: go run ./cmd/loadgen -chaos -chaos-seed=%d -store=%s -workers=%d\n",
+				seed, cfg.store, cfg.workers)
+		}
+	}
+	if cfg.jsonPath != "" {
+		data, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d chaos report(s) to %s\n", len(reports), cfg.jsonPath)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d chaos seeds violated invariants", failed, len(seeds))
 	}
 	return nil
 }

@@ -50,6 +50,43 @@ func TestLoadgenBadFlags(t *testing.T) {
 	if err := run([]string{"-store", "papyrus"}); err == nil {
 		t.Error("unknown store backend accepted")
 	}
+	if err := run([]string{"-chaos", "-store", "papyrus"}); err == nil {
+		t.Error("chaos mode accepted an unknown store backend")
+	}
+}
+
+// TestLoadgenChaosReplay replays one chaos seed through the CLI and
+// checks the JSON report shape — the path CI's repro command takes.
+func TestLoadgenChaosReplay(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "chaos.json")
+	err := run([]string{
+		"-chaos", "-chaos-seed", "1", "-nodes", "3", "-workers", "2",
+		"-json", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []chaosReport
+	if err := json.Unmarshal(data, &reports); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("got %d chaos reports, want 1", len(reports))
+	}
+	r := reports[0]
+	if r.Seed != 1 || r.Workers != 2 || r.Store != "mem" {
+		t.Errorf("report header wrong: %+v", r)
+	}
+	if len(r.Violations) != 0 {
+		t.Errorf("seed 1 violated invariants: %v", r.Violations)
+	}
+	if r.Crashes+r.Partitions+r.FaultWins == 0 {
+		t.Error("schedule contained no fault windows at all")
+	}
 }
 
 // TestLoadgenStoreBackends drives a tiny run against each storage engine

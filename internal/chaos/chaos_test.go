@@ -1,0 +1,216 @@
+package chaos_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// The chaos sweep is driven by flags so CI can fan it out over seed
+// ranges × store engines × worker counts, and so any failing seed is
+// replayed with one command:
+//
+//	go test ./internal/chaos -run 'TestChaos$' -chaos-seed=<N> \
+//	    -chaos-store=<engine> -chaos-workers=<W>
+var (
+	chaosSeeds   = flag.Int("chaos-seeds", 3, "number of consecutive seeds to sweep")
+	chaosSeed    = flag.Int64("chaos-seed", -1, "replay exactly this seed (prints its schedule)")
+	chaosBase    = flag.Int64("chaos-base-seed", 1, "first seed of the sweep")
+	chaosStore   = flag.String("chaos-store", "mem", "stable engine per node: mem|file|wal")
+	chaosWorkers = flag.Int("chaos-workers", 1, "scheduler workers per node")
+)
+
+func chaosOptions(seed int64) chaos.Options {
+	return chaos.Options{
+		Seed:    seed,
+		Store:   *chaosStore,
+		Workers: *chaosWorkers,
+	}
+}
+
+// runSeed executes one seed and fails the test on any invariant
+// violation, printing the exact schedule and the one-line repro command.
+func runSeed(t *testing.T, seed int64, verbose bool) {
+	t.Helper()
+	res, err := chaos.Run(chaosOptions(seed))
+	if err != nil {
+		t.Fatalf("seed %d: harness error: %v", seed, err)
+	}
+	if verbose {
+		t.Logf("\n%s", res.Schedule.String())
+	}
+	t.Logf("%s", res.Summary())
+	if !res.Failed() {
+		return
+	}
+	report := fmt.Sprintf("chaos seed %d (store=%s workers=%d) violated %d invariant(s):\n",
+		seed, *chaosStore, *chaosWorkers, len(res.Violations))
+	for _, v := range res.Violations {
+		report += "  " + v.String() + "\n"
+	}
+	report += "\n" + res.Schedule.String()
+	report += fmt.Sprintf("\nreproduce with:\n  go test ./internal/chaos -run 'TestChaos$' -chaos-seed=%d -chaos-store=%s -chaos-workers=%d\n",
+		seed, *chaosStore, *chaosWorkers)
+	writeArtifact(t, seed, report)
+	t.Errorf("%s", report)
+}
+
+// writeArtifact saves the failure report where CI uploads artifacts from
+// (CHAOS_ARTIFACT_DIR), so failing seeds + schedules outlive the job log.
+func writeArtifact(t *testing.T, seed int64, report string) {
+	t.Helper()
+	dir := os.Getenv("CHAOS_ARTIFACT_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("chaos artifact dir: %v", err)
+		return
+	}
+	name := filepath.Join(dir, fmt.Sprintf("seed-%d-%s-w%d.txt", seed, *chaosStore, *chaosWorkers))
+	if err := os.WriteFile(name, []byte(report), 0o644); err != nil {
+		t.Logf("chaos artifact write: %v", err)
+	}
+}
+
+// TestChaos sweeps -chaos-seeds consecutive seeds (or replays the one
+// seed given with -chaos-seed) on the engine × worker combination from
+// the flags, checking every global invariant per seed.
+func TestChaos(t *testing.T) {
+	if *chaosSeed >= 0 {
+		runSeed(t, *chaosSeed, true)
+		return
+	}
+	n := *chaosSeeds
+	if testing.Short() && n > 2 {
+		n = 2
+	}
+	for seed := *chaosBase; seed < *chaosBase+int64(n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runSeed(t, seed, false)
+		})
+	}
+}
+
+// TestChaosScheduleDeterministic: the same seed must expand to the same
+// schedule, byte for byte — the replay contract.
+func TestChaosScheduleDeterministic(t *testing.T) {
+	cfg := chaos.GenConfig{Nodes: []string{"w0", "w1", "w2"}}
+	a := chaos.Generate(77, cfg)
+	b := chaos.Generate(77, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed expanded differently:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("seed 77 generated an empty schedule")
+	}
+	if a.String() != b.String() {
+		t.Error("schedule rendering diverged")
+	}
+	c := chaos.Generate(78, cfg)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Error("different seeds produced identical schedules")
+	}
+	// Every opening event has its closing event.
+	open := map[string]int{}
+	for _, e := range a.Events {
+		switch e.Op {
+		case chaos.OpCrash:
+			open["c"+e.Node]++
+		case chaos.OpRecover:
+			open["c"+e.Node]--
+		case chaos.OpPartition:
+			open["p"+e.A+e.B]++
+		case chaos.OpHeal:
+			open["p"+e.A+e.B]--
+		case chaos.OpFaults:
+			open["f"+e.A+e.B]++
+		case chaos.OpClearFaults:
+			open["f"+e.A+e.B]--
+		}
+	}
+	for k, n := range open {
+		if n != 0 {
+			t.Errorf("unbalanced window %q: %d", k, n)
+		}
+	}
+}
+
+// TestChaosDetectsInjectedViolation: a deliberately skipped compensation
+// must surface as a conservation violation, and the failing seed must
+// reproduce the identical schedule and verdict — the property the CI
+// repro command relies on.
+func TestChaosDetectsInjectedViolation(t *testing.T) {
+	opts := chaos.Options{
+		Seed:             9,
+		Agents:           4,
+		Steps:            3,
+		RollbackRatio:    1.0, // every agent rolls back, so every deposit must be compensated
+		SkipCompensation: true,
+		Gen:              chaos.GenConfig{Faults: 2, Horizon: 300 * time.Millisecond},
+		Timeout:          time.Minute,
+	}
+	first, err := chaos.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Failed() {
+		t.Fatal("skipped compensation went undetected")
+	}
+	found := false
+	for _, v := range first.Violations {
+		if v.Invariant == "conservation" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no conservation violation among %v", first.Violations)
+	}
+
+	second, err := chaos.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Schedule, second.Schedule) {
+		t.Errorf("replay expanded a different schedule:\n%s\nvs\n%s",
+			first.Schedule.String(), second.Schedule.String())
+	}
+	if !second.Failed() {
+		t.Error("replay of the failing seed did not reproduce the violation")
+	}
+}
+
+// TestChaosDurableEngines runs one seed per durable engine so the store
+// reopen path (real crash recovery under ReopenStores) is exercised even
+// without the CI matrix.
+func TestChaosDurableEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("durable chaos runs")
+	}
+	for _, store := range []string{"file", "wal"} {
+		store := store
+		t.Run(store, func(t *testing.T) {
+			res, err := chaos.Run(chaos.Options{
+				Seed:   3,
+				Store:  store,
+				Agents: 8,
+				Steps:  4,
+				Gen:    chaos.GenConfig{Faults: 4, Horizon: 800 * time.Millisecond},
+			})
+			if err != nil {
+				t.Fatalf("harness error: %v", err)
+			}
+			t.Logf("%s", res.Summary())
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s", v)
+			}
+		})
+	}
+}

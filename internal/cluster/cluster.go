@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -59,6 +60,16 @@ type Options struct {
 	// name, so a durable engine runs its real crash-recovery path
 	// (checkpoint load + log replay) instead of surviving in memory.
 	ReopenStores bool
+	// FaultSeed seeds the simulated network's fault RNG so probabilistic
+	// link faults (SetLinkFaults) replay identically for the same seed.
+	FaultSeed int64
+	// MailboxCap bounds each node's inbound mailbox; overflow drops are
+	// counted in Counters.MailboxDrops. Zero keeps mailboxes unbounded.
+	MailboxCap int
+	// Clock drives the simulated network's latency-delayed deliveries;
+	// nil uses the wall clock. A network.VirtualClock makes delivery
+	// timing manually advanceable (deterministic deadline order).
+	Clock network.Clock
 }
 
 // Result is the final outcome of one agent delivered to the collector.
@@ -103,8 +114,14 @@ func New(opts Options) *Cluster {
 		opts.LogMode = core.StateLogging
 	}
 	return &Cluster{
-		opts:     opts,
-		sim:      network.NewSim(network.SimConfig{Latency: opts.Latency, Counters: opts.Counters}),
+		opts: opts,
+		sim: network.NewSim(network.SimConfig{
+			Latency:    opts.Latency,
+			Counters:   opts.Counters,
+			FaultSeed:  opts.FaultSeed,
+			MailboxCap: opts.MailboxCap,
+			Clock:      opts.Clock,
+		}),
 		registry: agent.NewRegistry(),
 		counters: opts.Counters,
 		nodes:    make(map[string]*nodeState),
@@ -374,6 +391,50 @@ func (c *Cluster) Recover(name string) error {
 // SetLink partitions (up=false) or heals (up=true) the link between two
 // nodes.
 func (c *Cluster) SetLink(a, b string, up bool) { c.sim.SetLink(a, b, up) }
+
+// SetLinkFaults installs probabilistic faults (drop/duplicate/reorder,
+// latency spike) on both directions of the link between two nodes; a zero
+// LinkFaults removes them.
+func (c *Cluster) SetLinkFaults(a, b string, f network.LinkFaults) {
+	c.sim.SetLinkFaults(a, b, f)
+	c.sim.SetLinkFaults(b, a, f)
+}
+
+// ClearLinkFaults removes every installed link fault.
+func (c *Cluster) ClearLinkFaults() { c.sim.ClearLinkFaults() }
+
+// HealAllLinks removes every link partition.
+func (c *Cluster) HealAllLinks() { c.sim.HealAll() }
+
+// LinkFaultStats returns the injected-fault totals summed over all links.
+func (c *Cluster) LinkFaultStats() network.LinkStats { return c.sim.TotalLinkStats() }
+
+// NodeNames returns the names of all registered nodes (crashed or not),
+// sorted for determinism.
+func (c *Cluster) NodeNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.nodes))
+	for name := range c.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CrashedNodes returns the names of currently crashed nodes, sorted.
+func (c *Cluster) CrashedNodes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var names []string
+	for name, st := range c.nodes {
+		if st.crashed {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
 
 // Close shuts everything down.
 func (c *Cluster) Close() {

@@ -168,7 +168,7 @@ func TestSmallFigures(t *testing.T) {
 }
 
 func TestList(t *testing.T) {
-	want := []string{"f1", "f2", "f3", "f4", "f5", "f6", "tlog", "tft", "tperf", "tput", "stor"}
+	want := []string{"f1", "f2", "f3", "f4", "f5", "f6", "tlog", "tft", "tperf", "tput", "stor", "chaos"}
 	got := List()
 	if len(got) != len(want) {
 		t.Fatalf("List has %d experiments, want %d", len(got), len(want))
@@ -176,6 +176,27 @@ func TestList(t *testing.T) {
 	for i, e := range got {
 		if e.Name != want[i] || e.Run == nil {
 			t.Errorf("List[%d] = %q (run nil: %v), want %q", i, e.Name, e.Run == nil, want[i])
+		}
+	}
+}
+
+// TestChaosExperiment: the chaos table runs its sweep with every row
+// passing (any violation lands in the verdict column).
+func TestChaosExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-engine chaos sweep")
+	}
+	tbl, err := Chaos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("chaos table has %d rows, want 5", len(tbl.Rows))
+	}
+	verdict := len(tbl.Header) - 1
+	for _, row := range tbl.Rows {
+		if row[verdict] != "OK" {
+			t.Errorf("seed %s (%s/%s): verdict %q", row[0], row[1], row[2], row[verdict])
 		}
 	}
 }

@@ -44,6 +44,13 @@ type Counters struct {
 	queueDepthPeak  atomic.Int64
 	workerBusyNanos atomic.Int64
 
+	// Network fault-injection (internal/network.Sim) instrumentation.
+	netFaultDrops       atomic.Int64
+	netFaultDups        atomic.Int64
+	netFaultReorders    atomic.Int64
+	netUnreachableDrops atomic.Int64
+	mailboxDrops        atomic.Int64
+
 	// WAL storage engine (internal/stable/wal) instrumentation.
 	walRotations      atomic.Int64
 	walCompactions    atomic.Int64
@@ -81,6 +88,12 @@ type Snapshot struct {
 	SchedInFlightPeak    int64 // peak concurrently executing steps
 	SchedQueueDepthPeak  int64 // peak observed input-queue depth
 	SchedWorkerBusyNanos int64 // cumulative worker time spent executing
+
+	NetFaultDrops       int64 // messages dropped by injected link faults
+	NetFaultDups        int64 // duplicate deliveries injected by link faults
+	NetFaultReorders    int64 // messages delayed past later traffic (reorder faults)
+	NetUnreachableDrops int64 // messages lost to partitions / crashed destinations
+	MailboxDrops        int64 // messages dropped at a full or closed mailbox
 
 	WALRotations      int64 // WAL segments sealed and rotated
 	WALCompactions    int64 // cold segments compacted and deleted
@@ -157,6 +170,22 @@ func (c *Counters) IncLockConflictAbort() { c.lockAborts.Add(1) }
 
 // IncSchedRetry records a retryable step attempt failure.
 func (c *Counters) IncSchedRetry() { c.schedRetries.Add(1) }
+
+// IncNetFaultDrop records one message dropped by an injected link fault.
+func (c *Counters) IncNetFaultDrop() { c.netFaultDrops.Add(1) }
+
+// IncNetFaultDup records one injected duplicate delivery.
+func (c *Counters) IncNetFaultDup() { c.netFaultDups.Add(1) }
+
+// IncNetFaultReorder records one message held back past later traffic.
+func (c *Counters) IncNetFaultReorder() { c.netFaultReorders.Add(1) }
+
+// IncNetUnreachableDrop records one message lost to a partitioned link or
+// a crashed destination.
+func (c *Counters) IncNetUnreachableDrop() { c.netUnreachableDrops.Add(1) }
+
+// IncMailboxDrop records one message dropped at a full or closed mailbox.
+func (c *Counters) IncMailboxDrop() { c.mailboxDrops.Add(1) }
 
 // IncWALRotation records one WAL segment sealed and a new one opened.
 func (c *Counters) IncWALRotation() { c.walRotations.Add(1) }
@@ -262,6 +291,12 @@ func (c *Counters) Snapshot() Snapshot {
 		SchedQueueDepthPeak:  c.queueDepthPeak.Load(),
 		SchedWorkerBusyNanos: c.workerBusyNanos.Load(),
 
+		NetFaultDrops:       c.netFaultDrops.Load(),
+		NetFaultDups:        c.netFaultDups.Load(),
+		NetFaultReorders:    c.netFaultReorders.Load(),
+		NetUnreachableDrops: c.netUnreachableDrops.Load(),
+		MailboxDrops:        c.mailboxDrops.Load(),
+
 		WALRotations:      c.walRotations.Load(),
 		WALCompactions:    c.walCompactions.Load(),
 		WALCompactedBytes: c.walCompactedBytes.Load(),
@@ -296,6 +331,12 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		SchedInFlightPeak:    s.SchedInFlightPeak, // peak is not differential
 		SchedQueueDepthPeak:  s.SchedQueueDepthPeak,
 		SchedWorkerBusyNanos: s.SchedWorkerBusyNanos - o.SchedWorkerBusyNanos,
+
+		NetFaultDrops:       s.NetFaultDrops - o.NetFaultDrops,
+		NetFaultDups:        s.NetFaultDups - o.NetFaultDups,
+		NetFaultReorders:    s.NetFaultReorders - o.NetFaultReorders,
+		NetUnreachableDrops: s.NetUnreachableDrops - o.NetUnreachableDrops,
+		MailboxDrops:        s.MailboxDrops - o.MailboxDrops,
 
 		WALRotations:      s.WALRotations - o.WALRotations,
 		WALCompactions:    s.WALCompactions - o.WALCompactions,

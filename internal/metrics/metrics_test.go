@@ -19,6 +19,11 @@ func TestCountersSnapshot(t *testing.T) {
 	c.IncRemoteCompBatch()
 	c.IncSavepoints()
 	c.IncStableWrite(10)
+	c.IncNetFaultDrop()
+	c.IncNetFaultDup()
+	c.IncNetFaultReorder()
+	c.IncNetUnreachableDrop()
+	c.IncMailboxDrop()
 
 	s := c.Snapshot()
 	want := Snapshot{
@@ -29,6 +34,8 @@ func TestCountersSnapshot(t *testing.T) {
 		CompOps: 3, RemoteCompBatches: 1,
 		Savepoints:   1,
 		StableWrites: 1, StableBytes: 10,
+		NetFaultDrops: 1, NetFaultDups: 1, NetFaultReorders: 1,
+		NetUnreachableDrops: 1, MailboxDrops: 1,
 	}
 	if s != want {
 		t.Errorf("snapshot = %+v, want %+v", s, want)

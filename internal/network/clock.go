@@ -1,0 +1,114 @@
+package network
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the passage of time for delayed message delivery, so
+// the simulator can run either on the wall clock (default) or on a
+// virtual clock that tests and simulations advance explicitly — delayed
+// deliveries then fire in a deterministic deadline order, independent of
+// scheduler timing. (Thread a Clock into a cluster via
+// cluster.Options.Clock.)
+type Clock interface {
+	// Now returns the clock's current time.
+	Now() time.Time
+	// After returns a channel delivering one value once d has elapsed on
+	// this clock. d <= 0 fires immediately.
+	After(d time.Duration) <-chan time.Time
+}
+
+// wallClock is the default Clock backed by the real time package.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                         { return time.Now() }
+func (wallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// WallClock returns the real-time clock.
+func WallClock() Clock { return wallClock{} }
+
+// VirtualClock is a manually advanced Clock. Timers registered with After
+// fire inside Advance, in deadline order (ties fire in registration
+// order), which makes delayed-delivery interleavings reproducible.
+type VirtualClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	seq     int
+	waiters []*vcWaiter
+}
+
+type vcWaiter struct {
+	deadline time.Time
+	seq      int
+	ch       chan time.Time
+}
+
+// NewVirtualClock returns a virtual clock starting at start (the zero
+// time is a fine origin for simulations).
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After implements Clock. The returned channel has capacity 1, so Advance
+// never blocks on a receiver.
+func (c *VirtualClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, &vcWaiter{deadline: c.now.Add(d), seq: c.seq, ch: ch})
+	c.seq++
+	return ch
+}
+
+// Advance moves the clock forward by d and fires every timer whose
+// deadline has been reached, in deadline order.
+func (c *VirtualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	var due []*vcWaiter
+	rest := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.deadline.After(c.now) {
+			due = append(due, w)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	c.waiters = rest
+	now := c.now
+	c.mu.Unlock()
+
+	sort.Slice(due, func(i, j int) bool {
+		if !due[i].deadline.Equal(due[j].deadline) {
+			return due[i].deadline.Before(due[j].deadline)
+		}
+		return due[i].seq < due[j].seq
+	})
+	for _, w := range due {
+		w.ch <- now
+	}
+}
+
+// Pending returns the number of timers waiting to fire — simulations use
+// it to decide whether another Advance is needed. An abandoned waiter
+// (its receiver gave up, e.g. on network Close) is counted until an
+// Advance passes its deadline; firing into the capacity-1 channel then
+// frees it.
+func (c *VirtualClock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}

@@ -2,11 +2,18 @@ package network
 
 import "sync"
 
-// mailbox is an unbounded message queue with a channel front-end, shared
-// by the simulated and TCP endpoints. Senders never block on a slow
-// receiver — a crashed or wedged receiver must not be able to stall a
-// sender's transaction.
+// mailbox is a message queue with a channel front-end, shared by the
+// simulated and TCP endpoints. Senders never block on a slow receiver — a
+// crashed or wedged receiver must not be able to stall a sender's
+// transaction. The queue is unbounded by default; a positive limit drops
+// overflowing messages instead. Every drop — overflow or a message racing
+// a close — is reported through onDrop so the loss is counted rather than
+// silent (the protocol's retries cover it, exactly like a message lost on
+// the wire).
 type mailbox struct {
+	limit  int    // 0: unbounded
+	onDrop func() // overflow accounting; may be nil
+
 	mu     sync.Mutex
 	queue  []Message
 	closed bool
@@ -16,8 +23,12 @@ type mailbox struct {
 	done   chan struct{}
 }
 
-func newMailbox() *mailbox {
+func newMailbox() *mailbox { return newBoundedMailbox(0, nil) }
+
+func newBoundedMailbox(limit int, onDrop func()) *mailbox {
 	mb := &mailbox{
+		limit:  limit,
+		onDrop: onDrop,
 		notify: make(chan struct{}, 1),
 		out:    make(chan Message),
 		done:   make(chan struct{}),
@@ -30,8 +41,13 @@ func (mb *mailbox) Recv() <-chan Message { return mb.out }
 
 func (mb *mailbox) enqueue(msg Message) {
 	mb.mu.Lock()
-	if mb.closed {
+	if mb.closed || (mb.limit > 0 && len(mb.queue) >= mb.limit) {
+		// Closed (a message racing an endpoint close) or full: dropped,
+		// and counted so the loss reconciles against the send counters.
 		mb.mu.Unlock()
+		if mb.onDrop != nil {
+			mb.onDrop()
+		}
 		return
 	}
 	mb.queue = append(mb.queue, msg)

@@ -11,6 +11,7 @@ package network
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -53,17 +54,64 @@ type SimConfig struct {
 	Latency time.Duration
 	// Counters receives message/byte accounting; may be nil.
 	Counters *metrics.Counters
+	// FaultSeed seeds the RNG driving probabilistic link faults, making a
+	// fault run reproducible. Zero seeds with 1.
+	FaultSeed int64
+	// MailboxCap bounds each endpoint's inbound mailbox; messages
+	// arriving at a full mailbox are dropped and counted
+	// (Counters.MailboxDrops). Zero keeps the mailbox unbounded.
+	MailboxCap int
+	// Clock drives delayed deliveries; nil uses the wall clock. A
+	// VirtualClock makes latency-delayed delivery deterministic.
+	Clock Clock
+}
+
+// LinkFaults configures probabilistic fault injection on one directed
+// link. The zero value injects nothing.
+type LinkFaults struct {
+	// Drop is the probability a message on the link is lost.
+	Drop float64
+	// Duplicate is the probability a message is delivered twice.
+	Duplicate float64
+	// Reorder is the probability a message is held back by Delay so
+	// later messages on the link overtake it.
+	Reorder float64
+	// Delay is the hold-back applied to reordered messages; zero
+	// defaults to 1ms plus four times the base latency.
+	Delay time.Duration
+	// Extra is added to every message's latency (a latency spike).
+	Extra time.Duration
+}
+
+// Active reports whether any fault is configured.
+func (f LinkFaults) Active() bool {
+	return f.Drop > 0 || f.Duplicate > 0 || f.Reorder > 0 || f.Extra > 0
+}
+
+// LinkStats counts the faults injected on one directed link.
+type LinkStats struct {
+	Drops    int64 // messages dropped
+	Dups     int64 // duplicate deliveries injected
+	Reorders int64 // messages held back past later traffic
+}
+
+func (s LinkStats) add(o LinkStats) LinkStats {
+	return LinkStats{Drops: s.Drops + o.Drops, Dups: s.Dups + o.Dups, Reorders: s.Reorders + o.Reorders}
 }
 
 // Sim is an in-process network connecting named endpoints.
 type Sim struct {
-	cfg SimConfig
+	cfg   SimConfig
+	clock Clock
 
 	mu      sync.Mutex
 	eps     map[string]*simEndpoint
-	down    map[string]bool            // crashed nodes
-	epoch   map[string]int             // incarnation per node; bumped by Crash
-	blocked map[string]map[string]bool // symmetric link partitions
+	down    map[string]bool                  // crashed nodes
+	epoch   map[string]int                   // incarnation per node; bumped by Crash
+	blocked map[string]map[string]bool       // symmetric link partitions
+	faults  map[string]map[string]LinkFaults // directed link fault injection
+	stats   map[string]map[string]*LinkStats // injected-fault accounting per link
+	rng     *rand.Rand                       // fault decisions; guarded by mu
 	closed  bool
 
 	wg   sync.WaitGroup // in-flight delayed deliveries
@@ -72,12 +120,24 @@ type Sim struct {
 
 // NewSim creates an empty simulated network.
 func NewSim(cfg SimConfig) *Sim {
+	seed := cfg.FaultSeed
+	if seed == 0 {
+		seed = 1
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = WallClock()
+	}
 	return &Sim{
 		cfg:     cfg,
+		clock:   clock,
 		eps:     make(map[string]*simEndpoint),
 		down:    make(map[string]bool),
 		epoch:   make(map[string]int),
 		blocked: make(map[string]map[string]bool),
+		faults:  make(map[string]map[string]LinkFaults),
+		stats:   make(map[string]map[string]*LinkStats),
+		rng:     rand.New(rand.NewSource(seed)),
 		stop:    make(chan struct{}),
 	}
 }
@@ -138,6 +198,83 @@ func (s *Sim) blockedFor(name string) map[string]bool {
 	return m
 }
 
+// SetLinkFaults installs fault injection on the directed link from → to
+// (a zero LinkFaults removes it). Faults apply on top of partitions: a
+// blocked link loses everything regardless.
+func (s *Sim) SetLinkFaults(from, to string, f LinkFaults) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !f.Active() {
+		if m, ok := s.faults[from]; ok {
+			delete(m, to)
+			if len(m) == 0 {
+				delete(s.faults, from)
+			}
+		}
+		return
+	}
+	m := s.faults[from]
+	if m == nil {
+		m = make(map[string]LinkFaults)
+		s.faults[from] = m
+	}
+	m[to] = f
+}
+
+// ClearLinkFaults removes all installed link faults.
+func (s *Sim) ClearLinkFaults() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = make(map[string]map[string]LinkFaults)
+}
+
+// HealAll removes every link partition.
+func (s *Sim) HealAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blocked = make(map[string]map[string]bool)
+}
+
+// LinkStats returns the injected-fault counts of the directed link
+// from → to.
+func (s *Sim) LinkStats(from, to string) LinkStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.stats[from][to]; st != nil {
+		return *st
+	}
+	return LinkStats{}
+}
+
+// TotalLinkStats returns the injected-fault counts summed over all links.
+func (s *Sim) TotalLinkStats() LinkStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total LinkStats
+	for _, m := range s.stats {
+		for _, st := range m {
+			total = total.add(*st)
+		}
+	}
+	return total
+}
+
+// statsFor returns the mutable stats cell of one directed link. Caller
+// holds s.mu.
+func (s *Sim) statsFor(from, to string) *LinkStats {
+	m := s.stats[from]
+	if m == nil {
+		m = make(map[string]*LinkStats)
+		s.stats[from] = m
+	}
+	st := m[to]
+	if st == nil {
+		st = &LinkStats{}
+		m[to] = st
+	}
+	return st
+}
+
 // Close shuts the network down, waits for in-flight deliveries to drain and
 // closes all endpoint channels.
 func (s *Sim) Close() {
@@ -161,48 +298,103 @@ func (s *Sim) Close() {
 	}
 }
 
-// send routes a message, applying faults and latency.
+// send routes a message, applying faults and latency. Every injected or
+// topological loss is counted — faults must never vanish silently, or a
+// chaos run cannot be audited against its schedule.
 func (s *Sim) send(msg Message) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return ErrNetworkClosed
 	}
-	if s.blocked[msg.From][msg.To] {
+	if s.blocked[msg.From][msg.To] || s.down[msg.To] {
 		s.mu.Unlock()
-		return nil // partitioned: silently lost
-	}
-	if s.down[msg.To] {
-		s.mu.Unlock()
-		return nil // destination crashed: silently lost
+		// Partitioned link or crashed destination: lost, and counted.
+		if s.cfg.Counters != nil {
+			s.cfg.Counters.IncNetUnreachableDrop()
+		}
+		return nil
 	}
 	if _, ok := s.eps[msg.To]; !ok {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownNode, msg.To)
 	}
 	lat := s.cfg.Latency
+	var dup, reorder bool
+	if f := s.faults[msg.From][msg.To]; f.Active() {
+		st := s.statsFor(msg.From, msg.To)
+		if f.Drop > 0 && s.rng.Float64() < f.Drop {
+			st.Drops++
+			s.mu.Unlock()
+			if s.cfg.Counters != nil {
+				s.cfg.Counters.IncNetFaultDrop()
+			}
+			return nil
+		}
+		lat += f.Extra
+		if f.Duplicate > 0 && s.rng.Float64() < f.Duplicate {
+			dup = true
+			st.Dups++
+		}
+		if f.Reorder > 0 && s.rng.Float64() < f.Reorder {
+			reorder = true
+			st.Reorders++
+			delay := f.Delay
+			if delay <= 0 {
+				delay = time.Millisecond + 4*s.cfg.Latency
+			}
+			lat += delay
+		}
+	}
 	epoch := s.epoch[msg.To]
 	s.mu.Unlock()
 
 	if s.cfg.Counters != nil {
 		s.cfg.Counters.IncMessages(int64(len(msg.Payload)))
+		if dup {
+			s.cfg.Counters.IncNetFaultDup()
+		}
+		if reorder {
+			s.cfg.Counters.IncNetFaultReorder()
+		}
 	}
+	s.dispatch(msg, epoch, lat)
+	if dup {
+		s.dispatch(msg, epoch, lat)
+	}
+	return nil
+}
+
+// dispatch delivers a message after lat on the configured clock. The
+// default wall clock keeps a cancelable timer so a Close with deliveries
+// in flight releases them immediately; a custom Clock's waiter is simply
+// abandoned (a VirtualClock fires and frees it on the next Advance past
+// its deadline).
+func (s *Sim) dispatch(msg Message, epoch int, lat time.Duration) {
 	if lat <= 0 {
 		s.deliver(msg, epoch)
-		return nil
+		return
 	}
 	s.wg.Add(1)
-	timer := time.NewTimer(lat)
+	var due <-chan time.Time
+	var cancel func() bool
+	if s.cfg.Clock == nil {
+		timer := time.NewTimer(lat)
+		due, cancel = timer.C, timer.Stop
+	} else {
+		due = s.clock.After(lat)
+	}
 	go func() {
 		defer s.wg.Done()
-		defer timer.Stop()
+		if cancel != nil {
+			defer cancel()
+		}
 		select {
-		case <-timer.C:
+		case <-due:
 			s.deliver(msg, epoch)
 		case <-s.stop:
 		}
 	}()
-	return nil
 }
 
 // deliver places a message in the destination mailbox, re-checking faults
@@ -212,7 +404,11 @@ func (s *Sim) deliver(msg Message, epoch int) {
 	s.mu.Lock()
 	ep, ok := s.eps[msg.To]
 	if s.closed || !ok || s.down[msg.To] || s.epoch[msg.To] != epoch || s.blocked[msg.From][msg.To] {
+		closed := s.closed
 		s.mu.Unlock()
+		if !closed && s.cfg.Counters != nil {
+			s.cfg.Counters.IncNetUnreachableDrop()
+		}
 		return
 	}
 	s.mu.Unlock()
@@ -232,7 +428,11 @@ type simEndpoint struct {
 var _ Endpoint = (*simEndpoint)(nil)
 
 func newSimEndpoint(name string, sim *Sim) *simEndpoint {
-	return &simEndpoint{name: name, sim: sim, mb: newMailbox()}
+	var onDrop func()
+	if c := sim.cfg.Counters; c != nil {
+		onDrop = c.IncMailboxDrop
+	}
+	return &simEndpoint{name: name, sim: sim, mb: newBoundedMailbox(sim.cfg.MailboxCap, onDrop)}
 }
 
 func (e *simEndpoint) Name() string { return e.name }

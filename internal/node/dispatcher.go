@@ -182,6 +182,16 @@ func (n *Node) resolveTxn(txnID string, committed bool) {
 	if live {
 		delete(n.rceBranches, txnID)
 	}
+	if !live && !committed && n.rceInFlight[txnID] {
+		// The abort overtook the branch: its RCE execution is still
+		// running (typically blocked on a resource lock). Poison it so
+		// it aborts instead of preparing — a branch prepared *after*
+		// the coordinator's presumed abort would hold its locks until
+		// the stale-branch query cycle, and under retry pressure those
+		// zombie holds chain into a livelock where no attempt can ever
+		// prepare inside the coordinator's ack window.
+		n.rceAborted[txnID] = true
+	}
 	n.mu.Unlock()
 	if live {
 		if committed {
@@ -215,6 +225,7 @@ func (n *Node) spawnRCEExec(msg network.Message) {
 		defer func() {
 			n.mu.Lock()
 			delete(n.rceInFlight, req.TxnID)
+			delete(n.rceAborted, req.TxnID)
 			n.mu.Unlock()
 		}()
 		n.handleRCEExec(msg)
@@ -259,6 +270,19 @@ func (n *Node) handleRCEExec(msg network.Message) {
 		return
 	}
 	n.mu.Lock()
+	if n.rceAborted[req.TxnID] {
+		// The coordinator aborted while the ops above were executing
+		// (lock waits make that window wide). Registering the branch
+		// now would create a zombie: prepared, lock-holding, and
+		// already presumed-aborted by its coordinator.
+		delete(n.rceAborted, req.TxnID)
+		n.mu.Unlock()
+		_ = tx.Abort()
+		reply.OK = false
+		reply.Err = "aborted by coordinator during execution"
+		n.send(msg.From, kindRCEExecAck, &reply)
+		return
+	}
 	n.rceBranches[req.TxnID] = &rceBranch{tx: tx, prepared: time.Now()}
 	n.mu.Unlock()
 	if n.cfg.Counters != nil {

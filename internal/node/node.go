@@ -110,6 +110,7 @@ type Node struct {
 	activeTxns  map[string]bool // distributed txns this node coordinates
 	rceBranches map[string]*rceBranch
 	rceInFlight map[string]bool
+	rceAborted  map[string]bool
 	pendingCtl  map[string]pendingCtl
 	pool        *sched.Pool // step scheduler; set once recovery completes
 
@@ -161,6 +162,7 @@ func New(cfg Config, ep network.Endpoint, store stable.Store, registry *agent.Re
 		activeTxns:  make(map[string]bool),
 		rceBranches: make(map[string]*rceBranch),
 		rceInFlight: make(map[string]bool),
+		rceAborted:  make(map[string]bool),
 		pendingCtl:  make(map[string]pendingCtl),
 		ready:       make(chan struct{}),
 		stop:        make(chan struct{}),

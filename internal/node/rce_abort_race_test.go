@@ -1,0 +1,126 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/resource"
+	"repro/internal/stable"
+	"repro/internal/wire"
+)
+
+// TestRCEAbortOvertakesPrepare reproduces the livelock precursor found by
+// the chaos harness (seed 2): the coordinator's presumed abort arrives
+// while the participant's RCE execution is still running (its lock wait
+// makes that window wide). The participant must NOT register a prepared
+// branch afterwards — a branch prepared after its coordinator aborted is
+// a zombie that holds resource locks until the stale-branch query cycle,
+// and under retry pressure those zombie holds chain into a livelock.
+func TestRCEAbortOvertakesPrepare(t *testing.T) {
+	sim := network.NewSim(network.SimConfig{})
+	defer sim.Close()
+	ep, err := sim.Endpoint("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := agent.NewRegistry()
+	if err := reg.RegisterComp("t.comp", func(ctx agent.CompContext) error {
+		r, err := ctx.Resource("bank")
+		if err != nil {
+			return err
+		}
+		return r.(*resource.Bank).Withdraw(ctx.Tx(), "acct", 10)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	store := stable.NewMemStore(nil)
+	n, err := New(Config{Name: "p"}, ep, store, reg, func(st stable.Store) (resource.Resource, error) {
+		return resource.NewBank(st, "bank", true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	defer n.Stop()
+	<-n.Ready()
+
+	tx, err := n.mgr.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := n.Resource("bank")
+	bank := r.(*resource.Bank)
+	if err := bank.OpenAccount(tx, "acct", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	const txnID = "co#7"
+	payload, err := wire.Encode(&rceExecMsg{TxnID: txnID, Ops: []*core.OpEntry{
+		{Kind: core.OpResource, Op: "t.comp", Params: core.NewParams().Set("bank", "bank")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The abort overtakes: it is resolved while the exec is marked
+	// in-flight (in the live race the exec goroutine is blocked on the
+	// bank lock at this point).
+	n.mu.Lock()
+	n.rceInFlight[txnID] = true
+	n.mu.Unlock()
+	n.resolveTxn(txnID, false)
+	n.mu.Lock()
+	poisoned := n.rceAborted[txnID]
+	n.mu.Unlock()
+	if !poisoned {
+		t.Fatal("abort during in-flight execution was not recorded")
+	}
+
+	n.handleRCEExec(network.Message{From: "q", To: "p", Kind: kindRCEExec, Payload: payload})
+
+	n.mu.Lock()
+	_, live := n.rceBranches[txnID]
+	n.mu.Unlock()
+	if live {
+		t.Error("zombie branch registered for an aborted transaction")
+	}
+	// The branch's effects were rolled back and its locks released: a
+	// fresh transaction can use the bank immediately (no 2s lock wait).
+	done := make(chan error, 1)
+	go func() {
+		tx2, err := n.mgr.Begin()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer tx2.Commit()
+		bal, err := bank.Balance(tx2, "acct")
+		if err == nil && bal != 100 {
+			t.Errorf("balance = %d, want 100 (aborted compensation leaked)", bal)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("bank lock still held by the aborted branch")
+	}
+
+	// An abort with no in-flight execution must not leave a tombstone.
+	n.resolveTxn("co#8", false)
+	n.mu.Lock()
+	stray := n.rceAborted["co#8"]
+	n.mu.Unlock()
+	if stray {
+		t.Error("tombstone recorded without an in-flight execution")
+	}
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# benchdiff.sh — diff two rollbacksim -json bench snapshots.
+#
+# Usage: scripts/benchdiff.sh [BASE.json] [NEW.json] [THRESHOLD%]
+#   defaults: BASE = the newest committed BENCH_PR<N>.json,
+#             NEW  = BENCH_PRci.json (what scripts/bench.sh ci produced),
+#             THRESHOLD = 10
+#
+# Advisory: timing columns are noisy across CI runners; the report flags
+# big deltas for a human eye, it never fails the build by itself.
+set -eu
+cd "$(dirname "$0")/.."
+
+BASE="${1:-}"
+if [ -z "$BASE" ]; then
+    BASE=$(ls BENCH_PR[0-9]*.json 2>/dev/null | sort -V | tail -1 || true)
+fi
+NEW="${2:-BENCH_PRci.json}"
+THRESHOLD="${3:-10}"
+
+if [ -z "$BASE" ] || [ ! -f "$BASE" ]; then
+    echo "benchdiff.sh: no baseline snapshot found (looked for BENCH_PR<N>.json)" >&2
+    exit 1
+fi
+if [ ! -f "$NEW" ]; then
+    echo "benchdiff.sh: fresh snapshot $NEW missing (run scripts/bench.sh ci first)" >&2
+    exit 1
+fi
+
+exec go run ./scripts/benchdiff -base "$BASE" -new "$NEW" -threshold "$THRESHOLD"

@@ -1,0 +1,157 @@
+// Command benchdiff diffs two rollbacksim -json snapshots (the BENCH_PR<N>
+// files) and prints a per-cell delta table for the numeric columns. It is
+// advisory tooling for the CI bench-regression report: timing columns are
+// noisy across runners, so deltas above the highlight threshold are
+// flagged, never failed on. Counter columns (messages, stable writes,
+// fsyncs) are deterministic and meaningful at any delta.
+//
+// Usage: benchdiff -base BENCH_PR3.json -new BENCH_PRci.json [-threshold 10]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+type jsonTable struct {
+	Name   string     `json:"name"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	basePath := fs.String("base", "", "baseline rollbacksim JSON snapshot")
+	newPath := fs.String("new", "", "fresh rollbacksim JSON snapshot")
+	threshold := fs.Float64("threshold", 10, "percent delta flagged in the report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *basePath == "" || *newPath == "" {
+		return fmt.Errorf("-base and -new are required")
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("bench delta: %s -> %s (|Δ| >= %.0f%% flagged with !)\n\n", *basePath, *newPath, *threshold)
+	flagged := 0
+	for _, nt := range fresh {
+		bt, ok := base[nt.Name]
+		if !ok {
+			fmt.Printf("== %s: new table (no baseline)\n", nt.Name)
+			continue
+		}
+		fmt.Printf("== %s\n", nt.Name)
+		if len(bt.Rows) != len(nt.Rows) {
+			fmt.Printf("   shape changed: %d -> %d rows; skipping cell diff\n", len(bt.Rows), len(nt.Rows))
+			continue
+		}
+		for i, newRow := range nt.Rows {
+			baseRow := bt.Rows[i]
+			if len(baseRow) != len(newRow) {
+				fmt.Printf("   row %d: shape changed (%d -> %d cells)\n", i, len(baseRow), len(newRow))
+				continue
+			}
+			label, labelLen := rowLabel(nt.Header, newRow)
+			for c := range newRow {
+				if c < labelLen {
+					continue // identity column, not a measurement
+				}
+				b, bok := num(baseRow[c])
+				n, nok := num(newRow[c])
+				if !bok || !nok || (b == 0 && n == 0) {
+					continue
+				}
+				var pct float64
+				switch {
+				case b == 0:
+					pct = 100
+				default:
+					pct = (n - b) / b * 100
+				}
+				mark := " "
+				if pct >= *threshold || pct <= -*threshold {
+					mark = "!"
+					flagged++
+				}
+				col := fmt.Sprintf("col%d", c)
+				if c < len(nt.Header) {
+					col = nt.Header[c]
+				}
+				fmt.Printf(" %s %-28s %-14s %14s -> %-14s %+8.1f%%\n",
+					mark, label, col, baseRow[c], newRow[c], pct)
+			}
+		}
+	}
+	for name := range base {
+		if _, ok := fresh[name]; !ok {
+			fmt.Printf("== %s: table disappeared\n", name)
+		}
+	}
+	fmt.Printf("\n%d cell(s) beyond the %.0f%% threshold (advisory: CI runners are noisy)\n", flagged, *threshold)
+	return nil
+}
+
+func load(path string) (map[string]jsonTable, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tables []jsonTable
+	if err := json.Unmarshal(data, &tables); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]jsonTable, len(tables))
+	for _, t := range tables {
+		out[t.Name] = t
+	}
+	return out, nil
+}
+
+// rowLabel concatenates the leading identity cells (the first cell plus
+// any further non-numeric ones: workers, store, conflict, ...) and
+// reports how many cells it consumed.
+func rowLabel(header []string, row []string) (string, int) {
+	label := ""
+	n := 0
+	for i, cell := range row {
+		if _, isNum := num(cell); isNum && i > 0 {
+			break
+		}
+		name := fmt.Sprintf("c%d", i)
+		if i < len(header) {
+			name = header[i]
+		}
+		if label != "" {
+			label += " "
+		}
+		label += name + "=" + cell
+		n++
+	}
+	if label == "" {
+		label = "row"
+	}
+	return label, n
+}
+
+func num(s string) (float64, bool) {
+	f, err := strconv.ParseFloat(s, 64)
+	return f, err == nil
+}
