@@ -54,6 +54,7 @@ type runReport struct {
 	P50MS         float64 `json:"p50_ms"`
 	P99MS         float64 `json:"p99_ms"`
 	InFlightPeak  int64   `json:"inflight_peak"`
+	GoroutinePeak int     `json:"goroutine_peak"`
 	ClaimConflict int64   `json:"claim_conflicts"`
 	LockAborts    int64   `json:"lock_aborts"`
 	Retries       int64   `json:"retries"`
@@ -148,6 +149,7 @@ func run(args []string) error {
 				P50MS:         float64(res.P50.Microseconds()) / 1000,
 				P99MS:         float64(res.P99.Microseconds()) / 1000,
 				InFlightPeak:  res.Metrics.SchedInFlightPeak,
+				GoroutinePeak: res.GoroutinePeak,
 				ClaimConflict: res.Metrics.SchedClaimConflicts,
 				LockAborts:    res.Metrics.SchedLockAborts,
 				Retries:       res.Metrics.SchedRetries,
@@ -155,9 +157,9 @@ func run(args []string) error {
 				Fsyncs:        res.Metrics.Fsyncs,
 			}
 			reports = append(reports, r)
-			fmt.Printf("workers=%-3d store=%-4s agents/s=%-8.1f steps/s=%-8.1f p50=%6.2fms p99=%7.2fms elapsed=%7.1fms inflight=%-3d claimConf=%-4d lockAborts=%-3d retries=%d\n",
+			fmt.Printf("workers=%-3d store=%-4s agents/s=%-8.1f steps/s=%-8.1f p50=%6.2fms p99=%7.2fms elapsed=%7.1fms inflight=%-3d goroutines=%-4d claimConf=%-4d lockAborts=%-3d retries=%d\n",
 				r.Workers, r.Store, r.AgentsPerSec, r.StepsPerSec, r.P50MS, r.P99MS, r.ElapsedMS,
-				r.InFlightPeak, r.ClaimConflict, r.LockAborts, r.Retries)
+				r.InFlightPeak, r.GoroutinePeak, r.ClaimConflict, r.LockAborts, r.Retries)
 		}
 	}
 	if len(reports) > 1 && len(backends) == 1 {

@@ -66,9 +66,11 @@ type Options struct {
 	// MailboxCap bounds each node's inbound mailbox; overflow drops are
 	// counted in Counters.MailboxDrops. Zero keeps mailboxes unbounded.
 	MailboxCap int
-	// Clock drives the simulated network's latency-delayed deliveries;
-	// nil uses the wall clock. A network.VirtualClock makes delivery
-	// timing manually advanceable (deterministic deadline order).
+	// Clock drives the simulated network's latency-delayed deliveries
+	// AND every node's protocol timers (ack timeouts, control resends,
+	// in-doubt queries, notification resends — the node timer wheel);
+	// nil uses the wall clock. A network.VirtualClock makes both
+	// manually advanceable (deterministic deadline order).
 	Clock network.Clock
 }
 
@@ -229,6 +231,7 @@ func (c *Cluster) bootNode(name string) error {
 		MaxAttempts:  c.opts.MaxAttempts,
 		Workers:      c.opts.Workers,
 		SagaBaseline: c.opts.SagaBaseline,
+		Clock:        c.opts.Clock,
 		Counters:     c.counters,
 	}, ep, st.store, c.registry, st.factories...)
 	if err != nil {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceDetectorEnabled reports whether this build runs under the race
+// detector.
+const raceDetectorEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceDetectorEnabled reports whether this build runs under the race
+// detector; load tests scale themselves down accordingly (the detector
+// stretches contended scheduler workloads far beyond its nominal
+// overhead).
+const raceDetectorEnabled = true

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/agent"
@@ -46,6 +47,9 @@ type ThroughputConfig struct {
 	// (RunThroughput provisions a temp dir when empty).
 	Store    string
 	StoreDir string
+	// Timeout bounds the whole run; zero uses the experiment default
+	// (large load points under the race detector need more).
+	Timeout time.Duration
 }
 
 func (cfg *ThroughputConfig) fillDefaults() {
@@ -72,7 +76,12 @@ type ThroughputResult struct {
 	AgentsPerSec float64
 	StepsPerSec  float64
 	P50, P99     time.Duration // successful step-attempt latency
-	Metrics      metrics.Snapshot
+	// GoroutinePeak is the peak runtime.NumGoroutine observed while the
+	// agents were in flight. The event-driven protocol core keeps it
+	// O(nodes × workers) — independent of the number of in-flight
+	// agents/transactions, which previously each cost a polling cycle.
+	GoroutinePeak int
+	Metrics       metrics.Snapshot
 }
 
 const tputDeposit = 1
@@ -250,27 +259,62 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 
 	before := cl.Counters().Snapshot()
 	start := time.Now()
+	// Sample the process goroutine count while the load is in flight:
+	// the steady-state count must track workers, not in-flight agents.
+	gorSamples := make(chan int, 1)
+	gorStop := make(chan struct{})
+	go func() {
+		peak := runtime.NumGoroutine()
+		ticker := time.NewTicker(2 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-gorStop:
+				gorSamples <- peak
+				return
+			case <-ticker.C:
+				if n := runtime.NumGoroutine(); n > peak {
+					peak = n
+				}
+			}
+		}
+	}()
 	chans := make([]<-chan cluster.Result, cfg.Agents)
 	for i, l := range launches {
 		ch, err := cl.Launch(l.a, l.entered, l.at)
 		if err != nil {
+			close(gorStop)
+			<-gorSamples
 			return ThroughputResult{}, err
 		}
 		chans[i] = ch
 	}
-	deadline := time.NewTimer(runTimeout)
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = runTimeout
+	}
+	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
+	var runErr error
 	for _, ch := range chans {
 		select {
 		case res := <-ch:
 			if res.Failed {
-				return ThroughputResult{}, fmt.Errorf("throughput: agent %s failed: %s", res.AgentID, res.Reason)
+				runErr = fmt.Errorf("throughput: agent %s failed: %s", res.AgentID, res.Reason)
 			}
 		case <-deadline.C:
-			return ThroughputResult{}, errors.New("throughput: agents timed out")
+			runErr = errors.New("throughput: agents timed out")
+		}
+		if runErr != nil {
+			break
 		}
 	}
 	elapsed := time.Since(start)
+	close(gorStop)
+	gorPeak := <-gorSamples
+	if runErr != nil {
+		return ThroughputResult{}, runErr
+	}
 
 	// Invariant: every step deposited exactly once.
 	var total int64
@@ -298,12 +342,13 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	p50, p99, _ := cl.Counters().StepLatency()
 	sec := elapsed.Seconds()
 	return ThroughputResult{
-		Elapsed:      elapsed,
-		AgentsPerSec: float64(cfg.Agents) / sec,
-		StepsPerSec:  float64(cfg.Agents*cfg.Steps) / sec,
-		P50:          p50,
-		P99:          p99,
-		Metrics:      cl.Counters().Snapshot().Sub(before),
+		Elapsed:       elapsed,
+		AgentsPerSec:  float64(cfg.Agents) / sec,
+		StepsPerSec:   float64(cfg.Agents*cfg.Steps) / sec,
+		P50:           p50,
+		P99:           p99,
+		GoroutinePeak: gorPeak,
+		Metrics:       cl.Counters().Snapshot().Sub(before),
 	}, nil
 }
 

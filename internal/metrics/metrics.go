@@ -51,6 +51,13 @@ type Counters struct {
 	netUnreachableDrops atomic.Int64
 	mailboxDrops        atomic.Int64
 
+	// Protocol core (internal/protocol driven by internal/node)
+	// instrumentation.
+	protocolTransitions atomic.Int64
+	timersArmed         atomic.Int64
+	timersFired         atomic.Int64
+	timersCanceled      atomic.Int64
+
 	// WAL storage engine (internal/stable/wal) instrumentation.
 	walRotations      atomic.Int64
 	walCompactions    atomic.Int64
@@ -94,6 +101,11 @@ type Snapshot struct {
 	NetFaultReorders    int64 // messages delayed past later traffic (reorder faults)
 	NetUnreachableDrops int64 // messages lost to partitions / crashed destinations
 	MailboxDrops        int64 // messages dropped at a full or closed mailbox
+
+	ProtocolTransitions int64 // protocol state-machine events processed
+	TimersArmed         int64 // protocol timers armed on the wheel
+	TimersFired         int64 // protocol timers that fired
+	TimersCanceled      int64 // protocol timers canceled before firing
 
 	WALRotations      int64 // WAL segments sealed and rotated
 	WALCompactions    int64 // cold segments compacted and deleted
@@ -186,6 +198,20 @@ func (c *Counters) IncNetUnreachableDrop() { c.netUnreachableDrops.Add(1) }
 
 // IncMailboxDrop records one message dropped at a full or closed mailbox.
 func (c *Counters) IncMailboxDrop() { c.mailboxDrops.Add(1) }
+
+// IncProtocolTransition records one event processed by a node's
+// protocol state machine.
+func (c *Counters) IncProtocolTransition() { c.protocolTransitions.Add(1) }
+
+// IncTimerArmed records one protocol timer armed (or re-armed) on a
+// node's timer wheel.
+func (c *Counters) IncTimerArmed() { c.timersArmed.Add(1) }
+
+// IncTimerFired records one protocol timer firing.
+func (c *Counters) IncTimerFired() { c.timersFired.Add(1) }
+
+// IncTimerCanceled records one protocol timer canceled before firing.
+func (c *Counters) IncTimerCanceled() { c.timersCanceled.Add(1) }
 
 // IncWALRotation records one WAL segment sealed and a new one opened.
 func (c *Counters) IncWALRotation() { c.walRotations.Add(1) }
@@ -297,6 +323,11 @@ func (c *Counters) Snapshot() Snapshot {
 		NetUnreachableDrops: c.netUnreachableDrops.Load(),
 		MailboxDrops:        c.mailboxDrops.Load(),
 
+		ProtocolTransitions: c.protocolTransitions.Load(),
+		TimersArmed:         c.timersArmed.Load(),
+		TimersFired:         c.timersFired.Load(),
+		TimersCanceled:      c.timersCanceled.Load(),
+
 		WALRotations:      c.walRotations.Load(),
 		WALCompactions:    c.walCompactions.Load(),
 		WALCompactedBytes: c.walCompactedBytes.Load(),
@@ -337,6 +368,11 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		NetFaultReorders:    s.NetFaultReorders - o.NetFaultReorders,
 		NetUnreachableDrops: s.NetUnreachableDrops - o.NetUnreachableDrops,
 		MailboxDrops:        s.MailboxDrops - o.MailboxDrops,
+
+		ProtocolTransitions: s.ProtocolTransitions - o.ProtocolTransitions,
+		TimersArmed:         s.TimersArmed - o.TimersArmed,
+		TimersFired:         s.TimersFired - o.TimersFired,
+		TimersCanceled:      s.TimersCanceled - o.TimersCanceled,
 
 		WALRotations:      s.WALRotations - o.WALRotations,
 		WALCompactions:    s.WALCompactions - o.WALCompactions,

@@ -29,6 +29,27 @@ func (wallClock) After(d time.Duration) <-chan time.Time { return time.After(d) 
 // WallClock returns the real-time clock.
 func WallClock() Clock { return wallClock{} }
 
+// ClockTimer returns a channel delivering one value once d has elapsed
+// on clock, plus a cancel function that releases the timer's resources
+// when the caller stops waiting early (the common case for
+// acknowledgement timeouts). The wall clock cancels the underlying
+// runtime timer; a VirtualClock drops the registered waiter so
+// abandoned waits do not accumulate (and do not inflate Pending) on
+// frozen-clock runs. Cancel is idempotent; for other Clock
+// implementations it is a no-op.
+func ClockTimer(c Clock, d time.Duration) (<-chan time.Time, func()) {
+	switch cl := c.(type) {
+	case wallClock:
+		t := time.NewTimer(d)
+		return t.C, func() { t.Stop() }
+	case *VirtualClock:
+		ch := cl.After(d)
+		return ch, func() { cl.forget(ch) }
+	default:
+		return c.After(d), func() {}
+	}
+}
+
 // VirtualClock is a manually advanced Clock. Timers registered with After
 // fire inside Advance, in deadline order (ties fire in registration
 // order), which makes delayed-delivery interleavings reproducible.
@@ -71,6 +92,19 @@ func (c *VirtualClock) After(d time.Duration) <-chan time.Time {
 	c.waiters = append(c.waiters, &vcWaiter{deadline: c.now.Add(d), seq: c.seq, ch: ch})
 	c.seq++
 	return ch
+}
+
+// forget drops the waiter registered for ch (a channel previously
+// returned by After); a waiter already fired or unknown is a no-op.
+func (c *VirtualClock) forget(ch <-chan time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, w := range c.waiters {
+		if w.ch == ch {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
 }
 
 // Advance moves the clock forward by d and fires every timer whose

@@ -1,22 +1,19 @@
 package node
 
 import (
-	"time"
-
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/network"
+	"repro/internal/protocol"
 	"repro/internal/txn"
 	"repro/internal/wire"
 )
 
-// dispatch is the message-handling goroutine. It serves the participant
-// side of the distributed step/compensation transactions and, on every
-// tick, re-sends unacknowledged control messages and resolves in-doubt
-// prepared work by querying coordinators (presumed abort).
+// dispatch is the message-handling goroutine: it decodes inbound
+// protocol messages into events for the protocol machine. There is no
+// ticker — every retry and in-doubt cycle runs on the node's timer
+// wheel, armed and canceled by the machine itself.
 func (n *Node) dispatch() {
-	ticker := time.NewTicker(n.cfg.RetryDelay * 5)
-	defer ticker.Stop()
 	for {
 		select {
 		case <-n.stop:
@@ -26,283 +23,229 @@ func (n *Node) dispatch() {
 				return
 			}
 			n.handle(msg)
-		case <-ticker.C:
-			n.tick()
 		}
 	}
 }
 
+// step feeds one event through the protocol machine (serialized under
+// pmu) and applies the returned effects. Effects are applied outside
+// the machine lock, in emission order, by the same caller — they are
+// idempotent or state-guarded, so concurrent steppers interleaving
+// their effect application is safe.
+func (n *Node) step(ev protocol.Event) {
+	n.pmu.Lock()
+	effs := n.machine.Step(ev)
+	n.pmu.Unlock()
+	if n.cfg.Counters != nil {
+		n.cfg.Counters.IncProtocolTransition()
+	}
+	for _, eff := range effs {
+		n.applyEffect(eff)
+	}
+}
+
+// onTimer is the wheel's fire callback: a timer event like any other.
+func (n *Node) onTimer(id string) {
+	n.step(protocol.TimerFired{ID: id})
+}
+
+// handle translates one wire message into a protocol event. All
+// decision logic lives in the machine; this switch only decodes and,
+// where a decision needs a stable-storage fact (the presumed-abort
+// decision record), reads it to enrich the event.
 func (n *Node) handle(msg network.Message) {
 	switch msg.Kind {
-	case kindEnqueuePrepare:
-		n.handleEnqueuePrepare(msg)
-	case kindEnqueueCommit:
-		n.handleEnqueueCtl(msg, true)
-	case kindEnqueueAbort:
-		n.handleEnqueueCtl(msg, false)
-	case kindTxnQuery:
-		n.handleTxnQuery(msg)
-	case kindTxnStatus:
-		n.handleTxnStatus(msg)
-	case kindRCEExec:
+	case protocol.KindEnqueuePrepare:
+		var req protocol.PrepareMsg
+		if err := wire.Decode(msg.Payload, &req); err != nil {
+			return
+		}
+		n.step(protocol.PrepareReceived{TxnID: req.TxnID, EntryID: req.EntryID, From: msg.From, Data: req.Data})
+	case protocol.KindEnqueueCommit, protocol.KindEnqueueAbort:
+		var req protocol.CtlMsg
+		if err := wire.Decode(msg.Payload, &req); err != nil {
+			return
+		}
+		n.step(protocol.CtlReceived{TxnID: req.TxnID, From: msg.From, Commit: msg.Kind == protocol.KindEnqueueCommit})
+	case protocol.KindRCECommit, protocol.KindRCEAbort:
+		var req protocol.CtlMsg
+		if err := wire.Decode(msg.Payload, &req); err != nil {
+			return
+		}
+		n.step(protocol.CtlReceived{TxnID: req.TxnID, From: msg.From, Commit: msg.Kind == protocol.KindRCECommit, RCE: true})
+	case protocol.KindTxnQuery:
+		var req protocol.CtlMsg
+		if err := wire.Decode(msg.Payload, &req); err != nil {
+			return
+		}
+		decided, err := n.mgr.Decided(req.TxnID)
+		if err != nil {
+			return
+		}
+		n.step(protocol.QueryReceived{TxnID: req.TxnID, From: msg.From, StoreDecided: decided})
+	case protocol.KindTxnStatus:
+		var st protocol.StatusMsg
+		if err := wire.Decode(msg.Payload, &st); err != nil {
+			return
+		}
+		n.step(protocol.StatusReceived{TxnID: st.TxnID, Committed: st.Committed})
+	case protocol.KindRCEExec:
+		var req protocol.RCEExecMsg
+		if err := wire.Decode(msg.Payload, &req); err != nil {
+			return
+		}
+		n.step(protocol.RCEExecReceived{TxnID: req.TxnID, From: msg.From, Ops: req.Ops})
+	case protocol.KindEnqueuePrepareAck, protocol.KindRCEExecAck,
+		protocol.KindEnqueueCommitAck, protocol.KindEnqueueAbortAck,
+		protocol.KindRCECommitAck, protocol.KindRCEAbortAck:
+		var ack protocol.AckMsg
+		if err := wire.Decode(msg.Payload, &ack); err != nil {
+			return
+		}
+		n.step(protocol.AckReceived{Kind: msg.Kind, TxnID: ack.TxnID, From: msg.From, OK: ack.OK, Err: ack.Err})
+	case kindAgentLaunch:
+		n.handleLaunch(msg)
+	case kindAgentDoneAck:
+		var ack protocol.AckMsg
+		if err := wire.Decode(msg.Payload, &ack); err != nil {
+			return
+		}
+		n.step(protocol.DoneAcked{AgentID: ack.TxnID})
+	}
+}
+
+// applyEffect executes one machine effect. Mechanics only — queue and
+// store operations, transaction settles, sends, timers; any outcome the
+// machine must know about loops back in as another event.
+func (n *Node) applyEffect(eff protocol.Effect) {
+	switch e := eff.(type) {
+	case protocol.SendMsg:
+		n.send(e.To, e.Kind, e.Payload)
+	case protocol.DeliverAck:
+		n.deliverAck(e.Kind, e.TxnID, protocol.AckMsg{TxnID: e.TxnID, OK: e.OK, Err: e.Err})
+	case protocol.StageEntry:
+		err := n.queue.Prepare(e.TxnID, e.EntryID, e.Data)
+		if err == nil {
+			n.step(protocol.StageOutcome{TxnID: e.TxnID, OK: true})
+		}
+		reply := protocol.AckMsg{TxnID: e.TxnID, OK: err == nil}
+		if err != nil {
+			reply.Err = err.Error()
+		}
+		n.send(e.From, e.AckKind, &reply)
+	case protocol.ResolveStaged:
+		var err error
+		if e.Commit {
+			err = n.queue.CommitStaged(e.TxnID)
+		} else {
+			err = n.queue.AbortStaged(e.TxnID)
+		}
+		if err != nil {
+			// The entry is still durably staged but the machine already
+			// dropped it: re-enter the in-doubt cycle so the query timer
+			// retries the verdict — the replacement for the old
+			// dispatcher tick re-deriving in-doubt work from
+			// queue.StagedTxns() every cycle. (The coordinator keeps its
+			// commit obligation too: refused ctl acks do not retire it.)
+			n.step(protocol.RecoveredStaged{TxnID: e.TxnID})
+		}
+		if e.AckTo != "" {
+			reply := protocol.AckMsg{TxnID: e.TxnID, OK: err == nil}
+			if err != nil {
+				reply.Err = err.Error()
+			}
+			n.send(e.AckTo, e.AckKind, &reply)
+		}
+	case protocol.CommitBranch:
+		if tx := n.takeBranchTx(e.TxnID); tx != nil {
+			_ = tx.CommitPrepared()
+		}
+	case protocol.AbortBranch:
+		if tx := n.takeBranchTx(e.TxnID); tx != nil {
+			_ = tx.Abort()
+		}
+	case protocol.ResolveBranchRecord:
+		_ = n.mgr.ResolveBranch(e.TxnID, e.Commit)
+	case protocol.ExecBranch:
 		// Executed asynchronously: compensating operations wait on
 		// resource locks, and a blocked dispatcher could not deliver
 		// the acknowledgements the worker's own transaction needs —
 		// classic head-of-line blocking.
-		n.spawnRCEExec(msg)
-	case kindRCECommit:
-		n.handleRCECtl(msg, true)
-	case kindRCEAbort:
-		n.handleRCECtl(msg, false)
-	case kindAgentLaunch:
-		n.handleLaunch(msg)
-	case kindAgentDoneAck:
-		n.handleDoneAck(msg)
-	case kindEnqueuePrepareAck, kindRCEExecAck:
-		var ack ackMsg
-		if err := wire.Decode(msg.Payload, &ack); err == nil {
-			n.deliverAck(msg.Kind, ack.TxnID, ack)
-		}
-	case kindEnqueueCommitAck, kindEnqueueAbortAck, kindRCECommitAck, kindRCEAbortAck:
-		var ack ackMsg
-		if err := wire.Decode(msg.Payload, &ack); err != nil {
-			return
-		}
-		commitAck := msg.Kind == kindEnqueueCommitAck || msg.Kind == kindRCECommitAck
-		if n.ctlAcked(ctlKindOf(msg.Kind), ack.TxnID) && commitAck && !n.hasPendingCtl(ack.TxnID) {
-			// Every participant acknowledged the commit: the decision
-			// record can be garbage-collected.
-			_ = n.store.Apply(n.mgr.ClearDecisionOp(ack.TxnID))
-		}
-	}
-}
-
-// ctlKindOf maps an ack kind back to the control kind it acknowledges.
-func ctlKindOf(ackKind string) string {
-	switch ackKind {
-	case kindEnqueueCommitAck:
-		return kindEnqueueCommit
-	case kindEnqueueAbortAck:
-		return kindEnqueueAbort
-	case kindRCECommitAck:
-		return kindRCECommit
-	case kindRCEAbortAck:
-		return kindRCEAbort
-	default:
-		return ackKind
-	}
-}
-
-// handleEnqueuePrepare durably stages a container insertion (participant
-// prepare of the queue hand-off).
-func (n *Node) handleEnqueuePrepare(msg network.Message) {
-	var req enqueuePrepareMsg
-	if err := wire.Decode(msg.Payload, &req); err != nil {
-		return
-	}
-	reply := ackMsg{TxnID: req.TxnID, OK: true}
-	if !n.isReady() {
-		reply.OK = false
-		reply.Err = "node recovering"
-	} else if err := n.queue.Prepare(req.TxnID, req.EntryID, req.Data); err != nil {
-		reply.OK = false
-		reply.Err = err.Error()
-	}
-	n.send(msg.From, kindEnqueuePrepareAck, &reply)
-}
-
-// handleEnqueueCtl commits or aborts a staged insertion. Both operations
-// are idempotent, so duplicated control messages are harmless.
-func (n *Node) handleEnqueueCtl(msg network.Message, commit bool) {
-	var req txnCtlMsg
-	if err := wire.Decode(msg.Payload, &req); err != nil {
-		return
-	}
-	var err error
-	ackKind := kindEnqueueAbortAck
-	if commit {
-		err = n.queue.CommitStaged(req.TxnID)
-		ackKind = kindEnqueueCommitAck
-	} else {
-		err = n.queue.AbortStaged(req.TxnID)
-	}
-	reply := ackMsg{TxnID: req.TxnID, OK: err == nil}
-	if err != nil {
-		reply.Err = err.Error()
-	}
-	n.send(msg.From, ackKind, &reply)
-}
-
-// handleTxnQuery answers a participant's in-doubt query about a
-// transaction this node coordinated. Three cases: a decision record means
-// committed; a still-active transaction means "no answer yet" (stay
-// silent, the participant retries); otherwise the transaction never
-// committed — presumed abort.
-func (n *Node) handleTxnQuery(msg network.Message) {
-	var req txnCtlMsg
-	if err := wire.Decode(msg.Payload, &req); err != nil {
-		return
-	}
-	committed, err := n.mgr.Decided(req.TxnID)
-	if err != nil {
-		return
-	}
-	if !committed {
-		n.mu.Lock()
-		active := n.activeTxns[req.TxnID]
-		n.mu.Unlock()
-		if active {
-			return // outcome not decided yet; participant will re-ask
-		}
-	}
-	n.send(msg.From, kindTxnStatus, &txnStatusMsg{TxnID: req.TxnID, Committed: committed})
-}
-
-// handleTxnStatus resolves local in-doubt work with a coordinator verdict:
-// staged queue entries, live prepared RCE branches, and crash-surviving
-// branch records.
-func (n *Node) handleTxnStatus(msg network.Message) {
-	var st txnStatusMsg
-	if err := wire.Decode(msg.Payload, &st); err != nil {
-		return
-	}
-	n.resolveTxn(st.TxnID, st.Committed)
-}
-
-func (n *Node) resolveTxn(txnID string, committed bool) {
-	// Staged queue entry?
-	if committed {
-		_ = n.queue.CommitStaged(txnID)
-	} else {
-		_ = n.queue.AbortStaged(txnID)
-	}
-	// Live prepared branch?
-	n.mu.Lock()
-	branch, live := n.rceBranches[txnID]
-	if live {
-		delete(n.rceBranches, txnID)
-	}
-	if !live && !committed && n.rceInFlight[txnID] {
-		// The abort overtook the branch: its RCE execution is still
-		// running (typically blocked on a resource lock). Poison it so
-		// it aborts instead of preparing — a branch prepared *after*
-		// the coordinator's presumed abort would hold its locks until
-		// the stale-branch query cycle, and under retry pressure those
-		// zombie holds chain into a livelock where no attempt can ever
-		// prepare inside the coordinator's ack window.
-		n.rceAborted[txnID] = true
-	}
-	n.mu.Unlock()
-	if live {
-		if committed {
-			_ = branch.tx.CommitPrepared()
-		} else {
-			_ = branch.tx.Abort()
-		}
-		return
-	}
-	// Crash-surviving branch record (no live Tx): replay/drop the redo.
-	_ = n.mgr.ResolveBranch(txnID, committed)
-}
-
-// spawnRCEExec runs handleRCEExec on its own goroutine, deduplicating
-// concurrent requests for the same transaction.
-func (n *Node) spawnRCEExec(msg network.Message) {
-	var req rceExecMsg
-	if err := wire.Decode(msg.Payload, &req); err != nil {
-		return
-	}
-	n.mu.Lock()
-	if n.rceInFlight[req.TxnID] {
-		n.mu.Unlock()
-		return // already executing; its ack will answer the retry too
-	}
-	n.rceInFlight[req.TxnID] = true
-	n.mu.Unlock()
-	n.wg.Add(1)
-	go func() {
-		defer n.wg.Done()
-		defer func() {
-			n.mu.Lock()
-			delete(n.rceInFlight, req.TxnID)
-			delete(n.rceAborted, req.TxnID)
-			n.mu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.runBranchExec(e.TxnID, e.Ops)
 		}()
-		n.handleRCEExec(msg)
-	}()
+	case protocol.ClearDecision:
+		_ = n.store.Apply(n.mgr.ClearDecisionOp(e.TxnID))
+	case protocol.ResendDone:
+		n.sendDone(e.AgentID)
+	case protocol.DropDone:
+		_ = n.store.Apply(stableDelDone(e.AgentID))
+	case protocol.ArmTimer:
+		if n.wheel != nil {
+			n.wheel.Schedule(e.ID, e.D)
+		}
+	case protocol.CancelTimer:
+		if n.wheel != nil {
+			n.wheel.Cancel(e.ID)
+		}
+	case protocol.CountCompOps:
+		if n.cfg.Counters != nil {
+			n.cfg.Counters.IncCompOps(e.N)
+		}
+	}
 }
 
-// handleRCEExec executes a resource-compensation-entry list inside a
-// prepared branch of the coordinator's compensation transaction — the
-// resource-node half of Figure 5b. The acknowledgement is the paper's ACK;
-// it is sent only after the branch is durably prepared so that commit is
-// atomic across both nodes.
-func (n *Node) handleRCEExec(msg network.Message) {
-	var req rceExecMsg
-	if err := wire.Decode(msg.Payload, &req); err != nil {
-		return
-	}
-	reply := ackMsg{TxnID: req.TxnID, OK: true}
-	if !n.isReady() {
-		reply.OK = false
-		reply.Err = "node recovering"
-		n.send(msg.From, kindRCEExecAck, &reply)
-		return
-	}
-	n.mu.Lock()
-	_, live := n.rceBranches[req.TxnID]
-	n.mu.Unlock()
-	if live {
-		// Duplicate request (lost ack): already prepared.
-		n.send(msg.From, kindRCEExecAck, &reply)
-		return
-	}
-	tx := n.mgr.BeginWithID(req.TxnID)
-	err := n.execCompOps(tx, nil, req.Ops)
+// runBranchExec executes a resource-compensation-entry list inside a
+// branch of the coordinator's compensation transaction — the
+// resource-node half of Figure 5b. On success the prepared transaction
+// is parked for the coordinator's verdict; the machine decides (in the
+// BranchPrepared transition) whether the branch is acknowledged or —
+// if an abort overtook the execution — settled immediately.
+func (n *Node) runBranchExec(txnID string, ops []*core.OpEntry) {
+	tx := n.mgr.BeginWithID(txnID)
+	err := n.execCompOps(tx, nil, ops)
 	if err == nil {
 		err = tx.Prepare()
 	}
 	if err != nil {
 		_ = tx.Abort()
-		reply.OK = false
-		reply.Err = err.Error()
-		n.send(msg.From, kindRCEExecAck, &reply)
+		n.step(protocol.BranchPrepared{TxnID: txnID, OK: false, Err: err.Error()})
 		return
 	}
-	n.mu.Lock()
-	if n.rceAborted[req.TxnID] {
-		// The coordinator aborted while the ops above were executing
-		// (lock waits make that window wide). Registering the branch
-		// now would create a zombie: prepared, lock-holding, and
-		// already presumed-aborted by its coordinator.
-		delete(n.rceAborted, req.TxnID)
-		n.mu.Unlock()
-		_ = tx.Abort()
-		reply.OK = false
-		reply.Err = "aborted by coordinator during execution"
-		n.send(msg.From, kindRCEExecAck, &reply)
-		return
-	}
-	n.rceBranches[req.TxnID] = &rceBranch{tx: tx, prepared: time.Now()}
-	n.mu.Unlock()
-	if n.cfg.Counters != nil {
-		n.cfg.Counters.IncCompOps(int64(len(req.Ops)))
-	}
-	n.send(msg.From, kindRCEExecAck, &reply)
+	n.parkBranchTx(txnID, tx)
+	n.step(protocol.BranchPrepared{TxnID: txnID, OK: true})
 }
 
-// handleRCECtl commits or aborts a prepared RCE branch.
-func (n *Node) handleRCECtl(msg network.Message, commit bool) {
-	var req txnCtlMsg
-	if err := wire.Decode(msg.Payload, &req); err != nil {
+func (n *Node) parkBranchTx(txnID string, tx *txn.Tx) {
+	n.mu.Lock()
+	n.branchTx[txnID] = tx
+	n.mu.Unlock()
+}
+
+func (n *Node) takeBranchTx(txnID string) *txn.Tx {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	tx, ok := n.branchTx[txnID]
+	if !ok {
+		return nil
+	}
+	delete(n.branchTx, txnID)
+	return tx
+}
+
+// sendDone (re)sends one durable completion record to its owner.
+func (n *Node) sendDone(agentID string) {
+	raw, ok, err := n.store.Get(doneKey(agentID))
+	if err != nil || !ok {
 		return
 	}
-	n.resolveTxn(req.TxnID, commit)
-	ackKind := kindRCEAbortAck
-	if commit {
-		ackKind = kindRCECommitAck
+	var rec doneRec
+	if err := wire.Decode(raw, &rec); err != nil {
+		return
 	}
-	n.send(msg.From, ackKind, &ackMsg{TxnID: req.TxnID, OK: true})
+	n.send(rec.Owner, kindAgentDone, &rec.Msg)
 }
 
 // handleLaunch inserts a fresh agent container into the input queue.
@@ -311,59 +254,12 @@ func (n *Node) handleLaunch(msg network.Message) {
 	if err := wire.Decode(msg.Payload, &req); err != nil {
 		return
 	}
-	reply := ackMsg{TxnID: req.ID, OK: true}
+	reply := protocol.AckMsg{TxnID: req.ID, OK: true}
 	if err := n.queue.Enqueue(req.ID, req.Data); err != nil {
 		reply.OK = false
 		reply.Err = err.Error()
 	}
 	n.send(msg.From, kindAgentLaunchAck, &reply)
-}
-
-// handleDoneAck garbage-collects a durable completion record once the
-// owner acknowledged the notification.
-func (n *Node) handleDoneAck(msg network.Message) {
-	var ack ackMsg
-	if err := wire.Decode(msg.Payload, &ack); err != nil {
-		return
-	}
-	_ = n.store.Apply(stableDelDone(ack.TxnID))
-}
-
-// tick drives every retry loop: unacknowledged control messages, in-doubt
-// prepared work, and undelivered completion notifications.
-func (n *Node) tick() {
-	n.mu.Lock()
-	ctls := make([]pendingCtl, 0, len(n.pendingCtl))
-	for _, p := range n.pendingCtl {
-		ctls = append(ctls, p)
-	}
-	staleBranches := make([]string, 0)
-	for id, b := range n.rceBranches {
-		if time.Since(b.prepared) > 2*n.cfg.AckTimeout {
-			staleBranches = append(staleBranches, id)
-		}
-	}
-	n.mu.Unlock()
-
-	for _, p := range ctls {
-		n.send(p.to, p.kind, &txnCtlMsg{TxnID: p.txnID})
-	}
-	// In-doubt staged queue entries: ask their coordinators.
-	if staged, err := n.queue.StagedTxns(); err == nil {
-		for _, id := range staged {
-			if co := coordinatorOf(id); co != "" && co != n.cfg.Name {
-				n.send(co, kindTxnQuery, &txnCtlMsg{TxnID: id})
-			}
-		}
-	}
-	// Stale prepared branches: coordinator may have aborted silently.
-	for _, id := range staleBranches {
-		if co := coordinatorOf(id); co != "" && co != n.cfg.Name {
-			n.send(co, kindTxnQuery, &txnCtlMsg{TxnID: id})
-		}
-	}
-	// Undelivered completion notifications.
-	n.resendDone()
 }
 
 // execCompOps runs compensating operations in the order given (the caller

@@ -2,34 +2,14 @@ package node
 
 import (
 	"repro/internal/agent"
-	"repro/internal/core"
+	"repro/internal/protocol"
 	"repro/internal/wire"
 )
 
-// Message kinds of the node protocol. The q.* family implements the
-// two-phase hand-off of agent containers between input queues (the remote
-// half of a distributed step/compensation transaction); the rce.* family
-// ships resource-compensation-entry lists to the resource node in the
-// optimized rollback (Figure 5b); txn.query resolves in-doubt participants
-// after crashes (presumed abort).
+// The protocol message kinds and payloads (q.*, rce.*, txn.*) live in
+// internal/protocol; this file keeps only the node-runtime messages:
+// agent launch and completion notification.
 const (
-	kindEnqueuePrepare    = "q.prepare"
-	kindEnqueuePrepareAck = "q.prepare.ack"
-	kindEnqueueCommit     = "q.commit"
-	kindEnqueueCommitAck  = "q.commit.ack"
-	kindEnqueueAbort      = "q.abort"
-	kindEnqueueAbortAck   = "q.abort.ack"
-
-	kindTxnQuery  = "txn.query"
-	kindTxnStatus = "txn.status"
-
-	kindRCEExec      = "rce.exec"
-	kindRCEExecAck   = "rce.exec.ack"
-	kindRCECommit    = "rce.commit"
-	kindRCECommitAck = "rce.commit.ack"
-	kindRCEAbort     = "rce.abort"
-	kindRCEAbortAck  = "rce.abort.ack"
-
 	kindAgentLaunch    = "agent.launch"
 	kindAgentLaunchAck = "agent.launch.ack"
 	kindAgentDone      = "agent.done"
@@ -67,42 +47,6 @@ func DecodeContainer(data []byte) (*Container, error) {
 		return nil, err
 	}
 	return &c, nil
-}
-
-// enqueuePrepareMsg asks the destination to durably stage a container
-// insertion under the coordinator's transaction ID.
-type enqueuePrepareMsg struct {
-	TxnID   string
-	EntryID string
-	Data    []byte
-}
-
-// ackMsg acknowledges a protocol request. OK=false carries the refusal
-// reason (e.g. node still recovering).
-type ackMsg struct {
-	TxnID string
-	OK    bool
-	Err   string
-}
-
-// txnCtlMsg carries commit/abort/query instructions for a transaction.
-type txnCtlMsg struct {
-	TxnID string
-}
-
-// txnStatusMsg answers a txn.query: Committed=false means abort (presumed
-// abort: no decision record implies the transaction never committed).
-type txnStatusMsg struct {
-	TxnID     string
-	Committed bool
-}
-
-// rceExecMsg ships the resource compensation entries of one step to the
-// node where the step executed, to be run inside the (distributed)
-// compensation transaction identified by TxnID (§4.4.1).
-type rceExecMsg struct {
-	TxnID string
-	Ops   []*core.OpEntry
 }
 
 // launchMsg inserts a fresh agent container into the node's input queue.
@@ -155,7 +99,7 @@ func DecodeDone(payload []byte) (Done, error) {
 
 // EncodeDoneAck builds the KindAgentDoneAck payload for agentID.
 func EncodeDoneAck(agentID string) ([]byte, error) {
-	return wire.Encode(&ackMsg{TxnID: agentID, OK: true})
+	return wire.Encode(&protocol.AckMsg{TxnID: agentID, OK: true})
 }
 
 // KindAgentLaunch is the message kind inserting a fresh agent container
@@ -171,11 +115,6 @@ var _ = registerMessages()
 
 func registerMessages() struct{} {
 	wire.RegisterName("node.Container", &Container{})
-	wire.RegisterName("node.enqueuePrepare", &enqueuePrepareMsg{})
-	wire.RegisterName("node.ack", &ackMsg{})
-	wire.RegisterName("node.txnCtl", &txnCtlMsg{})
-	wire.RegisterName("node.txnStatus", &txnStatusMsg{})
-	wire.RegisterName("node.rceExec", &rceExecMsg{})
 	wire.RegisterName("node.launch", &launchMsg{})
 	wire.RegisterName("node.done", &doneMsg{})
 	return struct{}{}

@@ -3,23 +3,37 @@
 // the optimized mechanism of Figure 5, over the substrates in
 // internal/{network,stable,txn,resource}.
 //
+// Protocol architecture. Every 2PC / RCE / rollback decision lives in the
+// pure state machines of internal/protocol; this package is the driver
+// around them. The dispatcher goroutine decodes inbound messages into
+// protocol events, workers feed local decisions (prepare shipped, commit
+// decided, branch executed) in as events too, and a single
+// network.TimerWheel per node turns timer-fire callbacks into events —
+// Machine.Step is always serialized under one mutex. The effects a
+// transition returns (outbound messages, staged-queue operations, branch
+// commits/aborts, decision-record GC, timer arm/cancel) are applied by
+// the same caller, outside the machine lock. Timers therefore cost O(1)
+// goroutines per node — not one polling loop per in-flight transaction —
+// and a network.VirtualClock advances every protocol timer
+// deterministically.
+//
 // Concurrency model. Each node runs a dispatcher goroutine handling
-// protocol messages (queue hand-off two-phase commit, remote compensation
-// batches, in-doubt resolution, completion notifications) and a sched.Pool
-// of Config.Workers step workers draining the agent input queue through
-// volatile claim/lease hand-out (default 1: the paper's serial node model).
-// Workers block on acknowledgements from remote participants; the
-// dispatcher never blocks on a worker. Concurrent step transactions are
-// serialized by the txn layer's strict 2PL; the pool additionally avoids
-// co-scheduling steps whose registered resource hints collide.
+// protocol messages and a sched.Pool of Config.Workers step workers
+// draining the agent input queue through volatile claim/lease hand-out
+// (default 1: the paper's serial node model). Workers block on
+// acknowledgements from remote participants; the dispatcher never blocks
+// on a worker. Concurrent step transactions are serialized by the txn
+// layer's strict 2PL; the pool additionally avoids co-scheduling steps
+// whose registered resource hints collide.
 //
 // Crash behaviour. A node's volatile state (in-flight transactions, locks,
-// pending acks) is lost on Stop/crash; its stable store (input queue,
-// resource states, prepared branches, decision records) survives. On
-// restart the node first resolves in-doubt prepared work with the
-// respective coordinators (presumed abort), then re-loads resources, then
-// resumes processing — exactly the recovery the paper's mechanism relies
-// on (§4.3: the agent and log still reside in the input queue, enabling the
+// pending acks, the protocol machine) is lost on Stop/crash; its stable
+// store (input queue, resource states, prepared branches, decision
+// records) survives. On restart the node first resolves in-doubt prepared
+// work with the respective coordinators (presumed abort) by replaying the
+// survivors into a fresh machine, then re-loads resources, then resumes
+// processing — exactly the recovery the paper's mechanism relies on
+// (§4.3: the agent and log still reside in the input queue, enabling the
 // algorithm to restart the transaction).
 package node
 
@@ -34,6 +48,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/network"
+	"repro/internal/protocol"
 	"repro/internal/resource"
 	"repro/internal/sched"
 	"repro/internal/stable"
@@ -72,6 +87,11 @@ type Config struct {
 	// For the S16b ablation only — it demonstrably corrupts agents whose
 	// compensations produce information (see the baseline tests).
 	SagaBaseline bool
+	// Clock drives the node's protocol timers (ack timeouts, control
+	// resends, in-doubt queries, notification resends) through its
+	// timer wheel; nil uses the wall clock. A network.VirtualClock
+	// makes every protocol timer manually advanceable.
+	Clock network.Clock
 	// Counters receives metrics; may be nil.
 	Counters *metrics.Counters
 }
@@ -92,6 +112,9 @@ func (c *Config) fillDefaults() {
 	if c.Workers < 1 {
 		c.Workers = 1
 	}
+	if c.Clock == nil {
+		c.Clock = network.WallClock()
+	}
 }
 
 // Node is one agent-system node.
@@ -103,35 +126,23 @@ type Node struct {
 	mgr       *txn.Manager
 	registry  *agent.Registry
 	factories []ResourceFactory
+	clock     network.Clock
+	wheel     *network.TimerWheel
 
-	mu          sync.Mutex
-	resources   map[string]resource.Resource
-	waiters     map[string]chan ackMsg
-	activeTxns  map[string]bool // distributed txns this node coordinates
-	rceBranches map[string]*rceBranch
-	rceInFlight map[string]bool
-	rceAborted  map[string]bool
-	pendingCtl  map[string]pendingCtl
-	pool        *sched.Pool // step scheduler; set once recovery completes
+	// pmu serializes Machine.Step; the machine itself is pure and
+	// single-threaded. Never hold mu and pmu together.
+	pmu     sync.Mutex
+	machine *protocol.Machine
+
+	mu        sync.Mutex
+	resources map[string]resource.Resource
+	waiters   map[string]chan protocol.AckMsg
+	branchTx  map[string]*txn.Tx // prepared RCE branch transactions, parked for the verdict
+	pool      *sched.Pool        // step scheduler; set once recovery completes
 
 	ready chan struct{}
 	stop  chan struct{}
 	wg    sync.WaitGroup
-}
-
-// rceBranch is a live prepared remote-compensation branch (participant
-// side of Figure 5b's distributed compensation transaction).
-type rceBranch struct {
-	tx       *txn.Tx
-	prepared time.Time
-}
-
-// pendingCtl is a commit/abort notification that must be delivered
-// reliably; it is resent on every tick until acknowledged.
-type pendingCtl struct {
-	to    string
-	kind  string
-	txnID string
 }
 
 // New creates a node runtime attached to the given endpoint and store. The
@@ -149,24 +160,27 @@ func New(cfg Config, ep network.Endpoint, store stable.Store, registry *agent.Re
 	if err != nil {
 		return nil, err
 	}
-	return &Node{
-		cfg:         cfg,
-		ep:          ep,
-		store:       store,
-		queue:       stable.NewQueue(store, "q/"),
-		mgr:         mgr,
-		registry:    registry,
-		factories:   factories,
-		resources:   make(map[string]resource.Resource),
-		waiters:     make(map[string]chan ackMsg),
-		activeTxns:  make(map[string]bool),
-		rceBranches: make(map[string]*rceBranch),
-		rceInFlight: make(map[string]bool),
-		rceAborted:  make(map[string]bool),
-		pendingCtl:  make(map[string]pendingCtl),
-		ready:       make(chan struct{}),
-		stop:        make(chan struct{}),
-	}, nil
+	n := &Node{
+		cfg:      cfg,
+		ep:       ep,
+		store:    store,
+		queue:    stable.NewQueue(store, "q/"),
+		mgr:      mgr,
+		registry: registry,
+		clock:    cfg.Clock,
+		machine: protocol.NewMachine(protocol.Config{
+			Node:          cfg.Name,
+			RetryInterval: cfg.RetryDelay * 5,
+			StaleAfter:    2 * cfg.AckTimeout,
+		}),
+		factories: factories,
+		resources: make(map[string]resource.Resource),
+		waiters:   make(map[string]chan protocol.AckMsg),
+		branchTx:  make(map[string]*txn.Tx),
+		ready:     make(chan struct{}),
+		stop:      make(chan struct{}),
+	}
+	return n, nil
 }
 
 // Name returns the node name.
@@ -186,10 +200,15 @@ func (n *Node) Resource(name string) (resource.Resource, bool) {
 // Manager exposes the transaction manager (tests and setup code).
 func (n *Node) Manager() *txn.Manager { return n.mgr }
 
-// Start launches the dispatcher and worker. It returns immediately;
-// recovery (in-doubt resolution, resource loading) happens in the
-// background and gates queue processing.
+// Start launches the timer wheel, the dispatcher and the worker pool. It
+// returns immediately; recovery (in-doubt resolution, resource loading)
+// happens in the background and gates queue processing.
 func (n *Node) Start() {
+	var obs network.TimerObserver
+	if n.cfg.Counters != nil {
+		obs = n.cfg.Counters
+	}
+	n.wheel = network.NewTimerWheel(n.clock, n.onTimer, obs)
 	n.wg.Add(2)
 	go func() {
 		defer n.wg.Done()
@@ -206,7 +225,8 @@ func (n *Node) Start() {
 // Closing the stop channel first unblocks workers waiting on remote
 // acknowledgements, so the scheduler pool drains promptly: in-flight step
 // attempts finish (committed work stands, aborted work is still queued),
-// and claims on never-started entries are released.
+// and claims on never-started entries are released. The timer wheel is
+// stopped before waiting so no further timer events fire.
 func (n *Node) Stop() {
 	n.mu.Lock()
 	select {
@@ -215,42 +235,31 @@ func (n *Node) Stop() {
 		close(n.stop)
 	}
 	pool := n.pool
+	wheel := n.wheel
 	n.mu.Unlock()
 	if pool != nil {
 		pool.Stop()
 	}
+	if wheel != nil {
+		wheel.Stop()
+	}
 	n.wg.Wait()
 }
 
-// Ready returns a channel closed when recovery completed.
+// Ready returns a channel closed when recovery completed. (The protocol
+// machine tracks readiness itself via the ReadyReached event; this
+// channel is the public API for launchers and the cluster.)
 func (n *Node) Ready() <-chan struct{} { return n.ready }
-
-func (n *Node) isReady() bool {
-	select {
-	case <-n.ready:
-		return true
-	default:
-		return false
-	}
-}
-
-// coordinatorOf extracts the coordinator node from a transaction ID
-// ("node#seq").
-func coordinatorOf(txnID string) string {
-	if i := strings.LastIndex(txnID, "#"); i >= 0 {
-		return txnID[:i]
-	}
-	return ""
-}
 
 // --- ack plumbing -----------------------------------------------------
 
 func ackKey(kind, id string) string { return kind + "|" + id }
 
-// awaitAck registers interest in an acknowledgement before the request is
-// sent; await then blocks for it.
-func (n *Node) registerWaiter(kind, id string) chan ackMsg {
-	ch := make(chan ackMsg, 1)
+// registerWaiter registers interest in an acknowledgement before the
+// request is sent; await then blocks for it. The machine's DeliverAck
+// effect fulfils it.
+func (n *Node) registerWaiter(kind, id string) chan protocol.AckMsg {
+	ch := make(chan protocol.AckMsg, 1)
 	n.mu.Lock()
 	n.waiters[ackKey(kind, id)] = ch
 	n.mu.Unlock()
@@ -263,7 +272,7 @@ func (n *Node) dropWaiter(kind, id string) {
 	n.mu.Unlock()
 }
 
-func (n *Node) deliverAck(kind, id string, msg ackMsg) {
+func (n *Node) deliverAck(kind, id string, msg protocol.AckMsg) {
 	n.mu.Lock()
 	ch, ok := n.waiters[ackKey(kind, id)]
 	if ok {
@@ -278,21 +287,21 @@ func (n *Node) deliverAck(kind, id string, msg ackMsg) {
 // errAckTimeout marks a missing acknowledgement (retryable).
 var errAckTimeout = errors.New("node: acknowledgement timed out")
 
-func (n *Node) await(ch chan ackMsg, kind, id string) (ackMsg, error) {
-	timer := time.NewTimer(n.cfg.AckTimeout)
-	defer timer.Stop()
+func (n *Node) await(ch chan protocol.AckMsg, kind, id string) (protocol.AckMsg, error) {
+	timeout, cancel := network.ClockTimer(n.clock, n.cfg.AckTimeout)
+	defer cancel()
 	select {
 	case msg := <-ch:
 		if !msg.OK {
 			return msg, fmt.Errorf("node: %s refused: %s", kind, msg.Err)
 		}
 		return msg, nil
-	case <-timer.C:
+	case <-timeout:
 		n.dropWaiter(kind, id)
-		return ackMsg{}, fmt.Errorf("%w: %s %s", errAckTimeout, kind, id)
+		return protocol.AckMsg{}, fmt.Errorf("%w: %s %s", errAckTimeout, kind, id)
 	case <-n.stop:
 		n.dropWaiter(kind, id)
-		return ackMsg{}, errors.New("node: stopped")
+		return protocol.AckMsg{}, errors.New("node: stopped")
 	}
 }
 
@@ -307,42 +316,6 @@ func (n *Node) send(to, kind string, payload any) {
 	// protocol's retries and presumed abort recover, exactly as for a
 	// crashed destination.
 	_ = n.ep.Send(to, kind, data)
-}
-
-// sendCtlReliable transmits a commit/abort control message and re-sends it
-// on every tick until the acknowledgement arrives.
-func (n *Node) sendCtlReliable(to, kind, txnID string) {
-	n.mu.Lock()
-	n.pendingCtl[ackKey(kind, txnID)] = pendingCtl{to: to, kind: kind, txnID: txnID}
-	n.mu.Unlock()
-	n.send(to, kind, &txnCtlMsg{TxnID: txnID})
-}
-
-// ctlAcked clears a reliable control send; it returns true when the ack
-// was the first one.
-func (n *Node) ctlAcked(kind, txnID string) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	key := ackKey(kind, txnID)
-	if _, ok := n.pendingCtl[key]; !ok {
-		return false
-	}
-	delete(n.pendingCtl, key)
-	return true
-}
-
-// hasPendingCtl reports whether any reliable control message for txnID is
-// still unacknowledged (a multi-participant commit must keep its decision
-// record until every participant confirmed).
-func (n *Node) hasPendingCtl(txnID string) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	for _, p := range n.pendingCtl {
-		if p.txnID == txnID {
-			return true
-		}
-	}
-	return false
 }
 
 func encodePayload(payload any) ([]byte, error) {

@@ -6,22 +6,8 @@ import (
 	"testing"
 
 	"repro/internal/agent"
-	"repro/internal/core"
 	"repro/internal/itinerary"
 )
-
-func TestCoordinatorOf(t *testing.T) {
-	cases := map[string]string{
-		"nodeA#42":    "nodeA",
-		"a#b#7":       "a#b", // last separator wins
-		"noseparator": "",
-	}
-	for id, want := range cases {
-		if got := coordinatorOf(id); got != want {
-			t.Errorf("coordinatorOf(%q) = %q, want %q", id, got, want)
-		}
-	}
-}
 
 func TestPermanentErrorClassification(t *testing.T) {
 	base := errors.New("boom")
@@ -38,104 +24,6 @@ func TestPermanentErrorClassification(t *testing.T) {
 	}
 	if !errors.Is(wrapped, base) {
 		t.Error("cause lost through permanent wrapper")
-	}
-}
-
-func TestPopToTarget(t *testing.T) {
-	mkLog := func() *core.Log {
-		l := &core.Log{}
-		if err := l.AppendSavepoint("base", map[string][]byte{}, core.StateLogging, true); err != nil {
-			t.Fatal(err)
-		}
-		l.Append(&core.BeginStepEntry{Node: "n", Seq: 0})
-		l.Append(&core.EndStepEntry{Node: "n", Seq: 0})
-		if err := l.AppendSavepoint("target", map[string][]byte{}, core.StateLogging, true); err != nil {
-			t.Fatal(err)
-		}
-		if err := l.AppendSpecialSavepoint("stale1", "target", true); err != nil {
-			t.Fatal(err)
-		}
-		if err := l.AppendSpecialSavepoint("stale2", "target", true); err != nil {
-			t.Fatal(err)
-		}
-		return l
-	}
-
-	// Target buried under stale savepoints: they are popped, target kept.
-	l := mkLog()
-	reached, popped := popToTarget(l, "target")
-	if !reached || popped != 2 {
-		t.Errorf("reached=%v popped=%d, want true/2", reached, popped)
-	}
-	if !l.LastIsSavepoint("target") {
-		t.Errorf("log after pops: %s", l)
-	}
-
-	// Target not in the trailing savepoint run: everything trailing is
-	// popped (Figure 4b's savepoint pop), reached=false.
-	l2 := mkLog()
-	reached, popped = popToTarget(l2, "base")
-	if reached || popped != 3 {
-		t.Errorf("reached=%v popped=%d, want false/3", reached, popped)
-	}
-	if _, ok := l2.Last().(*core.EndStepEntry); !ok {
-		t.Errorf("log after pops: %s", l2)
-	}
-
-	// Non-savepoint tail: nothing popped.
-	l3 := &core.Log{}
-	l3.Append(&core.EndStepEntry{Node: "n"})
-	reached, popped = popToTarget(l3, "x")
-	if reached || popped != 0 {
-		t.Errorf("reached=%v popped=%d, want false/0", reached, popped)
-	}
-}
-
-func TestPeekEOS(t *testing.T) {
-	l := &core.Log{}
-	if _, ok := peekEOS(l); ok {
-		t.Error("peekEOS on empty log")
-	}
-	l.Append(&core.BeginStepEntry{Node: "n", Seq: 0})
-	l.Append(&core.EndStepEntry{Node: "resnode", Seq: 0, HasMixed: true})
-	if err := l.AppendSavepoint("sp", map[string][]byte{}, core.StateLogging, true); err != nil {
-		t.Fatal(err)
-	}
-	if err := l.AppendSpecialSavepoint("sp2", "sp", true); err != nil {
-		t.Fatal(err)
-	}
-	eos, ok := peekEOS(l)
-	if !ok || eos.Node != "resnode" || !eos.HasMixed {
-		t.Errorf("peekEOS = %+v, %v", eos, ok)
-	}
-	// A BOS directly at the tail (malformed for peeking) yields no EOS.
-	l2 := &core.Log{}
-	l2.Append(&core.BeginStepEntry{Node: "n"})
-	if _, ok := peekEOS(l2); ok {
-		t.Error("peekEOS found EOS behind a BOS tail")
-	}
-}
-
-func TestPickDestination(t *testing.T) {
-	n := &Node{}
-	alts := []string{"alt1", "alt2"}
-	for attempt := 1; attempt <= 3; attempt++ {
-		if got := n.pickDestination("primary", alts, attempt); got != "primary" {
-			t.Errorf("attempt %d: %q, want primary", attempt, got)
-		}
-	}
-	if got := n.pickDestination("primary", alts, 4); got != "alt1" {
-		t.Errorf("attempt 4: %q, want alt1", got)
-	}
-	if got := n.pickDestination("primary", alts, 5); got != "alt2" {
-		t.Errorf("attempt 5: %q, want alt2", got)
-	}
-	if got := n.pickDestination("primary", alts, 6); got != "alt1" {
-		t.Errorf("attempt 6: %q, want alt1 (wrap)", got)
-	}
-	// Without alternatives the primary is used forever.
-	if got := n.pickDestination("primary", nil, 99); got != "primary" {
-		t.Errorf("no alts: %q", got)
 	}
 }
 
@@ -205,30 +93,3 @@ func TestDoneMessageRoundTrip(t *testing.T) {
 }
 
 func wireEncodeDone(m doneMsg) ([]byte, error) { return encodePayload(&m) }
-
-func TestCtlAckBookkeeping(t *testing.T) {
-	n := &Node{
-		pendingCtl: make(map[string]pendingCtl),
-		waiters:    make(map[string]chan ackMsg),
-	}
-	n.pendingCtl[ackKey(kindEnqueueCommit, "t1")] = pendingCtl{to: "x", kind: kindEnqueueCommit, txnID: "t1"}
-	n.pendingCtl[ackKey(kindRCECommit, "t1")] = pendingCtl{to: "y", kind: kindRCECommit, txnID: "t1"}
-	if !n.hasPendingCtl("t1") {
-		t.Error("pending ctl not found")
-	}
-	if !n.ctlAcked(kindEnqueueCommit, "t1") {
-		t.Error("first ack not recognized")
-	}
-	if n.ctlAcked(kindEnqueueCommit, "t1") {
-		t.Error("duplicate ack recognized twice")
-	}
-	if !n.hasPendingCtl("t1") {
-		t.Error("second participant's ctl lost")
-	}
-	if !n.ctlAcked(kindRCECommit, "t1") {
-		t.Error("second ack not recognized")
-	}
-	if n.hasPendingCtl("t1") {
-		t.Error("ctl lingers after all acks")
-	}
-}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/network"
+	"repro/internal/protocol"
 	"repro/internal/resource"
 	"repro/internal/stable"
 	"repro/internal/wire"
@@ -19,6 +20,13 @@ import (
 // branch afterwards — a branch prepared after its coordinator aborted is
 // a zombie that holds resource locks until the stale-branch query cycle,
 // and under retry pressure those zombie holds chain into a livelock.
+//
+// With the protocol core this is the executing→executingAborted state
+// edge; here the full driver is exercised: a gated compensation keeps the
+// execution in flight while the abort verdict lands, then the prepared
+// branch must be aborted, its locks released, and the coordinator
+// refused. The exhaustive event-order coverage lives in
+// internal/protocol's permutation test.
 func TestRCEAbortOvertakesPrepare(t *testing.T) {
 	sim := network.NewSim(network.SimConfig{})
 	defer sim.Close()
@@ -26,8 +34,14 @@ func TestRCEAbortOvertakesPrepare(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	coEp, err := sim.Endpoint("co")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
 	reg := agent.NewRegistry()
 	if err := reg.RegisterComp("t.comp", func(ctx agent.CompContext) error {
+		<-gate // hold the execution in flight (stands in for a lock wait)
 		r, err := ctx.Resource("bank")
 		if err != nil {
 			return err
@@ -61,35 +75,40 @@ func TestRCEAbortOvertakesPrepare(t *testing.T) {
 	}
 
 	const txnID = "co#7"
-	payload, err := wire.Encode(&rceExecMsg{TxnID: txnID, Ops: []*core.OpEntry{
+	ops := []*core.OpEntry{
 		{Kind: core.OpResource, Op: "t.comp", Params: core.NewParams().Set("bank", "bank")},
-	}})
-	if err != nil {
-		t.Fatal(err)
 	}
 
-	// The abort overtakes: it is resolved while the exec is marked
-	// in-flight (in the live race the exec goroutine is blocked on the
-	// bank lock at this point).
-	n.mu.Lock()
-	n.rceInFlight[txnID] = true
-	n.mu.Unlock()
-	n.resolveTxn(txnID, false)
-	n.mu.Lock()
-	poisoned := n.rceAborted[txnID]
-	n.mu.Unlock()
-	if !poisoned {
-		t.Fatal("abort during in-flight execution was not recorded")
+	// Execution starts and blocks on the gate; the abort verdict
+	// overtakes it; then the execution finishes and prepares.
+	n.step(protocol.RCEExecReceived{TxnID: txnID, From: "co", Ops: ops})
+	n.step(protocol.StatusReceived{TxnID: txnID, Committed: false})
+	close(gate)
+
+	// The coordinator must be refused, not acknowledged.
+	select {
+	case msg := <-coEp.Recv():
+		if msg.Kind != protocol.KindRCEExecAck {
+			t.Fatalf("unexpected message %s", msg.Kind)
+		}
+		var ack protocol.AckMsg
+		if err := decodeInto(msg.Payload, &ack); err != nil {
+			t.Fatal(err)
+		}
+		if ack.OK {
+			t.Error("zombie branch acknowledged for an aborted transaction")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no exec ack delivered")
 	}
 
-	n.handleRCEExec(network.Message{From: "q", To: "p", Kind: kindRCEExec, Payload: payload})
-
 	n.mu.Lock()
-	_, live := n.rceBranches[txnID]
+	_, parked := n.branchTx[txnID]
 	n.mu.Unlock()
-	if live {
-		t.Error("zombie branch registered for an aborted transaction")
+	if parked {
+		t.Error("zombie branch transaction parked for an aborted transaction")
 	}
+
 	// The branch's effects were rolled back and its locks released: a
 	// fresh transaction can use the bank immediately (no 2s lock wait).
 	done := make(chan error, 1)
@@ -115,12 +134,16 @@ func TestRCEAbortOvertakesPrepare(t *testing.T) {
 		t.Fatal("bank lock still held by the aborted branch")
 	}
 
-	// An abort with no in-flight execution must not leave a tombstone.
-	n.resolveTxn("co#8", false)
-	n.mu.Lock()
-	stray := n.rceAborted["co#8"]
-	n.mu.Unlock()
-	if stray {
-		t.Error("tombstone recorded without an in-flight execution")
+	// An abort with no in-flight execution must not leave branch state.
+	n.step(protocol.StatusReceived{TxnID: "co#8", Committed: false})
+	n.pmu.Lock()
+	stats := n.machine.Stats()
+	n.pmu.Unlock()
+	if stats.BranchesExec != 0 || stats.BranchesPrepared != 0 {
+		t.Errorf("stray branch state after resolution: %+v", stats)
 	}
+}
+
+func decodeInto(payload []byte, v any) error {
+	return wire.Decode(payload, v)
 }

@@ -4,13 +4,16 @@ import (
 	"fmt"
 
 	"repro/internal/agent"
-	"repro/internal/core"
+	"repro/internal/protocol"
 	"repro/internal/stable"
 	"repro/internal/txn"
 )
 
 // runCompensation executes one compensation transaction of a partial
 // rollback — Figure 4b (basic) and Figure 5b (optimized) of the paper.
+// The transactional mechanics live here; every routing decision (where
+// the next hop runs, whether entries ship as an RCE list) is computed
+// by the pure functions in internal/protocol.
 //
 // The container was routed here by the previous hop: in basic mode this is
 // always the node where the step being compensated executed; in optimized
@@ -31,8 +34,8 @@ func (n *Node) runCompensation(entry *stable.Entry, c *Container, attempt int) e
 	}
 	tx.AddCommitOps(n.queue.RemoveOp(entry))
 
-	reached, _ := popToTarget(a.Log, spID)
-	var parts []remotePrep
+	reached, _ := protocol.PopToTarget(a.Log, spID)
+	var parts []protocol.Participant
 	if !reached {
 		parts, err = n.compensateLastStep(tx, a, attempt)
 		if err != nil {
@@ -46,7 +49,7 @@ func (n *Node) runCompensation(entry *stable.Entry, c *Container, attempt int) e
 			}
 			return err
 		}
-		reached, _ = popToTarget(a.Log, spID)
+		reached, _ = protocol.PopToTarget(a.Log, spID)
 	}
 
 	var next *Container
@@ -74,21 +77,18 @@ func (n *Node) runCompensation(entry *stable.Entry, c *Container, attempt int) e
 			return permanent(fmt.Errorf("node %s: restored cursor: %w", n.cfg.Name, err))
 		}
 		next = &Container{Mode: ModeStep, Agent: a}
-		dest = n.pickDestination(step.Loc, step.Alt, attempt)
+		dest = protocol.PickDestination(step.Loc, step.Alt, attempt)
 	} else {
 		// More steps to compensate: route the agent (or not — Figure
 		// 5a's destination rule) to the next compensation transaction.
-		eos, ok := peekEOS(a.Log)
+		eos, ok := protocol.PeekEOS(a.Log)
 		if !ok {
 			_ = tx.Abort()
 			n.abortParts(tx, parts)
 			return permanent(fmt.Errorf("node %s: agent %s: savepoint %q unreachable during rollback", n.cfg.Name, a.ID, spID))
 		}
 		next = &Container{Mode: ModeRollback, SpID: spID, Agent: a}
-		dest = eos.Node
-		if n.cfg.Optimized && !eos.HasMixed {
-			dest = n.cfg.Name
-		}
+		dest = protocol.CompensationDest(eos, n.cfg.Optimized, n.cfg.Name)
 	}
 
 	a.SRO.Freeze(false) // clear runtime-only flag before serialization
@@ -106,43 +106,23 @@ func (n *Node) runCompensation(entry *stable.Entry, c *Container, attempt int) e
 }
 
 // compensateLastStep pops the last executed step off the log (EOS, then
-// operation entries until BOS) and executes its compensating operations in
-// reverse execution order inside tx. In the optimized algorithm without
-// mixed entries, agent compensation entries run locally concurrently with
-// the resource compensation entries shipped to the resource node; the
-// remote branch is returned as a prepared participant.
-func (n *Node) compensateLastStep(tx *txn.Tx, a *agent.Agent, attempt int) ([]remotePrep, error) {
-	log := a.Log
-	last, err := log.Pop()
+// operation entries until BOS — protocol.PopLastStep yields them already
+// in the reverse execution order compensations must run in, §4.2) and
+// executes its compensating operations inside tx. In the optimized
+// algorithm without mixed entries, agent compensation entries run
+// locally concurrently with the resource compensation entries shipped to
+// the resource node; the remote branch is returned as a prepared
+// participant.
+func (n *Node) compensateLastStep(tx *txn.Tx, a *agent.Agent, attempt int) ([]protocol.Participant, error) {
+	eos, ops, err := protocol.PopLastStep(a.Log)
 	if err != nil {
-		return nil, permanent(fmt.Errorf("node %s: compensate: %w", n.cfg.Name, err))
-	}
-	eos, ok := last.(*core.EndStepEntry)
-	if !ok {
-		return nil, permanent(fmt.Errorf("node %s: compensate: expected end-of-step entry, got %s", n.cfg.Name, core.EntryName(last)))
-	}
-	// Collect the step's operation entries; popping yields them already
-	// in reverse execution order, the order they must run in (§4.2).
-	var ops []*core.OpEntry
-	for {
-		e, err := log.Pop()
-		if err != nil {
-			return nil, permanent(fmt.Errorf("node %s: compensate: truncated step in log: %w", n.cfg.Name, err))
-		}
-		if _, ok := e.(*core.BeginStepEntry); ok {
-			break
-		}
-		op, ok := e.(*core.OpEntry)
-		if !ok {
-			return nil, permanent(fmt.Errorf("node %s: compensate: unexpected %s inside step", n.cfg.Name, core.EntryName(e)))
-		}
-		ops = append(ops, op)
+		return nil, permanent(fmt.Errorf("node %s: %w", n.cfg.Name, err))
 	}
 	if len(ops) == 0 {
 		return nil, nil
 	}
 
-	if !n.cfg.Optimized || eos.HasMixed || eos.Node == n.cfg.Name {
+	if protocol.CompensateLocally(eos, n.cfg.Optimized, n.cfg.Name) {
 		// Basic algorithm, or mixed entries (the agent was brought to
 		// the resource node), or the agent already resides there:
 		// execute everything locally in log order.
@@ -158,22 +138,15 @@ func (n *Node) compensateLastStep(tx *txn.Tx, a *agent.Agent, attempt int) ([]re
 	// Figure 5b: group the entries, ship the resource compensation
 	// entries, run the agent compensation entries concurrently, then
 	// wait for the ACK.
-	var aces, rces []*core.OpEntry
-	for _, op := range ops {
-		switch op.Kind {
-		case core.OpAgent:
-			aces = append(aces, op)
-		case core.OpResource:
-			rces = append(rces, op)
-		default:
-			return nil, permanent(fmt.Errorf("node %s: mixed entry in step flagged non-mixed", n.cfg.Name))
-		}
+	aces, rces, err := protocol.SplitCompOps(ops)
+	if err != nil {
+		return nil, permanent(fmt.Errorf("node %s: %w", n.cfg.Name, err))
 	}
-	var parts []remotePrep
-	var ackCh chan ackMsg
+	var parts []protocol.Participant
+	var ackCh chan protocol.AckMsg
 	if len(rces) > 0 {
-		dest := n.pickDestination(eos.Node, eos.AltNodes, attempt)
-		prep, ch := n.prepareRCERemote(tx, dest, &rceExecMsg{TxnID: tx.ID(), Ops: rces})
+		dest := protocol.PickDestination(eos.Node, eos.AltNodes, attempt)
+		prep, ch := n.prepareRCERemote(tx, dest, rces)
 		parts = append(parts, prep)
 		ackCh = ch
 		if n.cfg.Counters != nil {
@@ -182,7 +155,7 @@ func (n *Node) compensateLastStep(tx *txn.Tx, a *agent.Agent, attempt int) ([]re
 	}
 	if err := n.execCompOps(tx, a, aces); err != nil {
 		if ackCh != nil {
-			n.dropWaiter(kindRCEExecAck, tx.ID())
+			n.dropWaiter(protocol.KindRCEExecAck, tx.ID())
 		}
 		return parts, err
 	}
@@ -190,7 +163,7 @@ func (n *Node) compensateLastStep(tx *txn.Tx, a *agent.Agent, attempt int) ([]re
 		n.cfg.Counters.IncCompOps(int64(len(aces)))
 	}
 	if ackCh != nil {
-		if _, err := n.await(ackCh, kindRCEExecAck, tx.ID()); err != nil {
+		if _, err := n.await(ackCh, protocol.KindRCEExecAck, tx.ID()); err != nil {
 			return parts, fmt.Errorf("node %s: remote compensation on %s: %w", n.cfg.Name, eos.Node, err)
 		}
 	}

@@ -3,58 +3,45 @@ package node
 import (
 	"fmt"
 
+	"repro/internal/core"
+	"repro/internal/protocol"
 	"repro/internal/txn"
 )
 
-// remotePrep is a remote participant that acknowledged prepare and awaits
-// the coordinator's decision.
-type remotePrep struct {
-	node       string
-	commitKind string
-	abortKind  string
-}
-
-func (n *Node) markActive(txnID string) {
-	n.mu.Lock()
-	n.activeTxns[txnID] = true
-	n.mu.Unlock()
-}
-
-func (n *Node) unmarkActive(txnID string) {
-	n.mu.Lock()
-	delete(n.activeTxns, txnID)
-	n.mu.Unlock()
-}
+// Coordinator driver shims. The decision logic — when a transaction is
+// active, how queries are answered, which control messages go out and
+// when they stop being resent — lives in the protocol machine's
+// coordinator role; these helpers only sequence the worker's blocking
+// calls (register a waiter, feed the event, await the ack).
 
 // prepareEnqueueRemote runs the prepare phase of the queue hand-off: the
 // destination durably stages the container under this transaction's ID.
-// The transaction is marked active first so in-doubt queries from the
-// participant are answered "pending" rather than "abort" while the
-// decision is still open.
-func (n *Node) prepareEnqueueRemote(tx *txn.Tx, dest, entryID string, data []byte) (remotePrep, error) {
-	n.markActive(tx.ID())
-	ch := n.registerWaiter(kindEnqueuePrepareAck, tx.ID())
-	n.send(dest, kindEnqueuePrepare, &enqueuePrepareMsg{TxnID: tx.ID(), EntryID: entryID, Data: data})
-	if _, err := n.await(ch, kindEnqueuePrepareAck, tx.ID()); err != nil {
-		return remotePrep{}, err
+// The machine marks the transaction active before the prepare message
+// leaves, so in-doubt queries from the participant are answered
+// "pending" rather than "abort" while the decision is still open.
+func (n *Node) prepareEnqueueRemote(tx *txn.Tx, dest, entryID string, data []byte) (protocol.Participant, error) {
+	ch := n.registerWaiter(protocol.KindEnqueuePrepareAck, tx.ID())
+	n.step(protocol.CoordPrepareEnqueue{TxnID: tx.ID(), Dest: dest, EntryID: entryID, Data: data})
+	if _, err := n.await(ch, protocol.KindEnqueuePrepareAck, tx.ID()); err != nil {
+		return protocol.Participant{}, err
 	}
-	return remotePrep{node: dest, commitKind: kindEnqueueCommit, abortKind: kindEnqueueAbort}, nil
+	return protocol.Participant{Node: dest, Kind: protocol.PartQueue}, nil
 }
 
 // prepareRCERemote ships a resource-compensation-entry list to the
-// resource node (Figure 5b) and waits for the acknowledgement, which the
-// participant sends once the branch is durably prepared.
-func (n *Node) prepareRCERemote(tx *txn.Tx, dest string, msg *rceExecMsg) (remotePrep, chan ackMsg) {
-	n.markActive(tx.ID())
-	ch := n.registerWaiter(kindRCEExecAck, tx.ID())
-	n.send(dest, kindRCEExec, msg)
-	return remotePrep{node: dest, commitKind: kindRCECommit, abortKind: kindRCEAbort}, ch
+// resource node (Figure 5b); the participant acknowledges once the
+// branch is durably prepared. The caller awaits the returned channel
+// after running its own agent compensation entries concurrently.
+func (n *Node) prepareRCERemote(tx *txn.Tx, dest string, ops []*core.OpEntry) (protocol.Participant, chan protocol.AckMsg) {
+	ch := n.registerWaiter(protocol.KindRCEExecAck, tx.ID())
+	n.step(protocol.CoordPrepareRCE{TxnID: tx.ID(), Dest: dest, Ops: ops})
+	return protocol.Participant{Node: dest, Kind: protocol.PartRCE}, ch
 }
 
 // commitDistributed finishes the coordinator side: with remote
 // participants, the commit decision record joins the local commit batch
-// (atomic "decide"), then the participants are driven to commit reliably.
-// Without participants it is a plain local commit.
+// (atomic "decide"), then the machine drives the participants to commit
+// reliably. Without participants it is a plain local commit.
 //
 // onCommit (may be nil) runs immediately before the commit is applied:
 // metric increments belong there, because the instant the commit lands its
@@ -63,7 +50,7 @@ func (n *Node) prepareRCERemote(tx *txn.Tx, dest string, msg *rceExecMsg) (remot
 // chain this commit enables. If the commit itself fails (store I/O error;
 // never in the simulated environment) the count is one high — the retry
 // recounts — which is harmless for advisory metrics.
-func (n *Node) commitDistributed(tx *txn.Tx, parts []remotePrep, onCommit func()) error {
+func (n *Node) commitDistributed(tx *txn.Tx, parts []protocol.Participant, onCommit func()) error {
 	if len(parts) > 0 {
 		tx.AddCommitOps(n.mgr.DecisionOp(tx.ID()))
 	}
@@ -73,22 +60,15 @@ func (n *Node) commitDistributed(tx *txn.Tx, parts []remotePrep, onCommit func()
 	if err := tx.Commit(); err != nil {
 		n.abortParts(tx, parts)
 		_ = tx.Abort()
-		n.unmarkActive(tx.ID())
 		return fmt.Errorf("node %s: commit: %w", n.cfg.Name, err)
 	}
-	for _, p := range parts {
-		n.sendCtlReliable(p.node, p.commitKind, tx.ID())
-	}
-	n.unmarkActive(tx.ID())
+	n.step(protocol.CoordDecided{TxnID: tx.ID(), Commit: true, Parts: parts})
 	return nil
 }
 
 // abortParts notifies prepared participants of an abort (best effort:
-// presumed abort lets them resolve on their own if the message is lost).
-// The coordinator is unmarked active afterwards so queries answer "abort".
-func (n *Node) abortParts(tx *txn.Tx, parts []remotePrep) {
-	for _, p := range parts {
-		n.send(p.node, p.abortKind, &txnCtlMsg{TxnID: tx.ID()})
-	}
-	n.unmarkActive(tx.ID())
+// presumed abort lets them resolve on their own if the message is lost)
+// and closes the coordinator decision, so queries answer "abort".
+func (n *Node) abortParts(tx *txn.Tx, parts []protocol.Participant) {
+	n.step(protocol.CoordDecided{TxnID: tx.ID(), Commit: false, Parts: parts})
 }

@@ -1,0 +1,152 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/itinerary"
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/resource"
+	"repro/internal/stable"
+	"repro/internal/wire"
+)
+
+// TestProtocolTimersOnVirtualClock drives the full in-doubt query cycle
+// and the completion-resend cycle on a manually advanced clock: a
+// participant stages a hand-off whose coordinator goes silent, and no
+// query leaves the node until the virtual clock moves — each Advance
+// then fires exactly one deterministic query. The coordinator's verdict
+// commits the stage, the agent runs, and the unacknowledged completion
+// notification is re-sent once per Advance until acked. This is the
+// wheel-driven replacement for the old per-tick polling dispatcher.
+func TestProtocolTimersOnVirtualClock(t *testing.T) {
+	vc := network.NewVirtualClock(time.Time{})
+	sim := network.NewSim(network.SimConfig{})
+	defer sim.Close()
+	ep, err := sim.Endpoint("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coEp, err := sim.Endpoint("co")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownEp, err := sim.Endpoint("own")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := agent.NewRegistry()
+	if err := reg.RegisterStep("noop", func(ctx agent.StepContext) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(Config{Name: "p", RetryDelay: 10 * time.Millisecond, Clock: vc}, ep,
+		stable.NewMemStore(nil), reg,
+		func(st stable.Store) (resource.Resource, error) { return resource.NewBank(st, "bank", true) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	defer n.Stop()
+	<-n.Ready()
+
+	// A real one-step agent container, staged under a remote
+	// coordinator's transaction.
+	it, err := itinerary.New(&itinerary.Sub{ID: "s", Entries: []itinerary.Entry{
+		itinerary.Step{Method: "noop", Loc: "p"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, entered, err := agent.New("agent-vc", "own", it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendInitialSavepoints(a, entered, core.StateLogging); err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeContainer(&Container{Mode: ModeStep, Agent: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := wire.Encode(&protocol.PrepareMsg{TxnID: "co#1", EntryID: a.ID, Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coEp.Send("p", protocol.KindEnqueuePrepare, payload); err != nil {
+		t.Fatal(err)
+	}
+	if kind := recvKind(t, coEp, 2*time.Second); kind != protocol.KindEnqueuePrepareAck {
+		t.Fatalf("expected prepare ack, got %s", kind)
+	}
+
+	// The coordinator goes silent. The staged entry is in-doubt, but no
+	// query may leave the node while the virtual clock is frozen.
+	assertNoMessage(t, coEp, 80*time.Millisecond)
+
+	// Each Advance past the retry interval fires exactly one query.
+	for i := 0; i < 3; i++ {
+		vc.Advance(50 * time.Millisecond)
+		if kind := recvKind(t, coEp, 2*time.Second); kind != protocol.KindTxnQuery {
+			t.Fatalf("advance %d: expected txn query, got %s", i, kind)
+		}
+		assertNoMessage(t, coEp, 30*time.Millisecond)
+	}
+
+	// The verdict commits the stage; the agent runs to completion and
+	// the owner is notified immediately (no timer involved).
+	status, err := wire.Encode(&protocol.StatusMsg{TxnID: "co#1", Committed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coEp.Send("p", protocol.KindTxnStatus, status); err != nil {
+		t.Fatal(err)
+	}
+	if kind := recvKind(t, ownEp, 5*time.Second); kind != KindAgentDone {
+		t.Fatalf("expected agent done, got %s", kind)
+	}
+
+	// Unacknowledged completion: re-sent exactly once per Advance.
+	assertNoMessage(t, ownEp, 80*time.Millisecond)
+	vc.Advance(50 * time.Millisecond)
+	if kind := recvKind(t, ownEp, 2*time.Second); kind != KindAgentDone {
+		t.Fatalf("expected done resend, got %s", kind)
+	}
+	ack, err := EncodeDoneAck(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ownEp.Send("p", KindAgentDoneAck, ack); err != nil {
+		t.Fatal(err)
+	}
+	// Give the ack a moment to cancel the timer, then advance: silence.
+	time.Sleep(50 * time.Millisecond)
+	vc.Advance(200 * time.Millisecond)
+	assertNoMessage(t, ownEp, 80*time.Millisecond)
+}
+
+func recvKind(t *testing.T, ep network.Endpoint, timeout time.Duration) string {
+	t.Helper()
+	select {
+	case msg, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("endpoint closed")
+		}
+		return msg.Kind
+	case <-time.After(timeout):
+		t.Fatal("no message within timeout")
+		return ""
+	}
+}
+
+func assertNoMessage(t *testing.T, ep network.Endpoint, quiet time.Duration) {
+	t.Helper()
+	select {
+	case msg := <-ep.Recv():
+		t.Fatalf("unexpected message %s from %s", msg.Kind, msg.From)
+	case <-time.After(quiet):
+	}
+}

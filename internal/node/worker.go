@@ -3,11 +3,12 @@ package node
 import (
 	"errors"
 	"fmt"
-	"time"
+	"strings"
 
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/itinerary"
+	"repro/internal/protocol"
 	"repro/internal/sched"
 	"repro/internal/stable"
 	"repro/internal/txn"
@@ -45,7 +46,9 @@ type doneRec struct {
 
 func init() { wire.RegisterName("node.doneRec", &doneRec{}) }
 
-func doneKey(agentID string) string          { return "done/" + agentID }
+const donePrefix = "done/"
+
+func doneKey(agentID string) string          { return donePrefix + agentID }
 func stableDelDone(agentID string) stable.Op { return stable.Del(doneKey(agentID)) }
 
 // recoverThenWork resolves in-doubt work, loads resources, then starts
@@ -56,6 +59,7 @@ func (n *Node) recoverThenWork() {
 	if !n.runRecovery() {
 		return
 	}
+	n.step(protocol.ReadyReached{})
 	close(n.ready)
 	pool := sched.New(sched.Config{
 		Workers:     n.cfg.Workers,
@@ -69,6 +73,12 @@ func (n *Node) recoverThenWork() {
 		Busy:        n.lockBusy,
 		Counters:    n.cfg.Counters,
 	})
+	// Publish AND start the pool inside one critical section: Stop
+	// snapshots n.pool under the same mutex, so it either sees no pool
+	// (recovery lost the race and never starts it) or a fully started
+	// one — Pool.Stop's wg.Wait must never run concurrently with
+	// Pool.Start's wg.Add. Start only launches goroutines; it does not
+	// block, so holding mu here is safe.
 	n.mu.Lock()
 	select {
 	case <-n.stop:
@@ -76,9 +86,9 @@ func (n *Node) recoverThenWork() {
 		return
 	default:
 		n.pool = pool
+		pool.Start()
 	}
 	n.mu.Unlock()
-	pool.Start()
 }
 
 // conflictKeys derives the scheduler's conflict hints for one queued
@@ -117,9 +127,11 @@ func (n *Node) lockBusy(key string) bool {
 }
 
 // runRecovery resolves in-doubt prepared work (staged queue entries and
-// prepared branches) with the respective coordinators, then re-loads the
-// resource managers from the stable store. It returns false if the node
-// was stopped first.
+// prepared branches) with the respective coordinators by replaying the
+// stable-storage survivors into the protocol machine, then re-loads the
+// resource managers from the stable store and replays undelivered
+// completion notifications. It returns false if the node was stopped
+// first.
 func (n *Node) runRecovery() bool {
 	for {
 		staged, err := n.queue.StagedTxns()
@@ -130,29 +142,30 @@ func (n *Node) runRecovery() bool {
 		if err != nil {
 			return false
 		}
-		pending := append(append([]string(nil), staged...), branches...)
-		if len(pending) == 0 {
+		if len(staged)+len(branches) == 0 {
 			break
 		}
-		for _, id := range pending {
-			co := coordinatorOf(id)
+		for i, id := range append(append([]string(nil), staged...), branches...) {
+			co := protocol.Coordinator(id)
 			if co == "" || co == n.cfg.Name {
 				// Self-coordinated: after a crash nothing is active,
 				// so the decision record alone decides.
 				committed, err := n.mgr.Decided(id)
 				if err == nil {
-					n.resolveTxn(id, committed)
+					n.step(protocol.StatusReceived{TxnID: id, Committed: committed})
 				}
 				continue
 			}
-			n.send(co, kindTxnQuery, &txnCtlMsg{TxnID: id})
+			if i < len(staged) {
+				n.step(protocol.RecoveredStaged{TxnID: id})
+			} else {
+				n.step(protocol.RecoveredBranch{TxnID: id})
+			}
 		}
-		timer := time.NewTimer(n.cfg.RetryDelay * 5)
 		select {
 		case <-n.stop:
-			timer.Stop()
 			return false
-		case <-timer.C:
+		case <-n.clock.After(n.cfg.RetryDelay * 5):
 		}
 	}
 	for _, f := range n.factories {
@@ -167,7 +180,28 @@ func (n *Node) runRecovery() bool {
 		n.resources[r.Name()] = r
 		n.mu.Unlock()
 	}
+	n.replayDone()
 	return true
+}
+
+// replayDone re-enters crash-surviving completion records into the
+// notifier's resend cycle.
+func (n *Node) replayDone() {
+	keys, err := n.store.Keys(donePrefix)
+	if err != nil {
+		return
+	}
+	for _, k := range keys {
+		raw, ok, err := n.store.Get(k)
+		if err != nil || !ok {
+			continue
+		}
+		var rec doneRec
+		if err := wire.Decode(raw, &rec); err != nil {
+			continue
+		}
+		n.step(protocol.DoneRecorded{AgentID: strings.TrimPrefix(k, donePrefix), Owner: rec.Owner})
+	}
 }
 
 // process decodes and executes one queued container. Decoding is fresh on
@@ -209,8 +243,9 @@ func (n *Node) failAgent(entry *stable.Entry, cause error) {
 	}
 }
 
-// finishAgent records completion durably within tx, commits, and notifies
-// the owner (re-sent on ticks until acknowledged).
+// finishAgent records completion durably within tx, commits, and hands
+// the notification to the protocol machine's notifier role (sent now,
+// re-sent on its timer until acknowledged).
 func (n *Node) finishAgent(tx *txn.Tx, a *agent.Agent, failed bool, reason string) error {
 	data, err := EncodeContainer(&Container{Mode: ModeStep, Agent: a})
 	if err != nil {
@@ -234,27 +269,8 @@ func (n *Node) finishAgent(tx *txn.Tx, a *agent.Agent, failed bool, reason strin
 	if !failed && n.cfg.Counters != nil {
 		n.cfg.Counters.IncStepTxn()
 	}
-	n.send(a.Owner, kindAgentDone, &rec.Msg)
+	n.step(protocol.DoneRecorded{AgentID: a.ID, Owner: a.Owner})
 	return nil
-}
-
-// resendDone re-sends unacknowledged completion notifications.
-func (n *Node) resendDone() {
-	keys, err := n.store.Keys("done/")
-	if err != nil {
-		return
-	}
-	for _, k := range keys {
-		raw, ok, err := n.store.Get(k)
-		if err != nil || !ok {
-			continue
-		}
-		var rec doneRec
-		if err := wire.Decode(raw, &rec); err != nil {
-			continue
-		}
-		n.send(rec.Owner, kindAgentDone, &rec.Msg)
-	}
 }
 
 // runStep executes the next itinerary step inside a step transaction (§2):
@@ -362,22 +378,12 @@ func (n *Node) runStep(entry *stable.Entry, c *Container, attempt int) error {
 		_ = tx.Abort()
 		return permanent(err)
 	}
-	dest := n.pickDestination(next.Loc, next.Alt, attempt)
+	dest := protocol.PickDestination(next.Loc, next.Alt, attempt)
 	var onCommit func()
 	if n.cfg.Counters != nil {
 		onCommit = n.cfg.Counters.IncStepTxn
 	}
 	return n.shipContainer(tx, &Container{Mode: ModeStep, Agent: a}, dest, nil, onCommit)
-}
-
-// pickDestination returns the node to send the agent to, falling back to
-// alternative nodes after repeated failed attempts (the fault-tolerant
-// variant of [11] referenced in §4.3's discussion).
-func (n *Node) pickDestination(primary string, alts []string, attempt int) string {
-	if attempt <= 3 || len(alts) == 0 {
-		return primary
-	}
-	return alts[(attempt-4)%len(alts)]
 }
 
 // appendSavepoint constitutes a savepoint at the current end of the log.
@@ -450,7 +456,8 @@ func (n *Node) observeLogSize(a *agent.Agent) {
 // transaction rolled back, a new transaction re-reads the agent and log
 // from stable storage and either finishes immediately (savepoint directly
 // before the aborting step) or routes the agent into its first
-// compensation transaction.
+// compensation transaction — the routing decisions are
+// protocol.PopToTarget / protocol.CompensationDest.
 func (n *Node) startRollback(entry *stable.Entry, spID string) error {
 	c, err := DecodeContainer(entry.Data) // fresh pre-step state
 	if err != nil {
@@ -460,7 +467,7 @@ func (n *Node) startRollback(entry *stable.Entry, spID string) error {
 	if !a.Log.HasSavepoint(spID) {
 		return permanent(fmt.Errorf("node %s: agent %s: no savepoint %q in log (non-compensable or discarded)", n.cfg.Name, a.ID, spID))
 	}
-	if reached, popped := popToTarget(a.Log, spID); reached {
+	if reached, popped := protocol.PopToTarget(a.Log, spID); reached {
 		// Savepoint set directly before the aborting step: rollback is
 		// finished. If stale savepoints above the target were popped,
 		// rewrite the queued container so they do not linger.
@@ -488,58 +495,17 @@ func (n *Node) startRollback(entry *stable.Entry, spID string) error {
 		return errImmediateRollback
 	}
 
-	eos, ok := peekEOS(a.Log)
+	eos, ok := protocol.PeekEOS(a.Log)
 	if !ok {
 		return permanent(fmt.Errorf("node %s: agent %s: savepoint %q unreachable (no end-of-step entry)", n.cfg.Name, a.ID, spID))
 	}
-	dest := eos.Node
-	if n.cfg.Optimized && !eos.HasMixed {
-		dest = n.cfg.Name // Figure 5a: keep the agent here
-	}
+	dest := protocol.CompensationDest(eos, n.cfg.Optimized, n.cfg.Name)
 	tx, err := n.mgr.Begin()
 	if err != nil {
 		return err
 	}
 	tx.AddCommitOps(n.queue.RemoveOp(entry))
 	return n.shipContainer(tx, &Container{Mode: ModeRollback, SpID: spID, Agent: a}, dest, nil, nil)
-}
-
-// popToTarget pops trailing savepoint entries that are not the rollback
-// target; it reports whether the target savepoint is (now) the final log
-// entry, and how many entries were popped. Non-target savepoints above the
-// target belong to execution that is being rolled back and are discarded,
-// generalizing Figure 4b's single "if (last log entry is savepoint)
-// LOG.pop()" to stacked savepoints.
-func popToTarget(l *core.Log, spID string) (reached bool, popped int) {
-	for {
-		sp, ok := l.Last().(*core.SavepointEntry)
-		if !ok {
-			return false, popped
-		}
-		if sp.ID == spID {
-			return true, popped
-		}
-		if _, err := l.Pop(); err != nil {
-			return false, popped
-		}
-		popped++
-	}
-}
-
-// peekEOS returns the most recent end-of-step entry, skipping trailing
-// savepoints.
-func peekEOS(l *core.Log) (*core.EndStepEntry, bool) {
-	for i := l.Len() - 1; i >= 0; i-- {
-		switch e := l.Entries[i].(type) {
-		case *core.SavepointEntry:
-			continue
-		case *core.EndStepEntry:
-			return e, true
-		default:
-			return nil, false
-		}
-	}
-	return nil, false
 }
 
 // shipContainer finishes a transaction that hands the container to dest:
@@ -549,7 +515,7 @@ func peekEOS(l *core.Log) (*core.EndStepEntry, bool) {
 // (the RCE branch of Figure 5b) are committed with the same decision.
 // onCommit (may be nil) is the caller's metric hook, run just before the
 // commit lands (see commitDistributed).
-func (n *Node) shipContainer(tx *txn.Tx, c *Container, dest string, parts []remotePrep, onCommit func()) error {
+func (n *Node) shipContainer(tx *txn.Tx, c *Container, dest string, parts []protocol.Participant, onCommit func()) error {
 	data, err := EncodeContainer(c)
 	if err != nil {
 		_ = tx.Abort()

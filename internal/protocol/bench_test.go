@@ -1,0 +1,55 @@
+package protocol_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+)
+
+// BenchmarkProtocolTransitions measures the raw transition throughput of
+// the machine over a representative protocol mix: one full coordinator
+// commit cycle (prepare → ack → decide → ctl ack), one participant
+// hand-off (prepare → stage → commit ctl), and one RCE branch lifecycle
+// (exec → prepared → commit) — 10 transitions per iteration. The
+// machine is the single-threaded heart of every node, so ns/op here
+// bounds a node's protocol decision rate.
+func BenchmarkProtocolTransitions(b *testing.B) {
+	m := protocol.NewMachine(protocol.Config{
+		Node:          "co",
+		RetryInterval: 50 * time.Millisecond,
+		StaleAfter:    time.Second,
+	})
+	m.Step(protocol.ReadyReached{})
+	ops := []*core.OpEntry{{Kind: core.OpResource, Op: "c"}}
+	parts := []protocol.Participant{{Node: "p", Kind: protocol.PartQueue}}
+	data := []byte("container")
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := "co#1" // IDs may repeat: every cycle fully settles its state
+
+		// Coordinator commit cycle.
+		m.Step(protocol.CoordPrepareEnqueue{TxnID: txn, Dest: "p", EntryID: "a", Data: data})
+		m.Step(protocol.AckReceived{Kind: protocol.KindEnqueuePrepareAck, TxnID: txn, From: "p", OK: true})
+		m.Step(protocol.CoordDecided{TxnID: txn, Commit: true, Parts: parts})
+		m.Step(protocol.AckReceived{Kind: protocol.KindEnqueueCommitAck, TxnID: txn, From: "p", OK: true})
+
+		// Participant hand-off.
+		m.Step(protocol.PrepareReceived{TxnID: "peer#2", EntryID: "a", From: "peer", Data: data})
+		m.Step(protocol.StageOutcome{TxnID: "peer#2", OK: true})
+		m.Step(protocol.CtlReceived{TxnID: "peer#2", From: "peer", Commit: true})
+
+		// RCE branch lifecycle.
+		m.Step(protocol.RCEExecReceived{TxnID: "peer#3", From: "peer", Ops: ops})
+		m.Step(protocol.BranchPrepared{TxnID: "peer#3", OK: true})
+		m.Step(protocol.CtlReceived{TxnID: "peer#3", From: "peer", Commit: true, RCE: true})
+	}
+	b.StopTimer()
+	if s := m.Stats(); s.CoordPendingCtl != 0 || s.Staged != 0 || s.BranchesPrepared != 0 {
+		b.Fatalf("state leaked across cycles: %+v", s)
+	}
+	b.ReportMetric(float64(m.Transitions())/float64(b.N), "transitions/op")
+}

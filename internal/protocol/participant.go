@@ -1,0 +1,136 @@
+package protocol
+
+import "sort"
+
+// Participant role (queue hand-off): this node durably stages a
+// container insertion under the coordinator's transaction and waits
+// for the decision. States per transaction:
+//
+//	(absent) --PrepareReceived--> staging --StageOutcome(ok)--> staged
+//	   staged --CtlReceived/StatusReceived--> (absent) + commit/abort of the stage
+//
+// A staged transaction with a remote coordinator is in-doubt: a
+// per-transaction timer queries the coordinator on RetryInterval until
+// the verdict arrives (presumed abort answers queries the coordinator
+// no longer remembers). Control messages and verdicts are idempotent
+// on the queue, so duplicates are harmless.
+
+// prepareReceived stages a container insertion (participant prepare of
+// the queue hand-off); a recovering node refuses.
+func (m *Machine) prepareReceived(e PrepareReceived) []Effect {
+	if !m.ready {
+		return []Effect{SendMsg{
+			To:      e.From,
+			Kind:    KindEnqueuePrepareAck,
+			Payload: &AckMsg{TxnID: e.TxnID, OK: false, Err: "node recovering"},
+		}}
+	}
+	return []Effect{StageEntry{
+		TxnID:   e.TxnID,
+		EntryID: e.EntryID,
+		From:    e.From,
+		Data:    e.Data,
+		AckKind: KindEnqueuePrepareAck,
+	}}
+}
+
+// stageOutcome records a successfully staged transaction and, when its
+// coordinator is remote, starts the in-doubt query cycle.
+func (m *Machine) stageOutcome(e StageOutcome) []Effect {
+	if !e.OK {
+		return nil
+	}
+	co := Coordinator(e.TxnID)
+	m.staged[e.TxnID] = co
+	if co == "" || co == m.cfg.Node {
+		return nil // self-coordinated: recovery resolves from the local decision record
+	}
+	return []Effect{ArmTimer{ID: timerID(timerStaged, e.TxnID), D: m.cfg.RetryInterval}}
+}
+
+// recoveredStaged replays a crash-surviving staged entry with a remote
+// coordinator: query immediately, then on the usual cadence.
+func (m *Machine) recoveredStaged(e RecoveredStaged) []Effect {
+	co := Coordinator(e.TxnID)
+	m.staged[e.TxnID] = co
+	if co == "" || co == m.cfg.Node {
+		return nil
+	}
+	return []Effect{
+		SendMsg{To: co, Kind: KindTxnQuery, Payload: &CtlMsg{TxnID: e.TxnID}},
+		ArmTimer{ID: timerID(timerStaged, e.TxnID), D: m.cfg.RetryInterval},
+	}
+}
+
+// ctlReceived applies the coordinator's explicit commit/abort. Queue
+// controls settle only the staged entry (acknowledged with the queue
+// operation's outcome); RCE controls resolve every local trace of the
+// transaction and always acknowledge.
+func (m *Machine) ctlReceived(e CtlReceived) []Effect {
+	if !e.RCE {
+		ackKind := KindEnqueueAbortAck
+		if e.Commit {
+			ackKind = KindEnqueueCommitAck
+		}
+		m.dropStaged(e.TxnID)
+		return []Effect{
+			CancelTimer{ID: timerID(timerStaged, e.TxnID)},
+			ResolveStaged{TxnID: e.TxnID, Commit: e.Commit, AckTo: e.From, AckKind: ackKind},
+		}
+	}
+	ackKind := KindRCEAbortAck
+	if e.Commit {
+		ackKind = KindRCECommitAck
+	}
+	effs := m.resolve(e.TxnID, e.Commit, nil)
+	return append(effs, SendMsg{
+		To:      e.From,
+		Kind:    ackKind,
+		Payload: &AckMsg{TxnID: e.TxnID, OK: true},
+	})
+}
+
+// resolve settles every local trace of a transaction with the
+// coordinator's verdict: the staged queue entry, the live RCE branch
+// (prepared or still executing — the abort-overtakes-execution edge),
+// and the crash-surviving branch record. extra effects are appended
+// after the resolution set.
+func (m *Machine) resolve(txnID string, commit bool, extra []Effect) []Effect {
+	effs := []Effect{
+		CancelTimer{ID: timerID(timerStaged, txnID)},
+		ResolveStaged{TxnID: txnID, Commit: commit},
+	}
+	m.dropStaged(txnID)
+	effs = append(effs, m.resolveBranch(txnID, commit)...)
+	return append(effs, extra...)
+}
+
+func (m *Machine) dropStaged(txnID string) { delete(m.staged, txnID) }
+
+// stagedTimer re-asks the coordinator about one in-doubt staged entry.
+func (m *Machine) stagedTimer(txnID string) []Effect {
+	co, ok := m.staged[txnID]
+	if !ok || co == "" || co == m.cfg.Node {
+		return nil
+	}
+	return []Effect{
+		SendMsg{To: co, Kind: KindTxnQuery, Payload: &CtlMsg{TxnID: txnID}},
+		ArmTimer{ID: timerID(timerStaged, txnID), D: m.cfg.RetryInterval},
+	}
+}
+
+// sortSends orders a run of SendMsg effects by (To, Kind) so effects
+// derived from map iteration stay deterministic.
+func sortSends(effs []Effect) {
+	sort.SliceStable(effs, func(i, j int) bool {
+		a, aok := effs[i].(SendMsg)
+		b, bok := effs[j].(SendMsg)
+		if !aok || !bok {
+			return false
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Kind < b.Kind
+	})
+}

@@ -14,7 +14,7 @@ N="${1:-1}"
 cd "$(dirname "$0")/.."
 
 echo "== benchmarks (allocs + custom metrics) =="
-go test -run '^$' -bench . -benchtime=1x -benchmem -cpu 4 . | tee "BENCH_PR${N}.txt"
+go test -run '^$' -bench . -benchtime=1x -benchmem -cpu 4 . ./internal/protocol | tee "BENCH_PR${N}.txt"
 
 echo "== experiment tables =="
 go run ./cmd/rollbacksim -json "BENCH_PR${N}.json" >/dev/null
