@@ -12,6 +12,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/itinerary"
 	"repro/internal/network"
+	"repro/internal/protocol"
 	"repro/internal/stable"
 	"repro/internal/stable/wal"
 	"repro/internal/wire"
@@ -135,6 +136,123 @@ func BenchmarkWireCodec(b *testing.B) {
 			}
 		}
 	})
+	// The PR-6 fast path: a hand-rolled length-prefixed binary codec for
+	// the high-volume protocol messages. Round-trips a 1 KiB prepare in
+	// a reused buffer; the decode's []byte fields alias the input.
+	b.Run("binary", func(b *testing.B) {
+		pm := &protocol.PrepareMsg{TxnID: "agent-42#7", EntryID: "agent-42", Data: make([]byte, 1024)}
+		var buf []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = pm.AppendTo(buf[:0])
+			var out protocol.PrepareMsg
+			if err := out.DecodeFrom(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary-ack", func(b *testing.B) {
+		ack := &protocol.AckMsg{TxnID: "agent-42#7", OK: true}
+		var buf []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = ack.AppendTo(buf[:0])
+			var out protocol.AckMsg
+			if err := out.DecodeFrom(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTransitionToWire: the full cost of moving one protocol
+// transition's outbound fan-out (a 1 KiB prepare, a control message and
+// two small acks to one destination) from in-memory structs onto the
+// simulated wire and back into typed events at the peer — encode,
+// endpoint delivery, and the receiving dispatcher's payload decode, the
+// path a node pair takes around every Machine.Step. Variants match the
+// node configurations: legacy gob with one send per message, the binary
+// codec with one send per message, and binary with per-destination
+// coalescing (one mailbox hop for the whole transition — the PR-6 fast
+// path).
+func BenchmarkTransitionToWire(b *testing.B) {
+	prep := &protocol.PrepareMsg{TxnID: "agent-42#7", EntryID: "agent-42", Data: make([]byte, 1024)}
+	ctl := &protocol.CtlMsg{TxnID: "agent-42#7"}
+	ack := &protocol.AckMsg{TxnID: "agent-42#7", OK: true}
+	st := &protocol.StatusMsg{TxnID: "agent-42#7", Committed: true}
+
+	run := func(b *testing.B, gob, batch bool) {
+		sim := network.NewSim(network.SimConfig{})
+		src, err := sim.Endpoint("src")
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst, err := sim.Endpoint("dst")
+		if err != nil {
+			b.Fatal(err)
+		}
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			for msg := range dst.Recv() {
+				var v wire.BinaryMessage
+				switch msg.Kind {
+				case protocol.KindEnqueuePrepare:
+					v = &protocol.PrepareMsg{}
+				case protocol.KindEnqueueCommit:
+					v = &protocol.CtlMsg{}
+				case protocol.KindEnqueueCommitAck:
+					v = &protocol.AckMsg{}
+				case protocol.KindTxnStatus:
+					v = &protocol.StatusMsg{}
+				default:
+					b.Errorf("unexpected kind %q", msg.Kind)
+					return
+				}
+				if err := protocol.Decode(msg.Payload, v); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+		encode := func(v any) []byte {
+			if gob {
+				d, err := wire.Encode(v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return d
+			}
+			return v.(wire.BinaryMessage).AppendTo(nil)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			msgs := []network.Outgoing{
+				{Kind: protocol.KindEnqueuePrepare, Payload: encode(prep)},
+				{Kind: protocol.KindEnqueueCommit, Payload: encode(ctl)},
+				{Kind: protocol.KindEnqueueCommitAck, Payload: encode(ack)},
+				{Kind: protocol.KindTxnStatus, Payload: encode(st)},
+			}
+			if batch {
+				if err := network.SendAll(src, "dst", msgs); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				for _, m := range msgs {
+					if err := src.Send("dst", m.Kind, m.Payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		b.StopTimer()
+		sim.Close()
+		<-drained
+	}
+	b.Run("gob", func(b *testing.B) { run(b, true, false) })
+	b.Run("binary", func(b *testing.B) { run(b, false, false) })
+	b.Run("binary-batch", func(b *testing.B) { run(b, false, true) })
 }
 
 // BenchmarkStableApplyParallel: concurrent step commits against one

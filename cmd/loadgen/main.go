@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
 
 type runReport struct {
@@ -46,6 +47,8 @@ type runReport struct {
 	Agents        int     `json:"agents"`
 	Steps         int     `json:"steps"`
 	Store         string  `json:"store"`
+	Wire          string  `json:"wire"`
+	Batching      bool    `json:"batching"`
 	ConflictRatio float64 `json:"conflict_ratio"`
 	StepWorkMS    float64 `json:"step_work_ms"`
 	ElapsedMS     float64 `json:"elapsed_ms"`
@@ -60,6 +63,18 @@ type runReport struct {
 	Retries       int64   `json:"retries"`
 	StableWrites  int64   `json:"stable_writes"`
 	Fsyncs        int64   `json:"fsyncs"`
+	Messages      int64   `json:"messages"`
+	BytesSent     int64   `json:"bytes_sent"`
+	// NetBatches / NetBatchedMsgs summarize per-link coalescing: how
+	// many endpoint deliveries carried how many protocol messages.
+	NetBatches     int64   `json:"net_batches"`
+	NetBatchedMsgs int64   `json:"net_batched_msgs"`
+	AvgBatchSize   float64 `json:"avg_batch_size"`
+	// NetBatchSize is the frames-per-batch histogram, keyed by bucket
+	// label ("1", "2-2", "3-4", ..., ">64").
+	NetBatchSize map[string]int64 `json:"net_batch_size,omitempty"`
+	// WireBytesByKind is payload bytes on the wire per message kind.
+	WireBytesByKind map[string]int64 `json:"wire_bytes_by_kind,omitempty"`
 }
 
 func main() {
@@ -81,6 +96,8 @@ func run(args []string) error {
 	latency := fs.Duration("latency", 200*time.Microsecond, "one-way network latency")
 	optimized := fs.Bool("optimized", false, "use the Figure-5 optimized rollback algorithm")
 	store := fs.String("store", "mem", "stable-storage backend per node: mem|file|wal")
+	wireFmt := fs.String("wire", "binary", "payload wire format: binary (fast path) | gob (legacy)")
+	noBatch := fs.Bool("nobatch", false, "disable per-destination coalescing of protocol sends")
 	storeSweep := fs.Bool("storesweep", false, "run the full backend sweep (mem, file, wal) per worker count")
 	sweep := fs.String("sweep", "", "comma-separated worker counts to sweep (overrides -workers)")
 	jsonPath := fs.String("json", "", "write the reports as JSON to this file")
@@ -92,10 +109,17 @@ func run(args []string) error {
 		return err
 	}
 
+	switch *wireFmt {
+	case "binary", "gob":
+	default:
+		return fmt.Errorf("bad -wire %q (want binary or gob)", *wireFmt)
+	}
+
 	if *chaosMode {
 		return runChaos(chaosConfig{
 			seed: *chaosSeed, seeds: *chaosSeeds, base: *chaosBase,
 			store: *store, workers: *workers, nodes: *nodes,
+			wire:     *wireFmt,
 			jsonPath: *jsonPath,
 		})
 	}
@@ -131,35 +155,53 @@ func run(args []string) error {
 				Latency:       *latency,
 				Optimized:     *optimized,
 				Store:         backend,
+				WireGob:       *wireFmt == "gob",
+				NoCoalesce:    *noBatch,
 			})
 			if err != nil {
 				return err
 			}
 			r := runReport{
-				Workers:       w,
-				Nodes:         *nodes,
-				Agents:        *agents,
-				Steps:         *steps,
-				Store:         backend,
-				ConflictRatio: *conflict,
-				StepWorkMS:    float64(stepwork.Microseconds()) / 1000,
-				ElapsedMS:     float64(res.Elapsed.Microseconds()) / 1000,
-				AgentsPerSec:  res.AgentsPerSec,
-				StepsPerSec:   res.StepsPerSec,
-				P50MS:         float64(res.P50.Microseconds()) / 1000,
-				P99MS:         float64(res.P99.Microseconds()) / 1000,
-				InFlightPeak:  res.Metrics.SchedInFlightPeak,
-				GoroutinePeak: res.GoroutinePeak,
-				ClaimConflict: res.Metrics.SchedClaimConflicts,
-				LockAborts:    res.Metrics.SchedLockAborts,
-				Retries:       res.Metrics.SchedRetries,
-				StableWrites:  res.Metrics.StableWrites,
-				Fsyncs:        res.Metrics.Fsyncs,
+				Workers:        w,
+				Nodes:          *nodes,
+				Agents:         *agents,
+				Steps:          *steps,
+				Store:          backend,
+				Wire:           *wireFmt,
+				Batching:       !*noBatch,
+				ConflictRatio:  *conflict,
+				StepWorkMS:     float64(stepwork.Microseconds()) / 1000,
+				ElapsedMS:      float64(res.Elapsed.Microseconds()) / 1000,
+				AgentsPerSec:   res.AgentsPerSec,
+				StepsPerSec:    res.StepsPerSec,
+				P50MS:          float64(res.P50.Microseconds()) / 1000,
+				P99MS:          float64(res.P99.Microseconds()) / 1000,
+				InFlightPeak:   res.Metrics.SchedInFlightPeak,
+				GoroutinePeak:  res.GoroutinePeak,
+				ClaimConflict:  res.Metrics.SchedClaimConflicts,
+				LockAborts:     res.Metrics.SchedLockAborts,
+				Retries:        res.Metrics.SchedRetries,
+				StableWrites:   res.Metrics.StableWrites,
+				Fsyncs:         res.Metrics.Fsyncs,
+				Messages:       res.Metrics.Messages,
+				BytesSent:      res.Metrics.BytesSent,
+				NetBatches:     res.Metrics.NetBatches,
+				NetBatchedMsgs: res.Metrics.NetBatchedMsgs,
 			}
+			if r.NetBatches > 0 {
+				r.AvgBatchSize = float64(r.NetBatchedMsgs) / float64(r.NetBatches)
+			}
+			r.NetBatchSize = make(map[string]int64)
+			for i, n := range res.Metrics.NetBatchSize {
+				if n > 0 {
+					r.NetBatchSize[metrics.BatchBucketLabel(i)] = n
+				}
+			}
+			r.WireBytesByKind = res.Metrics.WireBytesByKind
 			reports = append(reports, r)
-			fmt.Printf("workers=%-3d store=%-4s agents/s=%-8.1f steps/s=%-8.1f p50=%6.2fms p99=%7.2fms elapsed=%7.1fms inflight=%-3d goroutines=%-4d claimConf=%-4d lockAborts=%-3d retries=%d\n",
-				r.Workers, r.Store, r.AgentsPerSec, r.StepsPerSec, r.P50MS, r.P99MS, r.ElapsedMS,
-				r.InFlightPeak, r.GoroutinePeak, r.ClaimConflict, r.LockAborts, r.Retries)
+			fmt.Printf("workers=%-3d store=%-4s wire=%-6s agents/s=%-8.1f steps/s=%-8.1f p50=%6.2fms p99=%7.2fms elapsed=%7.1fms inflight=%-3d goroutines=%-4d claimConf=%-4d lockAborts=%-3d retries=%-4d msgs=%-6d avgBatch=%.2f\n",
+				r.Workers, r.Store, r.Wire, r.AgentsPerSec, r.StepsPerSec, r.P50MS, r.P99MS, r.ElapsedMS,
+				r.InFlightPeak, r.GoroutinePeak, r.ClaimConflict, r.LockAborts, r.Retries, r.Messages, r.AvgBatchSize)
 		}
 	}
 	if len(reports) > 1 && len(backends) == 1 {
@@ -187,6 +229,7 @@ type chaosConfig struct {
 	store    string
 	workers  int
 	nodes    int
+	wire     string
 	jsonPath string
 }
 
@@ -225,6 +268,7 @@ func runChaos(cfg chaosConfig) error {
 			Store:   cfg.store,
 			Workers: cfg.workers,
 			Nodes:   cfg.nodes,
+			Wire:    cfg.wire,
 		})
 		if err != nil {
 			return err
@@ -249,8 +293,8 @@ func runChaos(cfg chaosConfig) error {
 			for _, v := range res.Violations {
 				fmt.Printf("  violation: %s\n", v)
 			}
-			fmt.Printf("  reproduce: go run ./cmd/loadgen -chaos -chaos-seed=%d -store=%s -workers=%d\n",
-				seed, cfg.store, cfg.workers)
+			fmt.Printf("  reproduce: go run ./cmd/loadgen -chaos -chaos-seed=%d -store=%s -workers=%d -wire=%s\n",
+				seed, cfg.store, cfg.workers, cfg.wire)
 		}
 	}
 	if cfg.jsonPath != "" {

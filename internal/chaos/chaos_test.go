@@ -24,6 +24,7 @@ var (
 	chaosBase    = flag.Int64("chaos-base-seed", 1, "first seed of the sweep")
 	chaosStore   = flag.String("chaos-store", "mem", "stable engine per node: mem|file|wal")
 	chaosWorkers = flag.Int("chaos-workers", 1, "scheduler workers per node")
+	chaosWire    = flag.String("chaos-wire", "binary", "wire format: binary|gob")
 )
 
 func chaosOptions(seed int64) chaos.Options {
@@ -31,6 +32,7 @@ func chaosOptions(seed int64) chaos.Options {
 		Seed:    seed,
 		Store:   *chaosStore,
 		Workers: *chaosWorkers,
+		Wire:    *chaosWire,
 	}
 }
 
@@ -49,14 +51,14 @@ func runSeed(t *testing.T, seed int64, verbose bool) {
 	if !res.Failed() {
 		return
 	}
-	report := fmt.Sprintf("chaos seed %d (store=%s workers=%d) violated %d invariant(s):\n",
-		seed, *chaosStore, *chaosWorkers, len(res.Violations))
+	report := fmt.Sprintf("chaos seed %d (store=%s workers=%d wire=%s) violated %d invariant(s):\n",
+		seed, *chaosStore, *chaosWorkers, *chaosWire, len(res.Violations))
 	for _, v := range res.Violations {
 		report += "  " + v.String() + "\n"
 	}
 	report += "\n" + res.Schedule.String()
-	report += fmt.Sprintf("\nreproduce with:\n  go test ./internal/chaos -run 'TestChaos$' -chaos-seed=%d -chaos-store=%s -chaos-workers=%d\n",
-		seed, *chaosStore, *chaosWorkers)
+	report += fmt.Sprintf("\nreproduce with:\n  go test ./internal/chaos -run 'TestChaos$' -chaos-seed=%d -chaos-store=%s -chaos-workers=%d -chaos-wire=%s\n",
+		seed, *chaosStore, *chaosWorkers, *chaosWire)
 	writeArtifact(t, seed, report)
 	t.Errorf("%s", report)
 }

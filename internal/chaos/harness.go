@@ -32,6 +32,7 @@ type Options struct {
 	Steps   int    // work steps per agent before the decide step (default 5)
 	Store   string // stable engine per node: mem|file|wal (default mem)
 	Dir     string // root for durable engines (temp dir when empty)
+	Wire    string // wire format: binary (coalesced fast path, default) | gob (legacy)
 
 	// RollbackRatio is the fraction of agents whose decide step triggers
 	// a partial rollback of the whole sub-itinerary. Zero picks the
@@ -70,6 +71,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.Store == "" {
 		o.Store = "mem"
+	}
+	if o.Wire == "" {
+		o.Wire = "binary"
 	}
 	if o.RollbackRatio == 0 {
 		o.RollbackRatio = 1.0 / 3
@@ -189,6 +193,12 @@ func run(opts Options, fixed *Schedule) (*Result, error) {
 		opts.Dir = dir
 	}
 
+	switch opts.Wire {
+	case "binary", "gob":
+	default:
+		return nil, fmt.Errorf("chaos: unknown wire format %q (want binary or gob)", opts.Wire)
+	}
+
 	counters := &metrics.Counters{}
 	factory, err := storeFactory(opts.Store, opts.Dir, counters)
 	if err != nil {
@@ -201,6 +211,7 @@ func run(opts Options, fixed *Schedule) (*Result, error) {
 		AckTimeout:   150 * time.Millisecond,
 		MaxAttempts:  5000,
 		Workers:      opts.Workers,
+		WireGob:      opts.Wire == "gob",
 		Counters:     counters,
 		StoreFactory: factory,
 		ReopenStores: factory != nil, // durable engines run real recovery

@@ -66,6 +66,17 @@ type Options struct {
 	// MailboxCap bounds each node's inbound mailbox; overflow drops are
 	// counted in Counters.MailboxDrops. Zero keeps mailboxes unbounded.
 	MailboxCap int
+	// WireGob forces gob payload encoding on every node (the pre-binary
+	// wire format; see node.Config.WireGob). A/B benchmarks, chaos
+	// matrix cells and mixed-version tests.
+	WireGob bool
+	// NoCoalesce disables per-destination grouping of one transition's
+	// sends on every node (see node.Config.NoCoalesce).
+	NoCoalesce bool
+	// NodeOverride, when set, may adjust one node's config just before
+	// boot — e.g. pinning a single node to the legacy gob format for a
+	// mixed-version cluster. Called for every boot, including Recover.
+	NodeOverride func(name string, cfg *node.Config)
 	// Clock drives the simulated network's latency-delayed deliveries
 	// AND every node's protocol timers (ack timeouts, control resends,
 	// in-doubt queries, notification resends — the node timer wheel);
@@ -222,7 +233,7 @@ func (c *Cluster) bootNode(name string) error {
 	if err != nil {
 		return err
 	}
-	n, err := node.New(node.Config{
+	cfg := node.Config{
 		Name:         name,
 		Optimized:    c.opts.Optimized,
 		LogMode:      c.opts.LogMode,
@@ -231,9 +242,15 @@ func (c *Cluster) bootNode(name string) error {
 		MaxAttempts:  c.opts.MaxAttempts,
 		Workers:      c.opts.Workers,
 		SagaBaseline: c.opts.SagaBaseline,
+		WireGob:      c.opts.WireGob,
+		NoCoalesce:   c.opts.NoCoalesce,
 		Clock:        c.opts.Clock,
 		Counters:     c.counters,
-	}, ep, st.store, c.registry, st.factories...)
+	}
+	if c.opts.NodeOverride != nil {
+		c.opts.NodeOverride(name, &cfg)
+	}
+	n, err := node.New(cfg, ep, st.store, c.registry, st.factories...)
 	if err != nil {
 		return err
 	}

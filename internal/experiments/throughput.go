@@ -47,6 +47,12 @@ type ThroughputConfig struct {
 	// (RunThroughput provisions a temp dir when empty).
 	Store    string
 	StoreDir string
+	// WireGob forces the legacy gob payload encoding on every node; the
+	// default is the binary fast-path codec (cluster.Options.WireGob).
+	WireGob bool
+	// NoCoalesce disables per-destination batching of one protocol
+	// transition's sends (cluster.Options.NoCoalesce). A/B sweeps.
+	NoCoalesce bool
 	// Timeout bounds the whole run; zero uses the experiment default
 	// (large load points under the race detector need more).
 	Timeout time.Duration
@@ -114,6 +120,8 @@ func BuildThroughputCluster(cfg ThroughputConfig) (*cluster.Cluster, error) {
 		RetryDelay:   2 * time.Millisecond,
 		AckTimeout:   2 * time.Second,
 		MaxAttempts:  100,
+		WireGob:      cfg.WireGob,
+		NoCoalesce:   cfg.NoCoalesce,
 		Counters:     counters,
 		StoreFactory: factory,
 	})

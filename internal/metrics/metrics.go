@@ -6,6 +6,7 @@
 package metrics
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -50,6 +51,16 @@ type Counters struct {
 	netFaultReorders    atomic.Int64
 	netUnreachableDrops atomic.Int64
 	mailboxDrops        atomic.Int64
+
+	// Wire / coalescing instrumentation: transport-level batches (one
+	// write or mailbox hop carrying ≥1 frames) and bytes on the wire per
+	// message kind.
+	netBatches     atomic.Int64
+	netBatchedMsgs atomic.Int64
+	netBatchHist   [len(BatchSizeBuckets) + 1]atomic.Int64
+
+	wireMu          sync.Mutex
+	wireBytesByKind map[string]int64
 
 	// Protocol core (internal/protocol driven by internal/node)
 	// instrumentation.
@@ -101,6 +112,11 @@ type Snapshot struct {
 	NetFaultReorders    int64 // messages delayed past later traffic (reorder faults)
 	NetUnreachableDrops int64 // messages lost to partitions / crashed destinations
 	MailboxDrops        int64 // messages dropped at a full or closed mailbox
+
+	NetBatches      int64                            // transport batches flushed (≥1 frames each)
+	NetBatchedMsgs  int64                            // messages carried inside those batches
+	NetBatchSize    [len(BatchSizeBuckets) + 1]int64 // frames-per-batch histogram (see BatchSizeBuckets)
+	WireBytesByKind map[string]int64                 // payload bytes on the wire per message kind
 
 	ProtocolTransitions int64 // protocol state-machine events processed
 	TimersArmed         int64 // protocol timers armed on the wheel
@@ -199,6 +215,48 @@ func (c *Counters) IncNetUnreachableDrop() { c.netUnreachableDrops.Add(1) }
 // IncMailboxDrop records one message dropped at a full or closed mailbox.
 func (c *Counters) IncMailboxDrop() { c.mailboxDrops.Add(1) }
 
+// BatchSizeBuckets holds the upper bounds of the frames-per-batch
+// histogram cells; a batch of n frames lands in the first cell whose
+// bound is ≥ n, and the histogram has one extra unbounded cell at the
+// end for anything larger.
+var BatchSizeBuckets = [...]int64{1, 2, 4, 8, 16, 32, 64}
+
+// BatchBucketLabel returns the display label of histogram cell i.
+func BatchBucketLabel(i int) string {
+	if i >= len(BatchSizeBuckets) {
+		return fmt.Sprintf(">%d", BatchSizeBuckets[len(BatchSizeBuckets)-1])
+	}
+	if i == 0 {
+		return "1"
+	}
+	return fmt.Sprintf("%d-%d", BatchSizeBuckets[i-1]+1, BatchSizeBuckets[i])
+}
+
+// ObserveNetBatch records one transport batch carrying frames messages —
+// one conn.Write on the TCP endpoint or one mailbox hop in the simulator.
+func (c *Counters) ObserveNetBatch(frames int) {
+	if frames <= 0 {
+		return
+	}
+	c.netBatches.Add(1)
+	c.netBatchedMsgs.Add(int64(frames))
+	i := 0
+	for i < len(BatchSizeBuckets) && int64(frames) > BatchSizeBuckets[i] {
+		i++
+	}
+	c.netBatchHist[i].Add(1)
+}
+
+// AddWireBytes attributes n wire bytes to one message kind.
+func (c *Counters) AddWireBytes(kind string, n int64) {
+	c.wireMu.Lock()
+	if c.wireBytesByKind == nil {
+		c.wireBytesByKind = make(map[string]int64)
+	}
+	c.wireBytesByKind[kind] += n
+	c.wireMu.Unlock()
+}
+
 // IncProtocolTransition records one event processed by a node's
 // protocol state machine.
 func (c *Counters) IncProtocolTransition() { c.protocolTransitions.Add(1) }
@@ -293,7 +351,25 @@ func peakMax(peak *atomic.Int64, n int64) {
 
 // Snapshot returns a copy of the current counter values.
 func (c *Counters) Snapshot() Snapshot {
+	var hist [len(BatchSizeBuckets) + 1]int64
+	for i := range c.netBatchHist {
+		hist[i] = c.netBatchHist[i].Load()
+	}
+	c.wireMu.Lock()
+	var byKind map[string]int64
+	if len(c.wireBytesByKind) > 0 {
+		byKind = make(map[string]int64, len(c.wireBytesByKind))
+		for k, v := range c.wireBytesByKind {
+			byKind[k] = v
+		}
+	}
+	c.wireMu.Unlock()
 	return Snapshot{
+		NetBatches:      c.netBatches.Load(),
+		NetBatchedMsgs:  c.netBatchedMsgs.Load(),
+		NetBatchSize:    hist,
+		WireBytesByKind: byKind,
+
 		Messages:          c.messages.Load(),
 		BytesSent:         c.bytesSent.Load(),
 		AgentTransfers:    c.agentTransfers.Load(),
@@ -339,7 +415,30 @@ func (c *Counters) Snapshot() Snapshot {
 
 // Sub returns the component-wise difference s - o.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
+	var hist [len(BatchSizeBuckets) + 1]int64
+	for i := range hist {
+		hist[i] = s.NetBatchSize[i] - o.NetBatchSize[i]
+	}
+	var byKind map[string]int64
+	if len(s.WireBytesByKind) > 0 || len(o.WireBytesByKind) > 0 {
+		byKind = make(map[string]int64, len(s.WireBytesByKind))
+		for k, v := range s.WireBytesByKind {
+			if d := v - o.WireBytesByKind[k]; d != 0 {
+				byKind[k] = d
+			}
+		}
+		for k, v := range o.WireBytesByKind {
+			if _, ok := s.WireBytesByKind[k]; !ok && v != 0 {
+				byKind[k] = -v
+			}
+		}
+	}
 	return Snapshot{
+		NetBatches:      s.NetBatches - o.NetBatches,
+		NetBatchedMsgs:  s.NetBatchedMsgs - o.NetBatchedMsgs,
+		NetBatchSize:    hist,
+		WireBytesByKind: byKind,
+
 		Messages:          s.Messages - o.Messages,
 		BytesSent:         s.BytesSent - o.BytesSent,
 		AgentTransfers:    s.AgentTransfers - o.AgentTransfers,

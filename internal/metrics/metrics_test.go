@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -37,8 +38,48 @@ func TestCountersSnapshot(t *testing.T) {
 		NetFaultDrops: 1, NetFaultDups: 1, NetFaultReorders: 1,
 		NetUnreachableDrops: 1, MailboxDrops: 1,
 	}
-	if s != want {
+	if !reflect.DeepEqual(s, want) {
 		t.Errorf("snapshot = %+v, want %+v", s, want)
+	}
+}
+
+func TestWireAndBatchCounters(t *testing.T) {
+	var c Counters
+	c.ObserveNetBatch(1)
+	c.ObserveNetBatch(3)
+	c.ObserveNetBatch(100)
+	c.ObserveNetBatch(0) // empty flush: ignored
+	c.AddWireBytes("q.prepare", 64)
+	c.AddWireBytes("q.prepare", 36)
+	c.AddWireBytes("q.commit", 8)
+
+	s := c.Snapshot()
+	if s.NetBatches != 3 || s.NetBatchedMsgs != 104 {
+		t.Errorf("batches=%d msgs=%d", s.NetBatches, s.NetBatchedMsgs)
+	}
+	last := len(s.NetBatchSize) - 1
+	if s.NetBatchSize[0] != 1 || s.NetBatchSize[2] != 1 || s.NetBatchSize[last] != 1 {
+		t.Errorf("histogram = %v", s.NetBatchSize)
+	}
+	if s.WireBytesByKind["q.prepare"] != 100 || s.WireBytesByKind["q.commit"] != 8 {
+		t.Errorf("byKind = %v", s.WireBytesByKind)
+	}
+
+	d := c.Snapshot().Sub(s)
+	if d.NetBatches != 0 || len(d.WireBytesByKind) != 0 {
+		t.Errorf("self-diff not empty: %+v", d)
+	}
+	c.ObserveNetBatch(2)
+	c.AddWireBytes("q.commit", 5)
+	d = c.Snapshot().Sub(s)
+	if d.NetBatches != 1 || d.NetBatchSize[1] != 1 || d.WireBytesByKind["q.commit"] != 5 {
+		t.Errorf("diff = %+v", d)
+	}
+	if lbl := BatchBucketLabel(0); lbl != "1" {
+		t.Errorf("label 0 = %q", lbl)
+	}
+	if lbl := BatchBucketLabel(len(BatchSizeBuckets)); lbl != ">64" {
+		t.Errorf("overflow label = %q", lbl)
 	}
 }
 

@@ -58,6 +58,41 @@ func (mb *mailbox) enqueue(msg Message) {
 	}
 }
 
+// enqueueAll appends a batch of messages in one lock acquisition and one
+// wake-up — the mailbox half of per-link coalescing. Overflow drops are
+// still counted per message, so accounting matches enqueue called n
+// times.
+func (mb *mailbox) enqueueAll(msgs []Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	mb.mu.Lock()
+	var dropped int
+	if mb.closed {
+		dropped = len(msgs)
+		msgs = nil
+	} else if mb.limit > 0 {
+		if room := mb.limit - len(mb.queue); room < len(msgs) {
+			if room < 0 {
+				room = 0
+			}
+			dropped = len(msgs) - room
+			msgs = msgs[:room]
+		}
+	}
+	mb.queue = append(mb.queue, msgs...)
+	mb.mu.Unlock()
+	if dropped > 0 && mb.onDrop != nil {
+		for i := 0; i < dropped; i++ {
+			mb.onDrop()
+		}
+	}
+	select {
+	case mb.notify <- struct{}{}:
+	default:
+	}
+}
+
 // pump moves messages from the unbounded queue to the out channel.
 func (mb *mailbox) pump() {
 	defer close(mb.out)

@@ -41,6 +41,38 @@ type Endpoint interface {
 	Recv() <-chan Message
 }
 
+// Outgoing is one message of a same-destination batch.
+type Outgoing struct {
+	Kind    string
+	Payload []byte
+}
+
+// BatchSender is implemented by endpoints that can deliver a batch of
+// same-destination messages in one transport hop (one mailbox pass in
+// the simulator, one coalesced write on TCP). Semantics per message are
+// identical to Send called in order; only the transport cost is shared.
+type BatchSender interface {
+	SendBatch(to string, msgs []Outgoing) error
+}
+
+// SendAll delivers a same-destination batch through ep, using its
+// BatchSender fast path when available and falling back to per-message
+// Send otherwise.
+func SendAll(ep Endpoint, to string, msgs []Outgoing) error {
+	if len(msgs) == 1 {
+		return ep.Send(to, msgs[0].Kind, msgs[0].Payload)
+	}
+	if bs, ok := ep.(BatchSender); ok {
+		return bs.SendBatch(to, msgs)
+	}
+	for _, m := range msgs {
+		if err := ep.Send(to, m.Kind, m.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Errors returned by the simulated network.
 var (
 	ErrUnknownNode   = errors.New("network: unknown node")
@@ -351,6 +383,7 @@ func (s *Sim) send(msg Message) error {
 
 	if s.cfg.Counters != nil {
 		s.cfg.Counters.IncMessages(int64(len(msg.Payload)))
+		s.cfg.Counters.AddWireBytes(msg.Kind, int64(len(msg.Payload)))
 		if dup {
 			s.cfg.Counters.IncNetFaultDup()
 		}
@@ -363,6 +396,118 @@ func (s *Sim) send(msg Message) error {
 		s.dispatch(msg, epoch, lat)
 	}
 	return nil
+}
+
+// sendBatch routes a same-destination batch as one delivery hop. Faults
+// are still rolled per message — a batched frame must not weaken chaos
+// coverage — with the fates: dropped messages leave the batch (counted),
+// duplicated messages ride the same batch twice, reordered messages are
+// pulled out and dispatched individually with their hold-back delay so
+// later batches overtake them. The survivors share one latency wait and
+// one mailbox pass at the destination.
+func (s *Sim) sendBatch(from, to string, msgs []Outgoing) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrNetworkClosed
+	}
+	if s.blocked[from][to] || s.down[to] {
+		s.mu.Unlock()
+		if s.cfg.Counters != nil {
+			for range msgs {
+				s.cfg.Counters.IncNetUnreachableDrop()
+			}
+		}
+		return nil
+	}
+	if _, ok := s.eps[to]; !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	lat := s.cfg.Latency
+	var batch, held []Message
+	var heldLat []time.Duration
+	var drops, dups, reorders int
+	var sentBytes []int64 // payload size per surviving original, for counters
+	var sentKinds []string
+	if f := s.faults[from][to]; f.Active() {
+		st := s.statsFor(from, to)
+		lat += f.Extra
+		for _, m := range msgs {
+			msg := Message{From: from, To: to, Kind: m.Kind, Payload: m.Payload}
+			if f.Drop > 0 && s.rng.Float64() < f.Drop {
+				st.Drops++
+				drops++
+				continue
+			}
+			sentBytes = append(sentBytes, int64(len(m.Payload)))
+			sentKinds = append(sentKinds, m.Kind)
+			dup := f.Duplicate > 0 && s.rng.Float64() < f.Duplicate
+			if dup {
+				st.Dups++
+				dups++
+			}
+			if f.Reorder > 0 && s.rng.Float64() < f.Reorder {
+				st.Reorders++
+				reorders++
+				delay := f.Delay
+				if delay <= 0 {
+					delay = time.Millisecond + 4*s.cfg.Latency
+				}
+				for i := 0; i < 1+btoi(dup); i++ {
+					held = append(held, msg)
+					heldLat = append(heldLat, lat+delay)
+				}
+				continue
+			}
+			batch = append(batch, msg)
+			if dup {
+				batch = append(batch, msg)
+			}
+		}
+	} else {
+		batch = make([]Message, len(msgs))
+		sentBytes = make([]int64, len(msgs))
+		sentKinds = make([]string, len(msgs))
+		for i, m := range msgs {
+			batch[i] = Message{From: from, To: to, Kind: m.Kind, Payload: m.Payload}
+			sentBytes[i] = int64(len(m.Payload))
+			sentKinds[i] = m.Kind
+		}
+	}
+	epoch := s.epoch[to]
+	s.mu.Unlock()
+
+	if c := s.cfg.Counters; c != nil {
+		for i, n := range sentBytes {
+			c.IncMessages(n)
+			c.AddWireBytes(sentKinds[i], n)
+		}
+		for i := 0; i < drops; i++ {
+			c.IncNetFaultDrop()
+		}
+		for i := 0; i < dups; i++ {
+			c.IncNetFaultDup()
+		}
+		for i := 0; i < reorders; i++ {
+			c.IncNetFaultReorder()
+		}
+		c.ObserveNetBatch(len(batch))
+	}
+	if len(batch) > 0 {
+		s.dispatchBatch(batch, epoch, lat)
+	}
+	for i, msg := range held {
+		s.dispatch(msg, epoch, heldLat[i])
+	}
+	return nil
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // dispatch delivers a message after lat on the configured clock. The
@@ -397,6 +542,55 @@ func (s *Sim) dispatch(msg Message, epoch int, lat time.Duration) {
 	}()
 }
 
+// dispatchBatch is dispatch for a whole batch: one timer wait, one
+// delivery pass. All messages of a batch share From/To.
+func (s *Sim) dispatchBatch(batch []Message, epoch int, lat time.Duration) {
+	if lat <= 0 {
+		s.deliverBatch(batch, epoch)
+		return
+	}
+	s.wg.Add(1)
+	var due <-chan time.Time
+	var cancel func() bool
+	if s.cfg.Clock == nil {
+		timer := time.NewTimer(lat)
+		due, cancel = timer.C, timer.Stop
+	} else {
+		due = s.clock.After(lat)
+	}
+	go func() {
+		defer s.wg.Done()
+		if cancel != nil {
+			defer cancel()
+		}
+		select {
+		case <-due:
+			s.deliverBatch(batch, epoch)
+		case <-s.stop:
+		}
+	}()
+}
+
+// deliverBatch places a whole batch in the destination mailbox as one
+// hop, with the same delivery-time re-checks as deliver.
+func (s *Sim) deliverBatch(batch []Message, epoch int) {
+	from, to := batch[0].From, batch[0].To
+	s.mu.Lock()
+	ep, ok := s.eps[to]
+	if s.closed || !ok || s.down[to] || s.epoch[to] != epoch || s.blocked[from][to] {
+		closed := s.closed
+		s.mu.Unlock()
+		if !closed && s.cfg.Counters != nil {
+			for range batch {
+				s.cfg.Counters.IncNetUnreachableDrop()
+			}
+		}
+		return
+	}
+	s.mu.Unlock()
+	ep.mb.enqueueAll(batch)
+}
+
 // deliver places a message in the destination mailbox, re-checking faults
 // at delivery time: messages in flight when the destination crashed are
 // lost even if a new incarnation is already up (epoch mismatch).
@@ -425,7 +619,10 @@ type simEndpoint struct {
 	mb   *mailbox
 }
 
-var _ Endpoint = (*simEndpoint)(nil)
+var (
+	_ Endpoint    = (*simEndpoint)(nil)
+	_ BatchSender = (*simEndpoint)(nil)
+)
 
 func newSimEndpoint(name string, sim *Sim) *simEndpoint {
 	var onDrop func()
@@ -439,6 +636,15 @@ func (e *simEndpoint) Name() string { return e.name }
 
 func (e *simEndpoint) Send(to, kind string, payload []byte) error {
 	return e.sim.send(Message{From: e.name, To: to, Kind: kind, Payload: payload})
+}
+
+// SendBatch implements BatchSender: the batch shares one latency wait and
+// one mailbox pass, with faults still rolled per message.
+func (e *simEndpoint) SendBatch(to string, msgs []Outgoing) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	return e.sim.sendBatch(e.name, to, msgs)
 }
 
 func (e *simEndpoint) Recv() <-chan Message { return e.mb.Recv() }

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"bufio"
 	"fmt"
 	"net"
 	"sync"
@@ -27,17 +28,45 @@ type TCPConfig struct {
 	DialTimeout time.Duration
 	// Counters receives message/byte accounting; may be nil.
 	Counters *metrics.Counters
+	// LegacyGob sends outbound messages as a persistent gob stream — the
+	// pre-binary wire format — instead of binary frames. Inbound always
+	// auto-detects per connection, so a LegacyGob endpoint and a binary
+	// endpoint interoperate in both directions; the flag exists for
+	// rolling upgrades and the mixed-version tests.
+	LegacyGob bool
+	// FlushBytes forces a flush once this many bytes are pending on one
+	// peer connection (default 64 KiB).
+	FlushBytes int
+	// FlushLinger is how long a non-full pending buffer may wait for
+	// more messages before it is written out (default 50µs — long enough
+	// to coalesce a burst of protocol sends into one write, short enough
+	// to be invisible next to network latency). Negative disables the
+	// wait: the flusher writes as soon as it runs, still coalescing
+	// whatever accumulated while the previous write was in flight.
+	FlushLinger time.Duration
+	// Clock drives the linger timer; nil uses the wall clock. With a
+	// VirtualClock, lingers only elapse on Advance, keeping simulated
+	// runs deterministic.
+	Clock Clock
 }
 
-// TCPEndpoint implements Endpoint over TCP with persistent per-connection
-// gob streams: each outbound connection carries one encode session, so gob
-// type descriptors cross the wire once per connection instead of once per
-// message, and each message costs only its value bytes. Outbound
-// connections are cached per destination and re-dialed on error; a failed
-// send is dropped silently (the caller's protocol retries), matching the
-// simulator's crashed-destination semantics.
+// TCPEndpoint implements Endpoint over TCP with per-link write
+// coalescing: each outbound connection owns a pending buffer and a
+// flusher goroutine. Senders only append encoded frames to the buffer —
+// cheap, under a short mutex — while the flusher performs the slow
+// conn.Write, so a stalled peer never blocks a sender and many frames
+// ride one syscall. Outbound connections are cached per destination and
+// re-dialed on error; a failed send is dropped silently (the caller's
+// protocol retries), matching the simulator's crashed-destination
+// semantics.
+//
+// The outbound format is binary frames (frame.go) by default, or one
+// persistent gob stream per connection with LegacyGob — in gob mode the
+// encode session writes into the same pending buffer, so coalescing and
+// the no-write-under-encode-lock property hold for both formats.
 type TCPEndpoint struct {
 	cfg      TCPConfig
+	clock    Clock
 	listener net.Listener
 	mb       *mailbox
 
@@ -49,15 +78,10 @@ type TCPEndpoint struct {
 	wg sync.WaitGroup
 }
 
-// peerConn is one cached outbound connection with its encode session. The
-// session's internal lock serializes concurrent senders, so messages never
-// interleave on the stream.
-type peerConn struct {
-	c   net.Conn
-	enc *wire.StreamEncoder
-}
-
-var _ Endpoint = (*TCPEndpoint)(nil)
+var (
+	_ Endpoint    = (*TCPEndpoint)(nil)
+	_ BatchSender = (*TCPEndpoint)(nil)
+)
 
 // NewTCP creates a TCP endpoint and, if configured, starts accepting peer
 // connections.
@@ -68,11 +92,21 @@ func NewTCP(cfg TCPConfig) (*TCPEndpoint, error) {
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = 2 * time.Second
 	}
+	if cfg.FlushBytes <= 0 {
+		cfg.FlushBytes = 64 << 10
+	}
+	if cfg.FlushLinger == 0 {
+		cfg.FlushLinger = 50 * time.Microsecond
+	}
 	ep := &TCPEndpoint{
 		cfg:     cfg,
+		clock:   cfg.Clock,
 		mb:      newMailbox(),
 		conns:   make(map[string]*peerConn),
 		inbound: make(map[net.Conn]struct{}),
+	}
+	if ep.clock == nil {
+		ep.clock = WallClock()
 	}
 	if cfg.Listen != "" {
 		l, err := net.Listen("tcp", cfg.Listen)
@@ -111,9 +145,15 @@ func (e *TCPEndpoint) Send(to, kind string, payload []byte) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
 	}
+	if len(payload) > wire.MaxMessageSize {
+		// Rejected locally before any bytes hit a stream, like the gob
+		// session's size check: the connection stays usable.
+		return nil
+	}
 	msg := Message{From: e.cfg.Name, To: to, Kind: kind, Payload: payload}
 	if e.cfg.Counters != nil {
 		e.cfg.Counters.IncMessages(int64(len(payload)))
+		e.cfg.Counters.AddWireBytes(kind, int64(len(payload)))
 	}
 	if err := e.writeTo(to, addr, &msg); err != nil {
 		// One reconnect attempt: the cached connection may be stale.
@@ -124,18 +164,75 @@ func (e *TCPEndpoint) Send(to, kind string, payload []byte) error {
 	return nil
 }
 
+// SendBatch implements BatchSender: all frames of the batch are staged
+// under one buffer lock and one flusher wake-up, so they ride the same
+// write unless the flusher is already mid-flush.
+func (e *TCPEndpoint) SendBatch(to string, msgs []Outgoing) error {
+	addr, ok := e.cfg.Peers[to]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	kept := msgs[:0:0]
+	for _, m := range msgs {
+		if len(m.Payload) > wire.MaxMessageSize {
+			continue // rejected locally, connection unaffected
+		}
+		kept = append(kept, m)
+		if e.cfg.Counters != nil {
+			e.cfg.Counters.IncMessages(int64(len(m.Payload)))
+			e.cfg.Counters.AddWireBytes(m.Kind, int64(len(m.Payload)))
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	if err := e.batchTo(to, addr, kept); err != nil {
+		if err := e.batchTo(to, addr, kept); err != nil {
+			return nil // dropped, like messages to a crashed node
+		}
+	}
+	return nil
+}
+
 func (e *TCPEndpoint) writeTo(to, addr string, msg *Message) error {
 	pc, err := e.conn(to, addr)
 	if err != nil {
 		return err
 	}
-	if err := pc.enc.Encode(msg); err != nil {
-		// The stream is undefined after an encode error (a partial
-		// message may be on the wire); a fresh dial restarts it.
-		e.dropConn(to, pc)
+	if e.cfg.LegacyGob {
+		if err := pc.enc.Encode(msg); err != nil {
+			// The stream is undefined after an encode error (the session
+			// state diverged from the receiver); a fresh dial restarts it.
+			e.dropConn(to, pc)
+			return err
+		}
+		return nil
+	}
+	return pc.enqueue(func(buf []byte) []byte { return appendFrame(buf, msg) }, 1)
+}
+
+func (e *TCPEndpoint) batchTo(to, addr string, msgs []Outgoing) error {
+	pc, err := e.conn(to, addr)
+	if err != nil {
 		return err
 	}
-	return nil
+	if e.cfg.LegacyGob {
+		for _, m := range msgs {
+			msg := Message{From: e.cfg.Name, To: to, Kind: m.Kind, Payload: m.Payload}
+			if err := pc.enc.Encode(&msg); err != nil {
+				e.dropConn(to, pc)
+				return err
+			}
+		}
+		return nil
+	}
+	return pc.enqueue(func(buf []byte) []byte {
+		for _, m := range msgs {
+			msg := Message{From: e.cfg.Name, To: to, Kind: m.Kind, Payload: m.Payload}
+			buf = appendFrame(buf, &msg)
+		}
+		return buf
+	}, len(msgs))
 }
 
 func (e *TCPEndpoint) conn(to, addr string) (*peerConn, error) {
@@ -155,18 +252,25 @@ func (e *TCPEndpoint) conn(to, addr string) (*peerConn, error) {
 		return nil, err
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		_ = c.Close()
 		return nil, ErrNetworkClosed
 	}
 	if old, ok := e.conns[to]; ok {
 		// Lost a race with a concurrent dial; keep the existing one.
+		e.mu.Unlock()
 		_ = c.Close()
 		return old, nil
 	}
-	pc := &peerConn{c: c, enc: wire.NewStreamEncoder(c)}
+	pc := newPeerConn(e, to, c)
 	e.conns[to] = pc
+	e.wg.Add(1)
+	e.mu.Unlock()
+	go func() {
+		defer e.wg.Done()
+		pc.flusher()
+	}()
 	return pc, nil
 }
 
@@ -176,7 +280,7 @@ func (e *TCPEndpoint) dropConn(to string, pc *peerConn) {
 		delete(e.conns, to)
 	}
 	e.mu.Unlock()
-	_ = pc.c.Close()
+	pc.shutdown(false)
 }
 
 // accept serves inbound peer connections.
@@ -208,12 +312,33 @@ func (e *TCPEndpoint) accept() {
 	}
 }
 
-// serve decodes one inbound connection's persistent gob stream into the
-// mailbox. A decode error poisons the whole stream (unlike the old framed
-// protocol there is no per-message resynchronization), so the connection
-// is dropped and the peer re-dials — the protocol's retries cover the gap.
+// serve decodes one inbound connection into the mailbox. The first byte
+// classifies the stream — binary frames lead with wire.FrameMagic, which
+// can never start a gob stream — so a binary-codec node keeps accepting
+// connections from legacy gob peers (the whole fallback story; see
+// DESIGN.md "Wire format"). A decode error in either format poisons the
+// stream (there is no per-message resynchronization), so the connection
+// is dropped and the peer re-dials — the protocol's retries cover the
+// gap.
 func (e *TCPEndpoint) serve(conn net.Conn) {
-	dec := wire.NewStreamDecoder(conn)
+	br := bufio.NewReader(conn)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == wire.FrameMagic {
+		for {
+			msg, err := readFrame(br)
+			if err != nil {
+				return
+			}
+			if msg.To != e.cfg.Name {
+				continue // misrouted
+			}
+			e.mb.enqueue(msg)
+		}
+	}
+	dec := wire.NewStreamDecoder(br)
 	for {
 		var msg Message
 		if err := dec.Decode(&msg); err != nil {
@@ -226,8 +351,9 @@ func (e *TCPEndpoint) serve(conn net.Conn) {
 	}
 }
 
-// Close shuts the endpoint down: the listener stops, cached connections
-// close and the Recv channel is closed.
+// Close shuts the endpoint down: the listener stops, pending outbound
+// buffers get a final flush, connections close and the Recv channel is
+// closed.
 func (e *TCPEndpoint) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -235,12 +361,13 @@ func (e *TCPEndpoint) Close() {
 		return
 	}
 	e.closed = true
-	conns := make([]net.Conn, 0, len(e.conns)+len(e.inbound))
+	outs := make([]*peerConn, 0, len(e.conns))
 	for _, pc := range e.conns {
-		conns = append(conns, pc.c)
+		outs = append(outs, pc)
 	}
+	ins := make([]net.Conn, 0, len(e.inbound))
 	for c := range e.inbound {
-		conns = append(conns, c)
+		ins = append(ins, c)
 	}
 	e.conns = make(map[string]*peerConn)
 	e.mu.Unlock()
@@ -248,9 +375,185 @@ func (e *TCPEndpoint) Close() {
 	if e.listener != nil {
 		_ = e.listener.Close()
 	}
-	for _, c := range conns {
+	for _, pc := range outs {
+		// Graceful: the flusher drains the pending buffer, then closes
+		// the connection itself — never close the conn under its feet.
+		pc.shutdown(true)
+	}
+	for _, c := range ins {
 		_ = c.Close()
 	}
 	e.wg.Wait()
 	e.mb.close()
+}
+
+// maxPendingRetain caps the capacity a drained pending buffer keeps for
+// reuse, so one burst does not pin memory for the connection's lifetime.
+const maxPendingRetain = 1 << 20
+
+// peerConn is one cached outbound connection: a pending write buffer
+// senders append encoded frames to, and a flusher goroutine that owns
+// the actual conn.Write. In LegacyGob mode the persistent encode session
+// stages each message and appends it to the same pending buffer via
+// pendingWriter, so the encode mutex is never held across a socket
+// write in either mode.
+type peerConn struct {
+	ep *TCPEndpoint
+	to string
+	c  net.Conn
+
+	enc *wire.StreamEncoder // LegacyGob only
+
+	mu      sync.Mutex
+	pending []byte
+	frames  int
+	broken  bool
+	drain   bool // graceful shutdown: flush what is pending, then close
+
+	kick chan struct{} // cap 1: pending became non-empty
+	full chan struct{} // cap 1: pending passed FlushBytes, skip the linger
+	done chan struct{}
+	once sync.Once
+
+	spare []byte // recycled buffer, owned by the flusher
+}
+
+func newPeerConn(e *TCPEndpoint, to string, c net.Conn) *peerConn {
+	pc := &peerConn{
+		ep:   e,
+		to:   to,
+		c:    c,
+		kick: make(chan struct{}, 1),
+		full: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	if e.cfg.LegacyGob {
+		pc.enc = wire.NewStreamEncoder(pendingWriter{pc})
+	}
+	return pc
+}
+
+// enqueue stages frames frames built by build into the pending buffer
+// and wakes the flusher. It fails only on a broken connection, which the
+// caller treats like a dead peer (re-dial once, then drop).
+func (pc *peerConn) enqueue(build func([]byte) []byte, frames int) error {
+	pc.mu.Lock()
+	if pc.broken || pc.drain {
+		pc.mu.Unlock()
+		return net.ErrClosed
+	}
+	pc.pending = build(pc.pending)
+	pc.frames += frames
+	n := len(pc.pending)
+	pc.mu.Unlock()
+	pc.signal(n)
+	return nil
+}
+
+// pendingWriter routes a gob session's staged messages into the pending
+// buffer. The StreamEncoder calls Write exactly once per message.
+type pendingWriter struct{ pc *peerConn }
+
+func (w pendingWriter) Write(p []byte) (int, error) {
+	if err := w.pc.enqueue(func(buf []byte) []byte { return append(buf, p...) }, 1); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+func (pc *peerConn) signal(pendingBytes int) {
+	ch := pc.kick
+	if pendingBytes >= pc.ep.cfg.FlushBytes {
+		ch = pc.full
+	}
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// shutdown retires the connection. graceful lets the flusher drain the
+// pending buffer first (endpoint Close); otherwise pending frames are
+// dropped like in-flight messages to a crashed node (write error path).
+func (pc *peerConn) shutdown(graceful bool) {
+	pc.mu.Lock()
+	if graceful {
+		pc.drain = true
+	} else {
+		pc.broken = true
+		pc.pending = nil
+		pc.frames = 0
+	}
+	pc.mu.Unlock()
+	pc.once.Do(func() { close(pc.done) })
+	if !graceful {
+		_ = pc.c.Close()
+	}
+}
+
+// flusher owns conn.Write for this connection. After a wake-up it
+// lingers briefly (FlushLinger on the endpoint clock) so a burst of
+// sends coalesces into one write, unless the buffer already passed
+// FlushBytes.
+func (pc *peerConn) flusher() {
+	linger := pc.ep.cfg.FlushLinger
+	for {
+		select {
+		case <-pc.done:
+			pc.flush()
+			pc.mu.Lock()
+			pc.broken = true
+			pc.mu.Unlock()
+			_ = pc.c.Close()
+			return
+		case <-pc.full:
+		case <-pc.kick:
+			if linger > 0 {
+				t, cancel := ClockTimer(pc.ep.clock, linger)
+				select {
+				case <-t:
+				case <-pc.full:
+				case <-pc.done:
+				}
+				cancel()
+			}
+		}
+		if !pc.flush() {
+			return
+		}
+	}
+}
+
+// flush writes the pending buffer until it is empty. It returns false
+// once the connection is broken (including a failed write, which drops
+// the connection for everyone).
+func (pc *peerConn) flush() bool {
+	for {
+		pc.mu.Lock()
+		if pc.broken {
+			pc.mu.Unlock()
+			return false
+		}
+		if len(pc.pending) == 0 {
+			pc.mu.Unlock()
+			return true
+		}
+		buf, frames := pc.pending, pc.frames
+		pc.pending = pc.spare
+		pc.spare = nil
+		pc.frames = 0
+		pc.mu.Unlock()
+
+		_, err := pc.c.Write(buf)
+		if err != nil {
+			pc.ep.dropConn(pc.to, pc)
+			return false
+		}
+		if c := pc.ep.cfg.Counters; c != nil {
+			c.ObserveNetBatch(frames)
+		}
+		if cap(buf) <= maxPendingRetain {
+			pc.spare = buf[:0] // spare is only ever touched by this goroutine
+		}
+	}
 }

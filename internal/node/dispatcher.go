@@ -32,7 +32,26 @@ func (n *Node) dispatch() {
 // the machine lock, in emission order, by the same caller — they are
 // idempotent or state-guarded, so concurrent steppers interleaving
 // their effect application is safe.
+//
+// All messages the transition batch emits — including those of nested
+// transitions its effects trigger — are collected per destination and
+// flushed in one endpoint call per peer when the outermost step
+// returns, so a commit fan-out or an ack+status pair coalesces on the
+// wire instead of paying one network hop each.
 func (n *Node) step(ev protocol.Event) {
+	if n.cfg.NoCoalesce {
+		n.stepInto(ev, nil)
+		return
+	}
+	var b outBatch
+	n.stepInto(ev, &b)
+	b.flush(n)
+}
+
+// stepInto is step with the caller's outbound batch: nested transitions
+// (StageEntry, ResolveStaged outcomes) join the enclosing batch rather
+// than flushing early.
+func (n *Node) stepInto(ev protocol.Event, b *outBatch) {
 	n.pmu.Lock()
 	effs := n.machine.Step(ev)
 	n.pmu.Unlock()
@@ -40,7 +59,7 @@ func (n *Node) step(ev protocol.Event) {
 		n.cfg.Counters.IncProtocolTransition()
 	}
 	for _, eff := range effs {
-		n.applyEffect(eff)
+		n.applyEffect(eff, b)
 	}
 }
 
@@ -52,30 +71,32 @@ func (n *Node) onTimer(id string) {
 // handle translates one wire message into a protocol event. All
 // decision logic lives in the machine; this switch only decodes and,
 // where a decision needs a stable-storage fact (the presumed-abort
-// decision record), reads it to enrich the event.
+// decision record), reads it to enrich the event. Protocol payloads go
+// through protocol.Decode, which accepts both the binary fast path and
+// legacy gob — the node never needs to know which format a peer runs.
 func (n *Node) handle(msg network.Message) {
 	switch msg.Kind {
 	case protocol.KindEnqueuePrepare:
 		var req protocol.PrepareMsg
-		if err := wire.Decode(msg.Payload, &req); err != nil {
+		if err := protocol.Decode(msg.Payload, &req); err != nil {
 			return
 		}
 		n.step(protocol.PrepareReceived{TxnID: req.TxnID, EntryID: req.EntryID, From: msg.From, Data: req.Data})
 	case protocol.KindEnqueueCommit, protocol.KindEnqueueAbort:
 		var req protocol.CtlMsg
-		if err := wire.Decode(msg.Payload, &req); err != nil {
+		if err := protocol.Decode(msg.Payload, &req); err != nil {
 			return
 		}
 		n.step(protocol.CtlReceived{TxnID: req.TxnID, From: msg.From, Commit: msg.Kind == protocol.KindEnqueueCommit})
 	case protocol.KindRCECommit, protocol.KindRCEAbort:
 		var req protocol.CtlMsg
-		if err := wire.Decode(msg.Payload, &req); err != nil {
+		if err := protocol.Decode(msg.Payload, &req); err != nil {
 			return
 		}
 		n.step(protocol.CtlReceived{TxnID: req.TxnID, From: msg.From, Commit: msg.Kind == protocol.KindRCECommit, RCE: true})
 	case protocol.KindTxnQuery:
 		var req protocol.CtlMsg
-		if err := wire.Decode(msg.Payload, &req); err != nil {
+		if err := protocol.Decode(msg.Payload, &req); err != nil {
 			return
 		}
 		decided, err := n.mgr.Decided(req.TxnID)
@@ -85,13 +106,13 @@ func (n *Node) handle(msg network.Message) {
 		n.step(protocol.QueryReceived{TxnID: req.TxnID, From: msg.From, StoreDecided: decided})
 	case protocol.KindTxnStatus:
 		var st protocol.StatusMsg
-		if err := wire.Decode(msg.Payload, &st); err != nil {
+		if err := protocol.Decode(msg.Payload, &st); err != nil {
 			return
 		}
 		n.step(protocol.StatusReceived{TxnID: st.TxnID, Committed: st.Committed})
 	case protocol.KindRCEExec:
 		var req protocol.RCEExecMsg
-		if err := wire.Decode(msg.Payload, &req); err != nil {
+		if err := protocol.Decode(msg.Payload, &req); err != nil {
 			return
 		}
 		n.step(protocol.RCEExecReceived{TxnID: req.TxnID, From: msg.From, Ops: req.Ops})
@@ -99,7 +120,7 @@ func (n *Node) handle(msg network.Message) {
 		protocol.KindEnqueueCommitAck, protocol.KindEnqueueAbortAck,
 		protocol.KindRCECommitAck, protocol.KindRCEAbortAck:
 		var ack protocol.AckMsg
-		if err := wire.Decode(msg.Payload, &ack); err != nil {
+		if err := protocol.Decode(msg.Payload, &ack); err != nil {
 			return
 		}
 		n.step(protocol.AckReceived{Kind: msg.Kind, TxnID: ack.TxnID, From: msg.From, OK: ack.OK, Err: ack.Err})
@@ -107,7 +128,7 @@ func (n *Node) handle(msg network.Message) {
 		n.handleLaunch(msg)
 	case kindAgentDoneAck:
 		var ack protocol.AckMsg
-		if err := wire.Decode(msg.Payload, &ack); err != nil {
+		if err := protocol.Decode(msg.Payload, &ack); err != nil {
 			return
 		}
 		n.step(protocol.DoneAcked{AgentID: ack.TxnID})
@@ -116,23 +137,24 @@ func (n *Node) handle(msg network.Message) {
 
 // applyEffect executes one machine effect. Mechanics only — queue and
 // store operations, transaction settles, sends, timers; any outcome the
-// machine must know about loops back in as another event.
-func (n *Node) applyEffect(eff protocol.Effect) {
+// machine must know about loops back in as another event. Sends join
+// the enclosing transition's outbound batch b (nil with NoCoalesce).
+func (n *Node) applyEffect(eff protocol.Effect, b *outBatch) {
 	switch e := eff.(type) {
 	case protocol.SendMsg:
-		n.send(e.To, e.Kind, e.Payload)
+		n.sendTo(b, e.To, e.Kind, e.Payload)
 	case protocol.DeliverAck:
 		n.deliverAck(e.Kind, e.TxnID, protocol.AckMsg{TxnID: e.TxnID, OK: e.OK, Err: e.Err})
 	case protocol.StageEntry:
 		err := n.queue.Prepare(e.TxnID, e.EntryID, e.Data)
 		if err == nil {
-			n.step(protocol.StageOutcome{TxnID: e.TxnID, OK: true})
+			n.stepInto(protocol.StageOutcome{TxnID: e.TxnID, OK: true}, b)
 		}
 		reply := protocol.AckMsg{TxnID: e.TxnID, OK: err == nil}
 		if err != nil {
 			reply.Err = err.Error()
 		}
-		n.send(e.From, e.AckKind, &reply)
+		n.sendTo(b, e.From, e.AckKind, &reply)
 	case protocol.ResolveStaged:
 		var err error
 		if e.Commit {
@@ -147,14 +169,14 @@ func (n *Node) applyEffect(eff protocol.Effect) {
 			// dispatcher tick re-deriving in-doubt work from
 			// queue.StagedTxns() every cycle. (The coordinator keeps its
 			// commit obligation too: refused ctl acks do not retire it.)
-			n.step(protocol.RecoveredStaged{TxnID: e.TxnID})
+			n.stepInto(protocol.RecoveredStaged{TxnID: e.TxnID}, b)
 		}
 		if e.AckTo != "" {
 			reply := protocol.AckMsg{TxnID: e.TxnID, OK: err == nil}
 			if err != nil {
 				reply.Err = err.Error()
 			}
-			n.send(e.AckTo, e.AckKind, &reply)
+			n.sendTo(b, e.AckTo, e.AckKind, &reply)
 		}
 	case protocol.CommitBranch:
 		if tx := n.takeBranchTx(e.TxnID); tx != nil {

@@ -1,6 +1,8 @@
 package node
 
 import (
+	"fmt"
+
 	"repro/internal/agent"
 	"repro/internal/protocol"
 	"repro/internal/wire"
@@ -63,6 +65,45 @@ type doneMsg struct {
 	Data    []byte // final agent container
 }
 
+// typeDone is doneMsg's binary type byte. The node-runtime partition is
+// 0x10–0x1F (the protocol messages own 0x01–0x0F); never reuse a value.
+const typeDone = 0x10
+
+// AppendTo implements wire.BinaryMessage: completion notifications carry
+// the full final agent container, so they ride the fast path alongside
+// the protocol messages.
+func (m *doneMsg) AppendTo(buf []byte) []byte {
+	buf = append(buf, wire.BinaryVersion, typeDone)
+	buf = wire.AppendString(buf, m.AgentID)
+	buf = wire.AppendBool(buf, m.Failed)
+	buf = wire.AppendString(buf, m.Reason)
+	return wire.AppendBytes(buf, m.Data)
+}
+
+// DecodeFrom implements wire.BinaryMessage. Data aliases the input.
+func (m *doneMsg) DecodeFrom(data []byte) error {
+	typ, rest, err := wire.SplitBinary(data)
+	if err != nil {
+		return err
+	}
+	if typ != typeDone {
+		return fmt.Errorf("%w: message type 0x%02x, want done 0x%02x", wire.ErrCorrupt, typ, typeDone)
+	}
+	if m.AgentID, rest, err = wire.ReadString(rest); err != nil {
+		return err
+	}
+	if m.Failed, rest, err = wire.ReadBool(rest); err != nil {
+		return err
+	}
+	if m.Reason, rest, err = wire.ReadString(rest); err != nil {
+		return err
+	}
+	if m.Data, rest, err = wire.ReadBytes(rest); err != nil {
+		return err
+	}
+	return wire.Done(rest)
+}
+
 // Exported message kinds for collectors (owners) built outside this
 // package.
 const (
@@ -80,10 +121,14 @@ type Done struct {
 	Agent   *agent.Agent
 }
 
-// DecodeDone decodes a KindAgentDone payload.
+// DecodeDone decodes a KindAgentDone payload, binary or legacy gob.
 func DecodeDone(payload []byte) (Done, error) {
 	var dm doneMsg
-	if err := wire.Decode(payload, &dm); err != nil {
+	if wire.Binary(payload) {
+		if err := dm.DecodeFrom(payload); err != nil {
+			return Done{}, err
+		}
+	} else if err := wire.Decode(payload, &dm); err != nil {
 		return Done{}, err
 	}
 	d := Done{AgentID: dm.AgentID, Failed: dm.Failed, Reason: dm.Reason}
@@ -97,9 +142,12 @@ func DecodeDone(payload []byte) (Done, error) {
 	return d, nil
 }
 
-// EncodeDoneAck builds the KindAgentDoneAck payload for agentID.
+// EncodeDoneAck builds the KindAgentDoneAck payload for agentID. All
+// nodes decode acks with format sniffing, so the binary form is safe to
+// send to gob-configured peers too.
 func EncodeDoneAck(agentID string) ([]byte, error) {
-	return wire.Encode(&protocol.AckMsg{TxnID: agentID, OK: true})
+	ack := protocol.AckMsg{TxnID: agentID, OK: true}
+	return ack.AppendTo(nil), nil
 }
 
 // KindAgentLaunch is the message kind inserting a fresh agent container

@@ -87,6 +87,15 @@ type Config struct {
 	// For the S16b ablation only — it demonstrably corrupts agents whose
 	// compensations produce information (see the baseline tests).
 	SagaBaseline bool
+	// WireGob forces gob encoding for all outbound payloads, disabling
+	// the binary fast-path codec. Inbound decoding always auto-detects,
+	// so a WireGob node and a binary node interoperate; the flag exists
+	// for rolling upgrades, A/B benchmarks and the mixed-version tests.
+	WireGob bool
+	// NoCoalesce sends each protocol message individually instead of
+	// grouping the sends of one machine transition per destination (the
+	// batching half of the wire fast path). A/B benchmarks only.
+	NoCoalesce bool
 	// Clock drives the node's protocol timers (ack timeouts, control
 	// resends, in-doubt queries, notification resends) through its
 	// timer wheel; nil uses the wall clock. A network.VirtualClock
@@ -308,7 +317,7 @@ func (n *Node) await(ch chan protocol.AckMsg, kind, id string) (protocol.AckMsg,
 // send marshals and transmits a protocol message (fire and forget; the
 // simulated network only fails permanently for unknown destinations).
 func (n *Node) send(to, kind string, payload any) {
-	data, err := encodePayload(payload)
+	data, err := n.encodePayload(payload)
 	if err != nil {
 		return
 	}
@@ -318,13 +327,66 @@ func (n *Node) send(to, kind string, payload any) {
 	_ = n.ep.Send(to, kind, data)
 }
 
-func encodePayload(payload any) ([]byte, error) {
+// sendTo routes a protocol send through the current transition's
+// outbound batch when one is active, so every message a machine
+// transition emits to the same destination rides one endpoint call (and
+// with the Sim, one mailbox hop; with TCP, usually one socket write).
+// With a nil batch — or NoCoalesce — it degenerates to send.
+func (n *Node) sendTo(b *outBatch, to, kind string, payload any) {
+	if b == nil {
+		n.send(to, kind, payload)
+		return
+	}
+	data, err := n.encodePayload(payload)
+	if err != nil {
+		return
+	}
+	b.add(to, kind, data)
+}
+
+// encodePayload serializes one outbound payload: the hand-rolled binary
+// codec for the high-volume protocol messages (unless Config.WireGob
+// pins the legacy format), gob for everything else. Receivers sniff the
+// version byte, so both formats coexist on one link.
+func (n *Node) encodePayload(payload any) ([]byte, error) {
 	if payload == nil {
 		return nil, nil
+	}
+	if !n.cfg.WireGob {
+		if bm, ok := payload.(wire.BinaryMessage); ok {
+			return bm.AppendTo(nil), nil
+		}
 	}
 	data, err := wire.Encode(payload)
 	if err != nil {
 		return nil, fmt.Errorf("node: encode payload: %w", err)
 	}
 	return data, nil
+}
+
+// outBatch accumulates the sends of one protocol transition grouped by
+// destination, preserving first-send order between destinations and
+// message order within one.
+type outBatch struct {
+	order  []string
+	byDest map[string][]network.Outgoing
+}
+
+func (b *outBatch) add(to, kind string, payload []byte) {
+	if b.byDest == nil {
+		b.byDest = make(map[string][]network.Outgoing, 2)
+	}
+	if _, ok := b.byDest[to]; !ok {
+		b.order = append(b.order, to)
+	}
+	b.byDest[to] = append(b.byDest[to], network.Outgoing{Kind: kind, Payload: payload})
+}
+
+func (b *outBatch) flush(n *Node) {
+	for _, to := range b.order {
+		// Unknown-destination errors: lost messages, like send.
+		_ = network.SendAll(n.ep, to, b.byDest[to])
+	}
+	b.order = b.order[:0]
+	clear(b.byDest)
 }

@@ -92,4 +92,7 @@ func TestDoneMessageRoundTrip(t *testing.T) {
 	}
 }
 
-func wireEncodeDone(m doneMsg) ([]byte, error) { return encodePayload(&m) }
+func wireEncodeDone(m doneMsg) ([]byte, error) {
+	n := &Node{}
+	return n.encodePayload(&m)
+}

@@ -10,7 +10,6 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/resource"
 	"repro/internal/stable"
-	"repro/internal/wire"
 )
 
 // TestRCEAbortOvertakesPrepare reproduces the livelock precursor found by
@@ -145,5 +144,5 @@ func TestRCEAbortOvertakesPrepare(t *testing.T) {
 }
 
 func decodeInto(payload []byte, v any) error {
-	return wire.Decode(payload, v)
+	return protocol.Decode(payload, v)
 }
