@@ -15,6 +15,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/stable"
 	"repro/internal/stable/wal"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -181,7 +182,20 @@ func BenchmarkTransitionToWire(b *testing.B) {
 	ack := &protocol.AckMsg{TxnID: "agent-42#7", OK: true}
 	st := &protocol.StatusMsg{TxnID: "agent-42#7", Committed: true}
 
-	run := func(b *testing.B, gob, batch bool) {
+	run := func(b *testing.B, gob, batch, traced bool) {
+		// traced replays the node instrumentation around this path: a
+		// wire-send record per outgoing message, a wire-recv per decoded
+		// one, and a batch-flush per coalesced delivery, against live
+		// per-side rings stamped from the wall clock (the default
+		// agentnode configuration). Untraced variants measure the same
+		// code with a nil tracer — the nil-safe no-op the sites compile
+		// to when tracing is off.
+		var srcTr, dstTr *trace.Tracer
+		if traced {
+			now := func() int64 { return time.Now().UnixNano() }
+			srcTr = trace.New("src", 0, now)
+			dstTr = trace.New("dst", 0, now)
+		}
 		sim := network.NewSim(network.SimConfig{})
 		src, err := sim.Endpoint("src")
 		if err != nil {
@@ -213,6 +227,7 @@ func BenchmarkTransitionToWire(b *testing.B) {
 					b.Error(err)
 					return
 				}
+				dstTr.Rec(trace.OpWireRecv, "", "", msg.Kind, msg.From, "", int64(len(msg.Payload)))
 			}
 		}()
 		encode := func(v any) []byte {
@@ -238,6 +253,7 @@ func BenchmarkTransitionToWire(b *testing.B) {
 				if err := network.SendAll(src, "dst", msgs); err != nil {
 					b.Fatal(err)
 				}
+				srcTr.Rec(trace.OpBatchFlush, "", "", "", "dst", "", int64(len(msgs)))
 			} else {
 				for _, m := range msgs {
 					if err := src.Send("dst", m.Kind, m.Payload); err != nil {
@@ -245,14 +261,19 @@ func BenchmarkTransitionToWire(b *testing.B) {
 					}
 				}
 			}
+			for _, m := range msgs {
+				srcTr.Rec(trace.OpWireSend, "", "", m.Kind, "dst", "", int64(len(m.Payload)))
+			}
 		}
 		b.StopTimer()
 		sim.Close()
 		<-drained
 	}
-	b.Run("gob", func(b *testing.B) { run(b, true, false) })
-	b.Run("binary", func(b *testing.B) { run(b, false, false) })
-	b.Run("binary-batch", func(b *testing.B) { run(b, false, true) })
+	b.Run("gob", func(b *testing.B) { run(b, true, false, false) })
+	b.Run("binary", func(b *testing.B) { run(b, false, false, false) })
+	b.Run("binary-traced", func(b *testing.B) { run(b, false, false, true) })
+	b.Run("binary-batch", func(b *testing.B) { run(b, false, true, false) })
+	b.Run("binary-batch-traced", func(b *testing.B) { run(b, false, true, true) })
 }
 
 // BenchmarkStableApplyParallel: concurrent step commits against one

@@ -5,11 +5,19 @@
 //	agentctl -name ctl -listen :7000 \
 //	  -peers 'A=localhost:7001,B=localhost:7002,C=localhost:7003' \
 //	  -bank A -shop B -dir C -acct alice -id trip1
+//
+// It also doubles as the operator client for a node's admin plane
+// (agentnode -obs-addr):
+//
+//	agentctl metrics -obs http://localhost:7901 [-filter sched] [-all]
+//	agentctl trace   -obs http://localhost:7901 [-txn A#12 | -agent trip1] [-last 50]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -28,6 +36,36 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "metrics":
+			return runMetrics(args[1:], os.Stdout)
+		case "trace":
+			return runTrace(args[1:], os.Stdout)
+		}
+	}
+	return runLaunch(args)
+}
+
+// httpGet fetches one admin-plane URL with a hard deadline.
+func httpGet(url string, timeout time.Duration) ([]byte, error) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
+func runLaunch(args []string) error {
 	fs := flag.NewFlagSet("agentctl", flag.ContinueOnError)
 	var (
 		name      = fs.String("name", "ctl", "this client's protocol name (must be in the nodes' peer lists)")

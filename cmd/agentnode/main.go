@@ -22,24 +22,30 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/demo"
+	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/stable"
 	"repro/internal/stable/wal"
+	"repro/internal/trace"
 	"repro/internal/txn"
 )
 
@@ -65,6 +71,8 @@ func run(args []string) error {
 		storeKind = fs.String("store", "wal", "stable storage engine: wal (log-structured segments + checkpoints, recommended), file (one file per key), mem (volatile, testing only)")
 		segSize   = fs.Int64("wal-segment", 0, "wal engine: segment rotation size in bytes (0 = default 4 MiB)")
 		ckptEvery = fs.Int64("wal-checkpoint", 0, "wal engine: bytes appended between index checkpoints (0 = default 1 MiB, negative disables)")
+		obsAddr   = fs.String("obs-addr", "", "admin-plane listen address serving /metrics, /healthz, /trace and /debug/pprof (empty disables)")
+		traceRing = fs.Int("trace-ring", 0, "causal trace ring size per node (0 = default 16384, negative disables tracing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,12 +80,13 @@ func run(args []string) error {
 	if *name == "" || *listen == "" || *dataDir == "" {
 		return fmt.Errorf("-name, -listen and -data are required")
 	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("node", *name)
 	peers, err := parsePeers(*peersFlag)
 	if err != nil {
 		return err
 	}
 
-	store, err := openStore(*storeKind, *dataDir, *sync, *segSize, *ckptEvery)
+	store, err := openStore(*storeKind, *dataDir, *sync, *segSize, *ckptEvery, logger)
 	if err != nil {
 		return err
 	}
@@ -102,21 +111,65 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	counters := &metrics.Counters{}
+	var tracer *trace.Tracer
+	if *traceRing >= 0 {
+		size := *traceRing
+		if size == 0 {
+			size = trace.DefaultRingSize
+		}
+		tracer = trace.New(*name, size, func() int64 { return time.Now().UnixNano() })
+	}
 	n, err := node.New(node.Config{
 		Name:      *name,
 		Optimized: *optimized,
 		Workers:   *workers,
+		Counters:  counters,
+		Tracer:    tracer,
+		Logger:    logger,
 	}, ep, store, reg, factories...)
 	if err != nil {
 		return err
 	}
 	n.Start()
 	defer n.Stop()
+
+	var obsSrv *http.Server
+	if *obsAddr != "" {
+		obsSrv = &http.Server{
+			Addr: *obsAddr,
+			Handler: obs.Handler(obs.Config{
+				Node:     *name,
+				Counters: counters,
+				Tracer:   tracer,
+				Healthy: func() bool {
+					select {
+					case <-n.Ready():
+						return true
+					default:
+						return false
+					}
+				},
+			}),
+		}
+		go func() {
+			if err := obsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("admin plane failed", "addr", *obsAddr, "err", err)
+			}
+		}()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = obsSrv.Shutdown(ctx)
+		}()
+		logger.Info("admin plane listening", "addr", *obsAddr)
+	}
+
 	<-n.Ready()
-	log.Printf("node %s ready on %s (data %s)", *name, ep.Addr(), *dataDir)
+	logger.Info("node ready", "addr", ep.Addr(), "data", *dataDir)
 
 	if *seedFlag != "" {
-		if err := seed(n, *seedFlag); err != nil {
+		if err := seed(n, *seedFlag, logger); err != nil {
 			return err
 		}
 	}
@@ -124,7 +177,7 @@ func run(args []string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("node %s shutting down", *name)
+	logger.Info("node shutting down")
 	return nil
 }
 
@@ -132,7 +185,7 @@ func run(args []string) error {
 // was written by a different engine is refused rather than silently
 // starting empty — the layouts are disjoint, so the agent queue and
 // resource states would all be invisible.
-func openStore(kind, dataDir string, sync bool, segSize, ckptEvery int64) (stable.Store, error) {
+func openStore(kind, dataDir string, sync bool, segSize, ckptEvery int64, logger *slog.Logger) (stable.Store, error) {
 	hasFileLayout := false
 	if _, err := os.Stat(filepath.Join(dataDir, "kv")); err == nil {
 		hasFileLayout = true
@@ -157,7 +210,7 @@ func openStore(kind, dataDir string, sync bool, segSize, ckptEvery int64) (stabl
 		}
 		return stable.OpenFileStoreWith(dataDir, nil, stable.FileStoreOptions{Sync: sync})
 	case "mem":
-		log.Printf("warning: -store=mem is volatile; a restart loses the input queue and all resource state")
+		logger.Warn("-store=mem is volatile; a restart loses the input queue and all resource state")
 		return stable.NewMemStore(nil), nil
 	default:
 		return nil, fmt.Errorf("unknown -store %q (want wal, file or mem)", kind)
@@ -219,7 +272,7 @@ func parseResources(s string) ([]node.ResourceFactory, error) {
 // seed applies idempotent seeding directives inside local transactions;
 // directives whose target already exists are skipped, so restarts with the
 // same flags are safe.
-func seed(n *node.Node, directives string) error {
+func seed(n *node.Node, directives string, logger *slog.Logger) error {
 	for _, d := range strings.Split(directives, ";") {
 		d = strings.TrimSpace(d)
 		if d == "" {
@@ -240,7 +293,7 @@ func seed(n *node.Node, directives string) error {
 		if err := tx.Commit(); err != nil {
 			return err
 		}
-		log.Printf("seeded: %s", d)
+		logger.Info("seeded", "directive", d)
 	}
 	return nil
 }

@@ -2,10 +2,13 @@ package main
 
 import (
 	"io"
+	"log/slog"
 	"testing"
 
 	"repro/internal/stable"
 )
+
+func testLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }
 
 func TestParsePeers(t *testing.T) {
 	peers, err := parsePeers("a=h1:1, b=h2:2,c=h3:3")
@@ -69,19 +72,19 @@ func TestRunRequiresFlags(t *testing.T) {
 // engine must be refused, never silently started empty.
 func TestOpenStoreLayoutGuard(t *testing.T) {
 	fileDir := t.TempDir()
-	fs, err := openStore("file", fileDir, false, 0, 0)
+	fs, err := openStore("file", fileDir, false, 0, 0, testLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := fs.Apply(stable.Put("k", []byte("v"))); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := openStore("wal", fileDir, false, 0, 0); err == nil {
+	if _, err := openStore("wal", fileDir, false, 0, 0, testLogger()); err == nil {
 		t.Error("wal engine opened a file-store layout")
 	}
 
 	walDir := t.TempDir()
-	ws, err := openStore("wal", walDir, false, 0, 0)
+	ws, err := openStore("wal", walDir, false, 0, 0, testLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,11 +94,11 @@ func TestOpenStoreLayoutGuard(t *testing.T) {
 	if c, ok := ws.(io.Closer); ok {
 		_ = c.Close()
 	}
-	if _, err := openStore("file", walDir, false, 0, 0); err == nil {
+	if _, err := openStore("file", walDir, false, 0, 0, testLogger()); err == nil {
 		t.Error("file engine opened a wal layout")
 	}
 	// Reopening with the matching engine works.
-	ws2, err := openStore("wal", walDir, false, 0, 0)
+	ws2, err := openStore("wal", walDir, false, 0, 0, testLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +109,7 @@ func TestOpenStoreLayoutGuard(t *testing.T) {
 		_ = c.Close()
 	}
 
-	if _, err := openStore("papyrus", t.TempDir(), false, 0, 0); err == nil {
+	if _, err := openStore("papyrus", t.TempDir(), false, 0, 0, testLogger()); err == nil {
 		t.Error("unknown engine accepted")
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 type runReport struct {
@@ -55,7 +56,9 @@ type runReport struct {
 	AgentsPerSec  float64 `json:"agents_per_sec"`
 	StepsPerSec   float64 `json:"steps_per_sec"`
 	P50MS         float64 `json:"p50_ms"`
+	P90MS         float64 `json:"p90_ms"`
 	P99MS         float64 `json:"p99_ms"`
+	P999MS        float64 `json:"p999_ms"`
 	InFlightPeak  int64   `json:"inflight_peak"`
 	GoroutinePeak int     `json:"goroutine_peak"`
 	ClaimConflict int64   `json:"claim_conflicts"`
@@ -73,8 +76,13 @@ type runReport struct {
 	// NetBatchSize is the frames-per-batch histogram, keyed by bucket
 	// label ("1", "2-2", "3-4", ..., ">64").
 	NetBatchSize map[string]int64 `json:"net_batch_size,omitempty"`
-	// WireBytesByKind is payload bytes on the wire per message kind.
+	// StepLatencyBuckets is the raw step-latency reservoir histogram,
+	// keyed by bucket label ("le_1ms", ..., "inf"); empty cells omitted.
+	StepLatencyBuckets map[string]int64 `json:"step_latency_buckets,omitempty"`
+	// WireBytesByKind is payload bytes on the wire per message kind;
+	// WireMsgsByKind the matching message counts.
 	WireBytesByKind map[string]int64 `json:"wire_bytes_by_kind,omitempty"`
+	WireMsgsByKind  map[string]int64 `json:"wire_msgs_by_kind,omitempty"`
 }
 
 func main() {
@@ -101,6 +109,8 @@ func run(args []string) error {
 	storeSweep := fs.Bool("storesweep", false, "run the full backend sweep (mem, file, wal) per worker count")
 	sweep := fs.String("sweep", "", "comma-separated worker counts to sweep (overrides -workers)")
 	jsonPath := fs.String("json", "", "write the reports as JSON to this file")
+	tracePath := fs.String("trace", "", "write the final run's causal trace as Chrome trace_event JSON (open in chrome://tracing or Perfetto)")
+	noTrace := fs.Bool("notrace", false, "disable the per-node trace rings (tracing is on by default; used to measure its overhead)")
 	chaosMode := fs.Bool("chaos", false, "run the seeded fault-injection harness instead of the plain load")
 	chaosSeed := fs.Int64("chaos-seed", -1, "chaos: replay exactly this seed (prints the schedule)")
 	chaosSeeds := fs.Int("chaos-seeds", 5, "chaos: number of consecutive seeds to sweep")
@@ -141,7 +151,16 @@ func run(args []string) error {
 		backends = experiments.StoreBackends
 	}
 
+	traceRing := 0
+	if *noTrace {
+		if *tracePath != "" {
+			return fmt.Errorf("-trace and -notrace are mutually exclusive")
+		}
+		traceRing = -1
+	}
+
 	var reports []runReport
+	var lastTrace []trace.Record
 	for _, w := range counts {
 		for _, backend := range backends {
 			res, err := experiments.RunThroughput(experiments.ThroughputConfig{
@@ -157,6 +176,8 @@ func run(args []string) error {
 				Store:         backend,
 				WireGob:       *wireFmt == "gob",
 				NoCoalesce:    *noBatch,
+				TraceRing:     traceRing,
+				CollectTrace:  *tracePath != "",
 			})
 			if err != nil {
 				return err
@@ -175,7 +196,9 @@ func run(args []string) error {
 				AgentsPerSec:   res.AgentsPerSec,
 				StepsPerSec:    res.StepsPerSec,
 				P50MS:          float64(res.P50.Microseconds()) / 1000,
+				P90MS:          float64(res.Latency.P90.Microseconds()) / 1000,
 				P99MS:          float64(res.P99.Microseconds()) / 1000,
+				P999MS:         float64(res.Latency.P999.Microseconds()) / 1000,
 				InFlightPeak:   res.Metrics.SchedInFlightPeak,
 				GoroutinePeak:  res.GoroutinePeak,
 				ClaimConflict:  res.Metrics.SchedClaimConflicts,
@@ -197,7 +220,15 @@ func run(args []string) error {
 					r.NetBatchSize[metrics.BatchBucketLabel(i)] = n
 				}
 			}
+			r.StepLatencyBuckets = make(map[string]int64)
+			for i, n := range res.Latency.Buckets {
+				if n > 0 {
+					r.StepLatencyBuckets[metrics.LatencyBucketLabel(i)] = n
+				}
+			}
 			r.WireBytesByKind = res.Metrics.WireBytesByKind
+			r.WireMsgsByKind = res.Metrics.WireMsgsByKind
+			lastTrace = res.TraceRecords
 			reports = append(reports, r)
 			fmt.Printf("workers=%-3d store=%-4s wire=%-6s agents/s=%-8.1f steps/s=%-8.1f p50=%6.2fms p99=%7.2fms elapsed=%7.1fms inflight=%-3d goroutines=%-4d claimConf=%-4d lockAborts=%-3d retries=%-4d msgs=%-6d avgBatch=%.2f\n",
 				r.Workers, r.Store, r.Wire, r.AgentsPerSec, r.StepsPerSec, r.P50MS, r.P99MS, r.ElapsedMS,
@@ -219,7 +250,30 @@ func run(args []string) error {
 		}
 		fmt.Printf("wrote %d report(s) to %s\n", len(reports), *jsonPath)
 	}
+	if *tracePath != "" {
+		if err := writeChromeTrace(*tracePath, lastTrace); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace records to %s (open in chrome://tracing)\n", len(lastTrace), *tracePath)
+	}
 	return nil
+}
+
+// writeChromeTrace exports the run's causal trace in Chrome trace_event
+// format and re-validates the written bytes, so a malformed export fails
+// the run instead of silently producing a file chrome://tracing rejects.
+func writeChromeTrace(path string, rs []trace.Record) error {
+	if len(rs) == 0 {
+		return fmt.Errorf("-trace: run produced no trace records")
+	}
+	var buf strings.Builder
+	if err := trace.WriteChromeTrace(&buf, rs); err != nil {
+		return fmt.Errorf("-trace: %w", err)
+	}
+	if err := trace.ValidateChromeTrace([]byte(buf.String())); err != nil {
+		return fmt.Errorf("-trace: generated file failed validation: %w", err)
+	}
+	return os.WriteFile(path, []byte(buf.String()), 0o644)
 }
 
 type chaosConfig struct {

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -146,10 +147,13 @@ func TestChaosScheduleDeterministic(t *testing.T) {
 }
 
 // TestChaosDetectsInjectedViolation: a deliberately skipped compensation
-// must surface as a conservation violation, and the failing seed must
-// reproduce the identical schedule and verdict — the property the CI
-// repro command relies on.
+// must surface as a conservation violation, the run must produce a
+// causal per-agent post-mortem (written to CHAOS_ARTIFACT_DIR), and the
+// failing seed must reproduce the identical schedule and verdict — the
+// property the CI repro command relies on.
 func TestChaosDetectsInjectedViolation(t *testing.T) {
+	artifacts := t.TempDir()
+	t.Setenv("CHAOS_ARTIFACT_DIR", artifacts)
 	opts := chaos.Options{
 		Seed:             9,
 		Agents:           4,
@@ -174,6 +178,27 @@ func TestChaosDetectsInjectedViolation(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("no conservation violation among %v", first.Violations)
+	}
+
+	// The violated run must carry a causal post-mortem naming, for each
+	// implicated agent, its last transaction and last protocol state
+	// edge, and the same text must land as a timeline artifact.
+	if first.PostMortem == "" {
+		t.Fatal("violated run produced no post-mortem")
+	}
+	// Transaction IDs are "<node>#<seq>", so "last txn w" pins an
+	// actual offending txn ID, not just the label.
+	for _, want := range []string{"agent chaos0000", "last txn w", "#", "last edge", "→"} {
+		if !strings.Contains(first.PostMortem, want) {
+			t.Errorf("post-mortem missing %q:\n%s", want, first.PostMortem)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(artifacts, "seed-9-mem-w1-timeline.txt"))
+	if err != nil {
+		t.Fatalf("timeline artifact not written: %v", err)
+	}
+	if string(data) != first.PostMortem {
+		t.Error("timeline artifact differs from Result.PostMortem")
 	}
 
 	second, err := chaos.Run(opts)

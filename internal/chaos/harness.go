@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/agent"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/resource"
 	"repro/internal/stable"
 	"repro/internal/stable/wal"
+	"repro/internal/trace"
 	"repro/internal/txn"
 )
 
@@ -107,6 +109,13 @@ type Result struct {
 	Violations []Violation
 	Metrics    metrics.Snapshot  // counter diff over the run
 	Faults     network.LinkStats // injected message-fault totals
+	// PostMortem is the causal per-agent timeline dump built from the
+	// cluster's trace rings when any invariant was violated: one block
+	// per implicated agent with its last transaction, last protocol
+	// state edge and timeline tail. Empty on clean runs. It is derived
+	// from wall-clock trace timestamps and therefore NOT part of the
+	// deterministic replay contract (Schedule and Violations are).
+	PostMortem string
 }
 
 // Failed reports whether any invariant was violated.
@@ -130,6 +139,8 @@ const (
 )
 
 func nodeName(i int) string { return fmt.Sprintf("w%d", i) }
+
+func agentID(i int) string { return fmt.Sprintf("chaos%04d", i) }
 
 // storeFactory mirrors the experiment harness's backend selector (chaos
 // cannot import experiments: experiments imports chaos for its table).
@@ -300,11 +311,11 @@ func run(opts Options, fixed *Schedule) (*Result, error) {
 			timedOut = true
 		}
 	}
+	var stuck []string
 	if timedOut {
-		var stuck []int
 		for i, ok := range got {
 			if !ok {
-				stuck = append(stuck, i)
+				stuck = append(stuck, agentID(i))
 			}
 		}
 		res.Violations = append(res.Violations, Violation{
@@ -339,7 +350,51 @@ func run(opts Options, fixed *Schedule) (*Result, error) {
 		return nil, err
 	}
 	sortViolations(res.Violations)
+	if res.Failed() {
+		// A progress violation focuses the dump on the stuck agents;
+		// any other violation dumps every agent with trace records.
+		res.PostMortem = buildPostMortem(cl, res, stuck)
+		writeTimelineArtifact(opts, res)
+	}
 	return res, nil
+}
+
+// buildPostMortem renders the causal per-agent timelines from the
+// cluster's trace rings (which outlive cluster shutdown). agents nil
+// means every agent that left records.
+func buildPostMortem(cl *cluster.Cluster, res *Result, agents []string) string {
+	rs := cl.TraceRecords()
+	if len(rs) == 0 {
+		return ""
+	}
+	pms := trace.BuildPostMortem(rs, agents)
+	if len(pms) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "causal post-mortem: seed %d, %d violation(s)\n", res.Seed, len(res.Violations))
+	for _, v := range res.Violations {
+		sb.WriteString("  " + v.String() + "\n")
+	}
+	sb.WriteString("\n")
+	trace.WritePostMortem(&sb, pms)
+	return sb.String()
+}
+
+// writeTimelineArtifact saves the post-mortem next to the schedule
+// artifact CI already collects (CHAOS_ARTIFACT_DIR), so a failing seed's
+// causal timelines outlive the job log. Best-effort: artifact I/O must
+// never mask the violation itself.
+func writeTimelineArtifact(opts Options, res *Result) {
+	dir := os.Getenv("CHAOS_ARTIFACT_DIR")
+	if dir == "" || res.PostMortem == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	name := filepath.Join(dir, fmt.Sprintf("seed-%d-%s-w%d-timeline.txt", opts.Seed, opts.Store, opts.Workers))
+	_ = os.WriteFile(name, []byte(res.PostMortem), 0o644)
 }
 
 // genConfig threads the run's node names into the generator bounds.
@@ -442,7 +497,7 @@ func registerWorkload(cl *cluster.Cluster, opts Options) error {
 // launchAgent builds and launches agent i: Steps work steps round-robin
 // over the nodes plus a final decide step back at its start node.
 func launchAgent(cl *cluster.Cluster, i int, rollback bool, opts Options) (<-chan cluster.Result, error) {
-	id := fmt.Sprintf("chaos%04d", i)
+	id := agentID(i)
 	start := i % opts.Nodes
 	sub := &itinerary.Sub{ID: "job-" + id}
 	for s := 0; s < opts.Steps; s++ {

@@ -24,6 +24,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/node"
 	"repro/internal/stable"
+	"repro/internal/trace"
 	"repro/internal/txn"
 )
 
@@ -83,6 +84,12 @@ type Options struct {
 	// nil uses the wall clock. A network.VirtualClock makes both
 	// manually advanceable (deterministic deadline order).
 	Clock network.Clock
+	// TraceRing sizes each node's causal-trace ring buffer: 0 keeps
+	// tracing on at trace.DefaultRingSize, a positive value overrides
+	// the ring size, and a negative value disables tracing entirely.
+	// Tracers are stamped from Clock and survive Crash/Recover, so a
+	// node's timeline spans simulated reboots.
+	TraceRing int
 }
 
 // Result is the final outcome of one agent delivered to the collector.
@@ -110,6 +117,7 @@ type Cluster struct {
 
 	mu      sync.Mutex
 	nodes   map[string]*nodeState
+	tracers map[string]*trace.Tracer
 	results map[string]chan Result
 	started bool
 
@@ -138,6 +146,7 @@ func New(opts Options) *Cluster {
 		registry: agent.NewRegistry(),
 		counters: opts.Counters,
 		nodes:    make(map[string]*nodeState),
+		tracers:  make(map[string]*trace.Tracer),
 		results:  make(map[string]chan Result),
 		stop:     make(chan struct{}),
 	}
@@ -246,6 +255,7 @@ func (c *Cluster) bootNode(name string) error {
 		NoCoalesce:   c.opts.NoCoalesce,
 		Clock:        c.opts.Clock,
 		Counters:     c.counters,
+		Tracer:       c.nodeTracer(name),
 	}
 	if c.opts.NodeOverride != nil {
 		c.opts.NodeOverride(name, &cfg)
@@ -260,6 +270,56 @@ func (c *Cluster) bootNode(name string) error {
 	c.mu.Unlock()
 	n.Start()
 	return nil
+}
+
+// nodeTracer returns the node's trace ring, creating it on first boot
+// and reusing it across Crash/Recover so timelines span reboots.
+// Returns nil when Options.TraceRing is negative.
+func (c *Cluster) nodeTracer(name string) *trace.Tracer {
+	if c.opts.TraceRing < 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tr, ok := c.tracers[name]; ok {
+		return tr
+	}
+	now := func() int64 { return time.Now().UnixNano() }
+	if clk := c.opts.Clock; clk != nil {
+		now = func() int64 { return clk.Now().UnixNano() }
+	}
+	size := c.opts.TraceRing
+	if size == 0 {
+		size = trace.DefaultRingSize
+	}
+	tr := trace.New(name, size, now)
+	c.tracers[name] = tr
+	return tr
+}
+
+// Tracer returns the named node's trace ring, or nil when tracing is
+// disabled or the node never booted.
+func (c *Cluster) Tracer(name string) *trace.Tracer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tracers[name]
+}
+
+// TraceRecords merges every node's ring snapshot into one causally
+// sorted record slice — the input for timeline reconstruction and the
+// trace exporters.
+func (c *Cluster) TraceRecords() []trace.Record {
+	c.mu.Lock()
+	tracers := make([]*trace.Tracer, 0, len(c.tracers))
+	for _, tr := range c.tracers {
+		tracers = append(tracers, tr)
+	}
+	c.mu.Unlock()
+	snaps := make([][]trace.Record, len(tracers))
+	for i, tr := range tracers {
+		snaps[i] = tr.Snapshot()
+	}
+	return trace.Merge(snaps...)
 }
 
 // AwaitReady blocks until every running node finished recovery.

@@ -15,6 +15,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/resource"
 	"repro/internal/stable"
+	"repro/internal/trace"
 	"repro/internal/txn"
 )
 
@@ -56,6 +57,13 @@ type ThroughputConfig struct {
 	// Timeout bounds the whole run; zero uses the experiment default
 	// (large load points under the race detector need more).
 	Timeout time.Duration
+	// TraceRing sizes the per-node causal trace rings
+	// (cluster.Options.TraceRing: 0 = default on, negative disables).
+	TraceRing int
+	// CollectTrace copies the merged trace records into
+	// ThroughputResult.TraceRecords after the run (they are dropped
+	// otherwise — a full sweep's records would dwarf the report).
+	CollectTrace bool
 }
 
 func (cfg *ThroughputConfig) fillDefaults() {
@@ -82,12 +90,18 @@ type ThroughputResult struct {
 	AgentsPerSec float64
 	StepsPerSec  float64
 	P50, P99     time.Duration // successful step-attempt latency
+	// Latency carries the full distribution behind the P50/P99
+	// convenience fields: p90/p999 and the reservoir histogram.
+	Latency metrics.LatencySummary
 	// GoroutinePeak is the peak runtime.NumGoroutine observed while the
 	// agents were in flight. The event-driven protocol core keeps it
 	// O(nodes × workers) — independent of the number of in-flight
 	// agents/transactions, which previously each cost a polling cycle.
 	GoroutinePeak int
 	Metrics       metrics.Snapshot
+	// TraceRecords is the merged causal trace of the run, populated only
+	// when ThroughputConfig.CollectTrace is set.
+	TraceRecords []trace.Record
 }
 
 const tputDeposit = 1
@@ -124,6 +138,7 @@ func BuildThroughputCluster(cfg ThroughputConfig) (*cluster.Cluster, error) {
 		NoCoalesce:   cfg.NoCoalesce,
 		Counters:     counters,
 		StoreFactory: factory,
+		TraceRing:    cfg.TraceRing,
 	})
 	for i := 0; i < cfg.Nodes; i++ {
 		var factories []node.ResourceFactory
@@ -347,16 +362,22 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 		return ThroughputResult{}, fmt.Errorf("throughput: sink total %d, want %d (exactly-once violated)", total, want)
 	}
 
-	p50, p99, _ := cl.Counters().StepLatency()
+	var recs []trace.Record
+	if cfg.CollectTrace {
+		recs = cl.TraceRecords()
+	}
+	lat := cl.Counters().StepLatency()
 	sec := elapsed.Seconds()
 	return ThroughputResult{
 		Elapsed:       elapsed,
 		AgentsPerSec:  float64(cfg.Agents) / sec,
 		StepsPerSec:   float64(cfg.Agents*cfg.Steps) / sec,
-		P50:           p50,
-		P99:           p99,
+		P50:           lat.P50,
+		P99:           lat.P99,
+		Latency:       lat,
 		GoroutinePeak: gorPeak,
 		Metrics:       cl.Counters().Snapshot().Sub(before),
+		TraceRecords:  recs,
 	}, nil
 }
 

@@ -61,6 +61,7 @@ type Counters struct {
 
 	wireMu          sync.Mutex
 	wireBytesByKind map[string]int64
+	wireMsgsByKind  map[string]int64
 
 	// Protocol core (internal/protocol driven by internal/node)
 	// instrumentation.
@@ -117,6 +118,7 @@ type Snapshot struct {
 	NetBatchedMsgs  int64                            // messages carried inside those batches
 	NetBatchSize    [len(BatchSizeBuckets) + 1]int64 // frames-per-batch histogram (see BatchSizeBuckets)
 	WireBytesByKind map[string]int64                 // payload bytes on the wire per message kind
+	WireMsgsByKind  map[string]int64                 // messages on the wire per message kind
 
 	ProtocolTransitions int64 // protocol state-machine events processed
 	TimersArmed         int64 // protocol timers armed on the wheel
@@ -247,13 +249,17 @@ func (c *Counters) ObserveNetBatch(frames int) {
 	c.netBatchHist[i].Add(1)
 }
 
-// AddWireBytes attributes n wire bytes to one message kind.
+// AddWireBytes attributes one wire message of n payload bytes to its
+// message kind (every transport calls it exactly once per message, so
+// it also maintains the per-kind message counts).
 func (c *Counters) AddWireBytes(kind string, n int64) {
 	c.wireMu.Lock()
 	if c.wireBytesByKind == nil {
 		c.wireBytesByKind = make(map[string]int64)
+		c.wireMsgsByKind = make(map[string]int64)
 	}
 	c.wireBytesByKind[kind] += n
+	c.wireMsgsByKind[kind]++
 	c.wireMu.Unlock()
 }
 
@@ -322,22 +328,61 @@ func (c *Counters) StepFinished(d time.Duration, ok bool) {
 // InFlight returns the number of steps currently executing.
 func (c *Counters) InFlight() int64 { return c.inFlight.Load() }
 
-// StepLatency reports the p50 and p99 of the most recent successful step
-// executions (bounded reservoir) and the total number observed.
-func (c *Counters) StepLatency() (p50, p99 time.Duration, n int64) {
+// LatencyBuckets holds the upper bounds of the step-latency histogram
+// cells; observations above the last bound land in the overflow cell.
+var LatencyBuckets = [...]time.Duration{
+	100 * time.Microsecond, 300 * time.Microsecond,
+	time.Millisecond, 3 * time.Millisecond, 10 * time.Millisecond,
+	30 * time.Millisecond, 100 * time.Millisecond, 300 * time.Millisecond,
+	time.Second, 3 * time.Second,
+}
+
+// LatencyBucketLabel returns a stable label for histogram cell i, e.g.
+// "le_3ms" or "inf" for the overflow cell.
+func LatencyBucketLabel(i int) string {
+	if i >= len(LatencyBuckets) {
+		return "inf"
+	}
+	return "le_" + LatencyBuckets[i].String()
+}
+
+// LatencySummary describes the distribution of the most recent
+// successful step executions, computed from a bounded reservoir.
+type LatencySummary struct {
+	P50, P90, P99, P999 time.Duration
+	Count               int64 // total observations, not bounded by the reservoir
+	// Buckets is the reservoir histogram: cell i counts observations
+	// ≤ LatencyBuckets[i]; the final cell is unbounded.
+	Buckets [len(LatencyBuckets) + 1]int64
+}
+
+// StepLatency reports percentiles and a histogram of the most recent
+// successful step executions (bounded reservoir) plus the total number
+// observed.
+func (c *Counters) StepLatency() LatencySummary {
 	c.latMu.Lock()
 	buf := append([]time.Duration(nil), c.latRing...)
-	n = c.latCount
+	n := c.latCount
 	c.latMu.Unlock()
+	sum := LatencySummary{Count: n}
 	if len(buf) == 0 {
-		return 0, 0, n
+		return sum
 	}
 	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
 	pct := func(p float64) time.Duration {
 		i := int(p * float64(len(buf)-1))
 		return buf[i]
 	}
-	return pct(0.50), pct(0.99), n
+	sum.P50, sum.P90, sum.P99, sum.P999 = pct(0.50), pct(0.90), pct(0.99), pct(0.999)
+	// buf is sorted, so walk the bucket bounds in lockstep.
+	b := 0
+	for _, d := range buf {
+		for b < len(LatencyBuckets) && d > LatencyBuckets[b] {
+			b++
+		}
+		sum.Buckets[b]++
+	}
+	return sum
 }
 
 func peakMax(peak *atomic.Int64, n int64) {
@@ -356,19 +401,15 @@ func (c *Counters) Snapshot() Snapshot {
 		hist[i] = c.netBatchHist[i].Load()
 	}
 	c.wireMu.Lock()
-	var byKind map[string]int64
-	if len(c.wireBytesByKind) > 0 {
-		byKind = make(map[string]int64, len(c.wireBytesByKind))
-		for k, v := range c.wireBytesByKind {
-			byKind[k] = v
-		}
-	}
+	bytesByKind := copyKindMap(c.wireBytesByKind)
+	msgsByKind := copyKindMap(c.wireMsgsByKind)
 	c.wireMu.Unlock()
 	return Snapshot{
 		NetBatches:      c.netBatches.Load(),
 		NetBatchedMsgs:  c.netBatchedMsgs.Load(),
 		NetBatchSize:    hist,
-		WireBytesByKind: byKind,
+		WireBytesByKind: bytesByKind,
+		WireMsgsByKind:  msgsByKind,
 
 		Messages:          c.messages.Load(),
 		BytesSent:         c.bytesSent.Load(),
@@ -413,31 +454,55 @@ func (c *Counters) Snapshot() Snapshot {
 	}
 }
 
+// copyKindMap returns a copy of m, or nil if m is empty.
+func copyKindMap(m map[string]int64) map[string]int64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// subKindMap returns the per-key difference s - o, dropping zero deltas
+// and negating keys present only in o. Returns nil when every delta is
+// zero (or both maps are empty) so that equal snapshots diff to the
+// zero Snapshot.
+func subKindMap(s, o map[string]int64) map[string]int64 {
+	if len(s) == 0 && len(o) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(s))
+	for k, v := range s {
+		if d := v - o[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	for k, v := range o {
+		if _, ok := s[k]; !ok && v != 0 {
+			out[k] = -v
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
 // Sub returns the component-wise difference s - o.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
 	var hist [len(BatchSizeBuckets) + 1]int64
 	for i := range hist {
 		hist[i] = s.NetBatchSize[i] - o.NetBatchSize[i]
 	}
-	var byKind map[string]int64
-	if len(s.WireBytesByKind) > 0 || len(o.WireBytesByKind) > 0 {
-		byKind = make(map[string]int64, len(s.WireBytesByKind))
-		for k, v := range s.WireBytesByKind {
-			if d := v - o.WireBytesByKind[k]; d != 0 {
-				byKind[k] = d
-			}
-		}
-		for k, v := range o.WireBytesByKind {
-			if _, ok := s.WireBytesByKind[k]; !ok && v != 0 {
-				byKind[k] = -v
-			}
-		}
-	}
 	return Snapshot{
 		NetBatches:      s.NetBatches - o.NetBatches,
 		NetBatchedMsgs:  s.NetBatchedMsgs - o.NetBatchedMsgs,
 		NetBatchSize:    hist,
-		WireBytesByKind: byKind,
+		WireBytesByKind: subKindMap(s.WireBytesByKind, o.WireBytesByKind),
+		WireMsgsByKind:  subKindMap(s.WireMsgsByKind, o.WireMsgsByKind),
 
 		Messages:          s.Messages - o.Messages,
 		BytesSent:         s.BytesSent - o.BytesSent,

@@ -64,9 +64,12 @@ func TestWireAndBatchCounters(t *testing.T) {
 	if s.WireBytesByKind["q.prepare"] != 100 || s.WireBytesByKind["q.commit"] != 8 {
 		t.Errorf("byKind = %v", s.WireBytesByKind)
 	}
+	if s.WireMsgsByKind["q.prepare"] != 2 || s.WireMsgsByKind["q.commit"] != 1 {
+		t.Errorf("msgsByKind = %v", s.WireMsgsByKind)
+	}
 
 	d := c.Snapshot().Sub(s)
-	if d.NetBatches != 0 || len(d.WireBytesByKind) != 0 {
+	if d.NetBatches != 0 || len(d.WireBytesByKind) != 0 || len(d.WireMsgsByKind) != 0 {
 		t.Errorf("self-diff not empty: %+v", d)
 	}
 	c.ObserveNetBatch(2)
@@ -75,11 +78,50 @@ func TestWireAndBatchCounters(t *testing.T) {
 	if d.NetBatches != 1 || d.NetBatchSize[1] != 1 || d.WireBytesByKind["q.commit"] != 5 {
 		t.Errorf("diff = %+v", d)
 	}
+	if d.WireMsgsByKind["q.commit"] != 1 || len(d.WireMsgsByKind) != 1 {
+		t.Errorf("msg diff = %v", d.WireMsgsByKind)
+	}
 	if lbl := BatchBucketLabel(0); lbl != "1" {
 		t.Errorf("label 0 = %q", lbl)
 	}
 	if lbl := BatchBucketLabel(len(BatchSizeBuckets)); lbl != ">64" {
 		t.Errorf("overflow label = %q", lbl)
+	}
+}
+
+// TestKindMapSubEdgeCases pins the Snapshot/Sub map-diff semantics both
+// per-kind maps share: zero deltas are dropped, keys present only in
+// the subtrahend come back negated, and an all-zero diff is nil so that
+// equal snapshots compare equal to the zero Snapshot.
+func TestKindMapSubEdgeCases(t *testing.T) {
+	s := Snapshot{
+		WireBytesByKind: map[string]int64{"a": 10, "b": 5, "zero": 0},
+		WireMsgsByKind:  map[string]int64{"a": 2, "b": 5},
+	}
+	o := Snapshot{
+		WireBytesByKind: map[string]int64{"a": 4, "only-o": 7, "ghost": 0},
+		WireMsgsByKind:  map[string]int64{"a": 2, "b": 1},
+	}
+	d := s.Sub(o)
+	wantBytes := map[string]int64{"a": 6, "b": 5, "only-o": -7}
+	if !reflect.DeepEqual(d.WireBytesByKind, wantBytes) {
+		t.Errorf("bytes diff = %v, want %v", d.WireBytesByKind, wantBytes)
+	}
+	// "a" has a zero message delta and must be dropped.
+	wantMsgs := map[string]int64{"b": 4}
+	if !reflect.DeepEqual(d.WireMsgsByKind, wantMsgs) {
+		t.Errorf("msgs diff = %v, want %v", d.WireMsgsByKind, wantMsgs)
+	}
+	// Symmetry: an all-zero diff yields nil maps, never an empty map.
+	if d := s.Sub(s); d.WireBytesByKind != nil || d.WireMsgsByKind != nil {
+		t.Errorf("self-diff maps not nil: %+v", d)
+	}
+	// One side entirely empty: the other side's values pass through.
+	if d := s.Sub(Snapshot{}); d.WireBytesByKind["b"] != 5 || d.WireMsgsByKind["a"] != 2 {
+		t.Errorf("empty-o diff = %+v", d)
+	}
+	if d := (Snapshot{}).Sub(s); d.WireBytesByKind["b"] != -5 || d.WireMsgsByKind["a"] != -2 {
+		t.Errorf("empty-s diff = %+v", d)
 	}
 }
 
@@ -172,22 +214,58 @@ func TestSchedulerCounters(t *testing.T) {
 
 func TestStepLatencyPercentiles(t *testing.T) {
 	var c Counters
-	if p50, p99, n := c.StepLatency(); p50 != 0 || p99 != 0 || n != 0 {
-		t.Errorf("empty latency = %v %v %d", p50, p99, n)
+	if s := c.StepLatency(); s != (LatencySummary{}) {
+		t.Errorf("empty latency = %+v", s)
 	}
-	for i := 1; i <= 100; i++ {
+	for i := 1; i <= 1000; i++ {
 		c.StepStarted()
 		c.StepFinished(time.Duration(i)*time.Millisecond, true)
 	}
-	p50, p99, n := c.StepLatency()
-	if n != 100 {
-		t.Errorf("n = %d", n)
+	s := c.StepLatency()
+	if s.Count != 1000 {
+		t.Errorf("n = %d", s.Count)
 	}
-	if p50 < 45*time.Millisecond || p50 > 55*time.Millisecond {
-		t.Errorf("p50 = %v", p50)
+	if s.P50 < 450*time.Millisecond || s.P50 > 550*time.Millisecond {
+		t.Errorf("p50 = %v", s.P50)
 	}
-	if p99 < 95*time.Millisecond || p99 > 100*time.Millisecond {
-		t.Errorf("p99 = %v", p99)
+	if s.P90 < 850*time.Millisecond || s.P90 > 950*time.Millisecond {
+		t.Errorf("p90 = %v", s.P90)
+	}
+	if s.P99 < 950*time.Millisecond || s.P99 > time.Second {
+		t.Errorf("p99 = %v", s.P99)
+	}
+	if s.P999 < s.P99 || s.P999 > time.Second {
+		t.Errorf("p999 = %v", s.P999)
+	}
+	var total int64
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total != 1000 {
+		t.Errorf("bucket total = %d, want 1000 (buckets %v)", total, s.Buckets)
+	}
+}
+
+func TestStepLatencyBuckets(t *testing.T) {
+	var c Counters
+	obs := func(d time.Duration) {
+		c.StepStarted()
+		c.StepFinished(d, true)
+	}
+	obs(50 * time.Microsecond)  // cell 0 (≤100µs)
+	obs(100 * time.Microsecond) // cell 0 (boundary is inclusive)
+	obs(2 * time.Millisecond)   // cell 3 (≤3ms)
+	obs(time.Minute)            // overflow cell
+	s := c.StepLatency()
+	last := len(s.Buckets) - 1
+	if s.Buckets[0] != 2 || s.Buckets[3] != 1 || s.Buckets[last] != 1 {
+		t.Errorf("buckets = %v", s.Buckets)
+	}
+	if lbl := LatencyBucketLabel(3); lbl != "le_3ms" {
+		t.Errorf("label 3 = %q", lbl)
+	}
+	if lbl := LatencyBucketLabel(last); lbl != "inf" {
+		t.Errorf("overflow label = %q", lbl)
 	}
 }
 
@@ -197,8 +275,15 @@ func TestStepLatencyRingBounded(t *testing.T) {
 		c.StepStarted()
 		c.StepFinished(time.Millisecond, true)
 	}
-	_, _, n := c.StepLatency()
-	if n != int64(latRingSize+100) {
-		t.Errorf("count = %d", n)
+	s := c.StepLatency()
+	if s.Count != int64(latRingSize+100) {
+		t.Errorf("count = %d", s.Count)
+	}
+	var resident int64
+	for _, n := range s.Buckets {
+		resident += n
+	}
+	if resident != int64(latRingSize) {
+		t.Errorf("reservoir holds %d samples, want %d", resident, latRingSize)
 	}
 }

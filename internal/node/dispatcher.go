@@ -5,6 +5,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/network"
 	"repro/internal/protocol"
+	"repro/internal/trace"
 	"repro/internal/txn"
 	"repro/internal/wire"
 )
@@ -52,9 +53,24 @@ func (n *Node) step(ev protocol.Event) {
 // (StageEntry, ResolveStaged outcomes) join the enclosing batch rather
 // than flushing early.
 func (n *Node) stepInto(ev protocol.Event, b *outBatch) {
+	tr := n.cfg.Tracer
+	var name, txnID, agentID, before string
+	if tr != nil {
+		name, txnID, agentID = protocol.EventInfo(ev)
+	}
 	n.pmu.Lock()
+	if tr != nil {
+		before = n.machine.StateOf(txnID, agentID)
+	}
 	effs := n.machine.Step(ev)
+	var after string
+	if tr != nil {
+		after = n.machine.StateOf(txnID, agentID)
+	}
 	n.pmu.Unlock()
+	if tr != nil {
+		tr.Rec(trace.OpTransition, txnID, agentID, name, before, after, int64(len(effs)))
+	}
 	if n.cfg.Counters != nil {
 		n.cfg.Counters.IncProtocolTransition()
 	}
@@ -65,6 +81,10 @@ func (n *Node) stepInto(ev protocol.Event, b *outBatch) {
 
 // onTimer is the wheel's fire callback: a timer event like any other.
 func (n *Node) onTimer(id string) {
+	if tr := n.cfg.Tracer; tr != nil {
+		txnID, agentID := protocol.TimerInfo(id)
+		tr.Rec(trace.OpTimerFire, txnID, agentID, id, "", "", 0)
+	}
 	n.step(protocol.TimerFired{ID: id})
 }
 
@@ -75,6 +95,9 @@ func (n *Node) onTimer(id string) {
 // through protocol.Decode, which accepts both the binary fast path and
 // legacy gob — the node never needs to know which format a peer runs.
 func (n *Node) handle(msg network.Message) {
+	if tr := n.cfg.Tracer; tr != nil {
+		tr.Rec(trace.OpWireRecv, "", "", msg.Kind, msg.From, "", int64(len(msg.Payload)))
+	}
 	switch msg.Kind {
 	case protocol.KindEnqueuePrepare:
 		var req protocol.PrepareMsg
@@ -205,10 +228,18 @@ func (n *Node) applyEffect(eff protocol.Effect, b *outBatch) {
 	case protocol.DropDone:
 		_ = n.store.Apply(stableDelDone(e.AgentID))
 	case protocol.ArmTimer:
+		if tr := n.cfg.Tracer; tr != nil {
+			txnID, agentID := protocol.TimerInfo(e.ID)
+			tr.Rec(trace.OpTimerArm, txnID, agentID, e.ID, "", "", int64(e.D))
+		}
 		if n.wheel != nil {
 			n.wheel.Schedule(e.ID, e.D)
 		}
 	case protocol.CancelTimer:
+		if tr := n.cfg.Tracer; tr != nil {
+			txnID, agentID := protocol.TimerInfo(e.ID)
+			tr.Rec(trace.OpTimerCancel, txnID, agentID, e.ID, "", "", 0)
+		}
 		if n.wheel != nil {
 			n.wheel.Cancel(e.ID)
 		}

@@ -40,6 +40,7 @@ package node
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 	"time"
@@ -52,6 +53,7 @@ import (
 	"repro/internal/resource"
 	"repro/internal/sched"
 	"repro/internal/stable"
+	"repro/internal/trace"
 	"repro/internal/txn"
 	"repro/internal/wire"
 )
@@ -103,6 +105,16 @@ type Config struct {
 	Clock network.Clock
 	// Counters receives metrics; may be nil.
 	Counters *metrics.Counters
+	// Tracer receives the node's causal event records: every protocol
+	// transition, timer arm/fire/cancel, wire send/receive/batch-flush,
+	// and stable-transaction outcome. May be nil (all record calls are
+	// nil-safe and free). Build it over the same Clock as the node so
+	// traces are deterministic under a VirtualClock.
+	Tracer *trace.Tracer
+	// Logger receives structured runtime events (permanent agent
+	// failures, recovery problems) with node/agent/txn attributes; nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 func (c *Config) fillDefaults() {
@@ -123,6 +135,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Clock == nil {
 		c.Clock = network.WallClock()
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 }
 
@@ -168,6 +183,14 @@ func New(cfg Config, ep network.Endpoint, store stable.Store, registry *agent.Re
 	mgr, err := txn.NewManager(cfg.Name, store)
 	if err != nil {
 		return nil, err
+	}
+	if tr := cfg.Tracer; tr != nil {
+		// Stable-transaction outcomes (commit, abort, prepare,
+		// commit-prepared) land in the same ring as the protocol events
+		// they settle.
+		mgr.SetTraceHook(func(op, id string) {
+			tr.Rec(trace.OpStable, id, "", op, "", "", 0)
+		})
 	}
 	n := &Node{
 		cfg:      cfg,
@@ -321,10 +344,44 @@ func (n *Node) send(to, kind string, payload any) {
 	if err != nil {
 		return
 	}
+	n.traceSend(to, kind, payload, len(data))
 	// Unknown-destination errors are treated like a lost message: the
 	// protocol's retries and presumed abort recover, exactly as for a
 	// crashed destination.
 	_ = n.ep.Send(to, kind, data)
+}
+
+// traceSend records one outbound protocol message in the trace ring.
+func (n *Node) traceSend(to, kind string, payload any, bytes int) {
+	tr := n.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	txnID, agentID := payloadSubject(payload)
+	tr.Rec(trace.OpWireSend, txnID, agentID, kind, to, "", int64(bytes))
+}
+
+// payloadSubject pulls the transaction and/or agent a protocol payload
+// concerns, for trace records.
+func payloadSubject(payload any) (txnID, agentID string) {
+	switch p := payload.(type) {
+	case *protocol.PrepareMsg:
+		return p.TxnID, p.EntryID
+	case *protocol.CtlMsg:
+		return p.TxnID, ""
+	case *protocol.AckMsg:
+		return p.TxnID, ""
+	case *protocol.StatusMsg:
+		return p.TxnID, ""
+	case *protocol.RCEExecMsg:
+		return p.TxnID, ""
+	case *doneMsg:
+		return "", p.AgentID
+	case *launchMsg:
+		return "", p.ID
+	default:
+		return "", ""
+	}
 }
 
 // sendTo routes a protocol send through the current transition's
@@ -341,6 +398,7 @@ func (n *Node) sendTo(b *outBatch, to, kind string, payload any) {
 	if err != nil {
 		return
 	}
+	n.traceSend(to, kind, payload, len(data))
 	b.add(to, kind, data)
 }
 
@@ -384,8 +442,12 @@ func (b *outBatch) add(to, kind string, payload []byte) {
 
 func (b *outBatch) flush(n *Node) {
 	for _, to := range b.order {
+		msgs := b.byDest[to]
+		if tr := n.cfg.Tracer; tr != nil {
+			tr.Rec(trace.OpBatchFlush, "", "", "", to, "", int64(len(msgs)))
+		}
 		// Unknown-destination errors: lost messages, like send.
-		_ = network.SendAll(n.ep, to, b.byDest[to])
+		_ = network.SendAll(n.ep, to, msgs)
 	}
 	b.order = b.order[:0]
 	clear(b.byDest)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/protocol"
 	"repro/internal/stable"
+	"repro/internal/trace"
 	"repro/internal/txn"
 )
 
@@ -31,6 +32,9 @@ func (n *Node) runCompensation(entry *stable.Entry, c *Container, attempt int) e
 	tx, err := n.mgr.Begin()
 	if err != nil {
 		return err
+	}
+	if tr := n.cfg.Tracer; tr != nil {
+		tr.Rec(trace.OpAgentStep, tx.ID(), a.ID, "compensate", "", "", int64(attempt))
 	}
 	tx.AddCommitOps(n.queue.RemoveOp(entry))
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/sched"
 	"repro/internal/stable"
+	"repro/internal/trace"
 	"repro/internal/txn"
 	"repro/internal/wire"
 )
@@ -72,6 +73,7 @@ func (n *Node) recoverThenWork() {
 		Hints:       n.conflictKeys,
 		Busy:        n.lockBusy,
 		Counters:    n.cfg.Counters,
+		Tracer:      n.cfg.Tracer,
 	})
 	// Publish AND start the pool inside one critical section: Stop
 	// snapshots n.pool under the same mutex, so it either sees no pool
@@ -174,6 +176,8 @@ func (n *Node) runRecovery() bool {
 			// A resource that cannot load makes the node useless;
 			// keep it not-ready (steps routed here will time out and
 			// use alternatives) rather than serve corrupt state.
+			n.cfg.Logger.Error("node recovery: resource load failed, staying not-ready",
+				"node", n.cfg.Name, "err", err)
 			return false
 		}
 		n.mu.Lock()
@@ -230,9 +234,13 @@ func (n *Node) failAgent(entry *stable.Entry, cause error) {
 	c, err := DecodeContainer(entry.Data)
 	if err != nil || c.Agent == nil {
 		// Undeliverable: drop the poisoned entry.
+		n.cfg.Logger.Error("dropping poisoned queue entry",
+			"node", n.cfg.Name, "entry", entry.ID, "cause", cause)
 		_ = n.store.Apply(n.queue.RemoveOp(entry))
 		return
 	}
+	n.cfg.Logger.Warn("agent failed permanently",
+		"node", n.cfg.Name, "agent", c.Agent.ID, "cause", cause)
 	tx, err := n.mgr.Begin()
 	if err != nil {
 		return
@@ -247,6 +255,9 @@ func (n *Node) failAgent(entry *stable.Entry, cause error) {
 // the notification to the protocol machine's notifier role (sent now,
 // re-sent on its timer until acknowledged).
 func (n *Node) finishAgent(tx *txn.Tx, a *agent.Agent, failed bool, reason string) error {
+	if tr := n.cfg.Tracer; tr != nil {
+		tr.Rec(trace.OpAgentStep, tx.ID(), a.ID, "finish", "", "", 0)
+	}
 	data, err := EncodeContainer(&Container{Mode: ModeStep, Agent: a})
 	if err != nil {
 		return err
@@ -291,6 +302,11 @@ func (n *Node) runStep(entry *stable.Entry, c *Container, attempt int) error {
 	tx, err := n.mgr.Begin()
 	if err != nil {
 		return err
+	}
+	// The join record for timeline reconstruction: the worker is the only
+	// place that knows both the agent entry and its step transaction.
+	if tr := n.cfg.Tracer; tr != nil {
+		tr.Rec(trace.OpAgentStep, tx.ID(), a.ID, step.Method, "", "", int64(attempt))
 	}
 	tx.AddCommitOps(n.queue.RemoveOp(entry))
 	seq := a.StepSeq

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func testHandler(healthy bool) (http.Handler, *metrics.Counters, *trace.Tracer) {
+	c := &metrics.Counters{}
+	c.IncMessages(42)
+	c.AddWireBytes("q.prepare", 100)
+	var t0 int64
+	tr := trace.New("n1", 64, func() int64 { t0 += 10; return t0 })
+	tr.Rec(trace.OpAgentStep, "txn-1", "agent-1", "work", "", "", 1)
+	tr.Rec(trace.OpTransition, "txn-1", "", "AckReceived", "coord-active", "coord-idle", 2)
+	tr.Rec(trace.OpTransition, "txn-2", "", "PrepareReceived", "-", "staged", 1)
+	h := Handler(Config{
+		Node:     "n1",
+		Counters: c,
+		Tracer:   tr,
+		Healthy:  func() bool { return healthy },
+	})
+	return h, c, tr
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	h, _, _ := testHandler(true)
+	rec := get(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"repro_messages_total 1",
+		"repro_bytes_sent_total 42",
+		`repro_wire_bytes_by_kind_total{kind="q.prepare"} 100`,
+		`repro_wire_msgs_by_kind_total{kind="q.prepare"} 1`,
+		"# TYPE repro_step_latency_seconds summary",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	h, _, _ := testHandler(true)
+	rec := get(t, h, "/healthz")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok n1") {
+		t.Errorf("healthz = %d %q", rec.Code, rec.Body.String())
+	}
+	h, _, _ = testHandler(false)
+	rec = get(t, h, "/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("unhealthy status = %d", rec.Code)
+	}
+}
+
+func TestTraceEndpointFilters(t *testing.T) {
+	h, _, _ := testHandler(true)
+
+	decode := func(rec *httptest.ResponseRecorder) []trace.Record {
+		t.Helper()
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+		}
+		rs, err := trace.DecodeJSON(rec.Body.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+
+	if rs := decode(get(t, h, "/trace")); len(rs) != 3 {
+		t.Errorf("unfiltered records = %d, want 3", len(rs))
+	}
+	if rs := decode(get(t, h, "/trace?txn=txn-2")); len(rs) != 1 || rs[0].Txn != "txn-2" {
+		t.Errorf("txn filter = %+v", rs)
+	}
+	// agent filter joins txn-only records through the OpAgentStep record.
+	if rs := decode(get(t, h, "/trace?agent=agent-1")); len(rs) != 2 {
+		t.Errorf("agent filter records = %d, want 2", len(rs))
+	}
+	if rs := decode(get(t, h, "/trace?last=1")); len(rs) != 1 {
+		t.Errorf("last=1 records = %d", len(rs))
+	}
+	if rec := get(t, h, "/trace?last=bogus"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad last status = %d", rec.Code)
+	}
+	// The body must be a plain JSON array (Chrome-trace export lives on
+	// the loadgen side; the endpoint serves raw records).
+	var arr []json.RawMessage
+	if err := json.Unmarshal(get(t, h, "/trace").Body.Bytes(), &arr); err != nil {
+		t.Fatalf("trace body is not a JSON array: %v", err)
+	}
+}
+
+func TestTraceDisabled(t *testing.T) {
+	h := Handler(Config{Node: "n1"})
+	if rec := get(t, h, "/trace"); rec.Code != http.StatusNotFound {
+		t.Errorf("disabled trace status = %d", rec.Code)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	h, _, _ := testHandler(true)
+	rec := get(t, h, "/debug/pprof/")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("pprof index = %d", rec.Code)
+	}
+	// The cmdline endpoint is the cheapest non-index pprof handler.
+	if rec := get(t, h, "/debug/pprof/cmdline"); rec.Code != http.StatusOK {
+		t.Errorf("pprof cmdline = %d", rec.Code)
+	}
+}

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/stable"
+	"repro/internal/trace"
 	"repro/internal/txn"
 )
 
@@ -80,6 +81,8 @@ type Config struct {
 
 	// Counters receives scheduler metrics; may be nil.
 	Counters *metrics.Counters
+	// Tracer receives claim/retry/abort records (nil-safe).
+	Tracer *trace.Tracer
 }
 
 // task is one leased queue entry awaiting or undergoing execution.
@@ -248,6 +251,7 @@ func (p *Pool) tryClaim() (bool, time.Duration) {
 	if p.cfg.Counters != nil {
 		p.cfg.Counters.IncSchedClaim(int64(depth))
 	}
+	p.cfg.Tracer.Rec(trace.OpSchedClaim, "", e.ID, "", "", "", int64(depth))
 	t := &task{entry: e, keys: keys}
 	p.mu.Lock()
 	if p.stopped {
@@ -351,11 +355,18 @@ func (p *Pool) exec(t *task) {
 		if !perm && p.cfg.MaxAttempts > 0 && attempt >= p.cfg.MaxAttempts {
 			perm = true
 		}
-		if !perm && c != nil {
-			c.IncSchedRetry()
-			if errors.Is(err, txn.ErrLockTimeout) {
-				c.IncLockConflictAbort()
+		if !perm {
+			if c != nil {
+				c.IncSchedRetry()
+				if errors.Is(err, txn.ErrLockTimeout) {
+					c.IncLockConflictAbort()
+				}
 			}
+			if p.cfg.Tracer != nil {
+				p.cfg.Tracer.Rec(trace.OpSchedRetry, "", t.entry.ID, err.Error(), "", "", int64(attempt))
+			}
+		} else if p.cfg.Tracer != nil {
+			p.cfg.Tracer.Rec(trace.OpSchedAbort, "", t.entry.ID, err.Error(), "", "", int64(attempt))
 		}
 		if perm && p.cfg.Fail != nil {
 			p.cfg.Fail(t.entry, err)

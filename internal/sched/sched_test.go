@@ -100,7 +100,7 @@ func TestPoolProcessesAllExactlyOnce(t *testing.T) {
 	if s.SchedInFlightPeak < 2 {
 		t.Errorf("in-flight peak = %d, want >= 2", s.SchedInFlightPeak)
 	}
-	if _, _, ln := c.StepLatency(); ln != n {
+	if ln := c.StepLatency().Count; ln != n {
 		t.Errorf("latency samples = %d, want %d", ln, n)
 	}
 }

@@ -1,0 +1,306 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// jsonRecord is the export view of a Record. Seq is deliberately absent:
+// it encodes racy claim order, and leaving it out is what lets canonical
+// exports of the same run be byte-identical (see CanonicalSort).
+type jsonRecord struct {
+	T     int64  `json:"t"`
+	Op    string `json:"op"`
+	Node  string `json:"node"`
+	Txn   string `json:"txn,omitempty"`
+	Agent string `json:"agent,omitempty"`
+	Name  string `json:"name,omitempty"`
+	A     string `json:"a,omitempty"`
+	B     string `json:"b,omitempty"`
+	N     int64  `json:"n,omitempty"`
+}
+
+func toJSONRecord(r Record) jsonRecord {
+	return jsonRecord{T: r.T, Op: r.Op.String(), Node: r.Node, Txn: r.Txn,
+		Agent: r.Agent, Name: r.Name, A: r.A, B: r.B, N: r.N}
+}
+
+// WriteJSONL writes records one JSON object per line, in the order
+// given (callers pick CausalSort or CanonicalSort first).
+func WriteJSONL(w io.Writer, rs []Record) error {
+	enc := json.NewEncoder(w)
+	for _, r := range rs {
+		if err := enc.Encode(toJSONRecord(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes records as one JSON array (the /trace wire format).
+func WriteJSON(w io.Writer, rs []Record) error {
+	out := make([]jsonRecord, len(rs))
+	for i, r := range rs {
+		out[i] = toJSONRecord(r)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// DecodeJSON parses the WriteJSON wire format back into records (Seq
+// stays zero — it does not survive export). Used by agentctl.
+func DecodeJSON(data []byte) ([]Record, error) {
+	var in []jsonRecord
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, err
+	}
+	ops := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		if name != "" {
+			ops[name] = Op(op)
+		}
+	}
+	out := make([]Record, len(in))
+	for i, r := range in {
+		out[i] = Record{T: r.T, Op: ops[r.Op], Node: r.Node, Txn: r.Txn,
+			Agent: r.Agent, Name: r.Name, A: r.A, B: r.B, N: r.N}
+	}
+	return out, nil
+}
+
+// FormatRecord renders one record as a text line, with time relative to
+// base (pass 0 for absolute nanoseconds).
+func FormatRecord(r Record, base int64) string {
+	s := fmt.Sprintf("t=+%-10s %-4s %-12s", time.Duration(r.T-base), r.Node, r.Op)
+	if r.Name != "" {
+		s += " " + r.Name
+	}
+	if r.Txn != "" {
+		s += " txn=" + r.Txn
+	}
+	if r.Agent != "" {
+		s += " agent=" + r.Agent
+	}
+	if r.Op == OpTransition {
+		s += fmt.Sprintf(" edge=%s→%s effects=%d", r.A, r.B, r.N)
+	} else {
+		if r.A != "" {
+			s += " peer=" + r.A
+		}
+		if r.N != 0 {
+			s += fmt.Sprintf(" n=%d", r.N)
+		}
+	}
+	return s
+}
+
+// Chrome trace_event export. The output is the JSON-object flavor
+// ({"traceEvents": [...]}) with one process per node and one thread per
+// agent, loadable in chrome://tracing and Perfetto:
+//
+//   - metadata ("M") events name processes and threads,
+//   - every record is an instant ("i") event at its clock time,
+//   - each (agent, txn) pair additionally gets a complete ("X") span
+//     from its first to its last record, which is what renders the
+//     per-transaction timeline bars.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports records as Chrome trace_event JSON.
+func WriteChromeTrace(w io.Writer, rs []Record) error {
+	rs = append([]Record(nil), rs...)
+	CausalSort(rs)
+
+	byTxn := TxnAgents(rs)
+	var minT int64
+	if len(rs) > 0 {
+		minT = rs[0].T
+	}
+	us := func(t int64) float64 { return float64(t-minT) / 1e3 }
+
+	// Stable pid per node, tid per agent (tid 0 = node-level events).
+	nodes := map[string]bool{}
+	agents := map[string]bool{}
+	for _, r := range rs {
+		nodes[r.Node] = true
+		if ag := AgentOf(r, byTxn); ag != "" {
+			agents[ag] = true
+		}
+	}
+	pid := stableIndex(nodes, 1)
+	tid := stableIndex(agents, 1)
+
+	tr := chromeTrace{DisplayTimeUnit: "ms"}
+	for name, id := range pid {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: id,
+			Args: map[string]any{"name": "node " + name},
+		})
+	}
+	for name, id := range tid {
+		for _, p := range pid {
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: p, Tid: id,
+				Args: map[string]any{"name": "agent " + name},
+			})
+		}
+	}
+
+	// Per-(agent, txn) span bounds.
+	type spanKey struct{ agent, txn string }
+	type span struct{ first, last int64 }
+	spans := map[spanKey]*span{}
+	for _, r := range rs {
+		ag := AgentOf(r, byTxn)
+		if ag == "" || r.Txn == "" {
+			continue
+		}
+		k := spanKey{ag, r.Txn}
+		sp, ok := spans[k]
+		if !ok {
+			spans[k] = &span{first: r.T, last: r.T}
+			continue
+		}
+		if r.T < sp.first {
+			sp.first = r.T
+		}
+		if r.T > sp.last {
+			sp.last = r.T
+		}
+	}
+	keys := make([]spanKey, 0, len(spans))
+	for k := range spans {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].agent != keys[j].agent {
+			return keys[i].agent < keys[j].agent
+		}
+		return keys[i].txn < keys[j].txn
+	})
+	for _, k := range keys {
+		sp := spans[k]
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "txn " + k.txn, Ph: "X", Ts: us(sp.first), Dur: us(sp.last) - us(sp.first),
+			Pid: pid[coordNode(k.txn)], Tid: tid[k.agent],
+			Args: map[string]any{"txn": k.txn, "agent": k.agent},
+		})
+	}
+
+	for _, r := range rs {
+		ev := chromeEvent{
+			Name: r.Op.String(), Ph: "i", Ts: us(r.T), S: "t",
+			Pid: pid[r.Node], Tid: tid[AgentOf(r, byTxn)],
+			Args: map[string]any{},
+		}
+		if r.Name != "" {
+			ev.Name = r.Op.String() + " " + r.Name
+		}
+		if r.Txn != "" {
+			ev.Args["txn"] = r.Txn
+		}
+		if r.Op == OpTransition {
+			ev.Args["edge"] = r.A + "→" + r.B
+			ev.Args["effects"] = r.N
+		} else {
+			if r.A != "" {
+				ev.Args["peer"] = r.A
+			}
+			if r.N != 0 {
+				ev.Args["n"] = r.N
+			}
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+// coordNode extracts the coordinator node from a "node#seq" txn ID
+// ("" when the ID has no node prefix).
+func coordNode(txnID string) string {
+	for i := len(txnID) - 1; i >= 0; i-- {
+		if txnID[i] == '#' {
+			return txnID[:i]
+		}
+	}
+	return ""
+}
+
+func stableIndex(set map[string]bool, base int) map[string]int {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make(map[string]int, len(names))
+	for i, n := range names {
+		out[n] = base + i
+	}
+	return out
+}
+
+// ValidateChromeTrace checks that data is structurally valid Chrome
+// trace_event JSON: a traceEvents array whose entries all carry a name,
+// a known phase, a pid, and (for non-metadata events) a timestamp.
+// loadgen -trace runs this on its own output so CI's smoke run fails
+// loudly on a malformed export.
+func ValidateChromeTrace(data []byte) error {
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("chrome trace: not valid JSON: %w", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		return errors.New("chrome trace: empty traceEvents")
+	}
+	for i, ev := range tr.TraceEvents {
+		name, ok := ev["name"].(string)
+		if !ok || name == "" {
+			return fmt.Errorf("chrome trace: event %d: missing name", i)
+		}
+		ph, ok := ev["ph"].(string)
+		if !ok {
+			return fmt.Errorf("chrome trace: event %d (%s): missing ph", i, name)
+		}
+		switch ph {
+		case "M", "i", "X", "B", "E", "b", "e", "C":
+		default:
+			return fmt.Errorf("chrome trace: event %d (%s): unknown phase %q", i, name, ph)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			return fmt.Errorf("chrome trace: event %d (%s): missing pid", i, name)
+		}
+		if ph != "M" {
+			if _, ok := ev["ts"].(float64); !ok {
+				return fmt.Errorf("chrome trace: event %d (%s): missing ts", i, name)
+			}
+		}
+		if ph == "X" {
+			if _, ok := ev["dur"]; !ok {
+				// Zero-length spans omit dur via omitempty; accept them.
+				continue
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFormatRecord(t *testing.T) {
+	tr := Record{T: 2500, Op: OpTransition, Node: "A", Txn: "A#1",
+		Name: "PrepareReceived", A: "-", B: "staged", N: 2}
+	got := FormatRecord(tr, 500)
+	for _, want := range []string{"t=+2µs", "A", "transition", "PrepareReceived", "txn=A#1", "edge=-→staged effects=2"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("transition line missing %q: %s", want, got)
+		}
+	}
+	wire := Record{T: 100, Op: OpWireSend, Node: "B", Name: "q.commit", A: "C", N: 64}
+	got = FormatRecord(wire, 0)
+	for _, want := range []string{"wire-send", "q.commit", "peer=C", "n=64"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("wire line missing %q: %s", want, got)
+		}
+	}
+	if strings.Contains(got, "edge=") {
+		t.Errorf("non-transition rendered an edge: %s", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rs := timelineFixture()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rs) {
+		t.Fatalf("round trip: %d records, want %d", len(back), len(rs))
+	}
+	for i := range rs {
+		want := rs[i]
+		want.Seq = 0 // Seq does not survive export, by design
+		if !reflect.DeepEqual(back[i], want) {
+			t.Errorf("record %d: %+v, want %+v", i, back[i], want)
+		}
+	}
+}
+
+// Exports must not leak the racy claim sequence: its presence would break
+// byte-identical same-seed replays.
+func TestExportsOmitSeq(t *testing.T) {
+	rs := timelineFixture()
+	var jl, ja bytes.Buffer
+	if err := WriteJSONL(&jl, rs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&ja, rs); err != nil {
+		t.Fatal(err)
+	}
+	for name, out := range map[string]string{"jsonl": jl.String(), "json": ja.String()} {
+		if strings.Contains(strings.ToLower(out), "seq") {
+			t.Errorf("%s export leaks Seq:\n%s", name, out)
+		}
+	}
+	if lines := strings.Count(strings.TrimRight(jl.String(), "\n"), "\n") + 1; lines != len(rs) {
+		t.Errorf("jsonl = %d lines, want %d", lines, len(rs))
+	}
+}
+
+func TestChromeTraceValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, timelineFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Errorf("our own export fails validation: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"process_name"`, `"thread_name"`, "node A", "agent trip1", "txn A#1", `"ph":"X"`, `"ph":"i"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome trace missing %q", want)
+		}
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	bad := map[string]string{
+		"not json":      "{",
+		"empty events":  `{"traceEvents":[]}`,
+		"missing name":  `{"traceEvents":[{"ph":"i","pid":1,"ts":0}]}`,
+		"unknown phase": `{"traceEvents":[{"name":"x","ph":"?","pid":1,"ts":0}]}`,
+		"missing pid":   `{"traceEvents":[{"name":"x","ph":"i","ts":0}]}`,
+		"missing ts":    `{"traceEvents":[{"name":"x","ph":"i","pid":1}]}`,
+	}
+	for what, data := range bad {
+		if err := ValidateChromeTrace([]byte(data)); err == nil {
+			t.Errorf("%s accepted", what)
+		}
+	}
+	ok := `{"traceEvents":[{"name":"m","ph":"M","pid":1}]}` // metadata needs no ts
+	if err := ValidateChromeTrace([]byte(ok)); err != nil {
+		t.Errorf("metadata-only trace rejected: %v", err)
+	}
+}
+
+func TestCoordNode(t *testing.T) {
+	for in, want := range map[string]string{"w0#12": "w0", "A#1": "A", "noid": "", "a#b#3": "a#b"} {
+		if got := coordNode(in); got != want {
+			t.Errorf("coordNode(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/cluster"
+	"repro/internal/itinerary"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/node"
+	"repro/internal/resource"
+	"repro/internal/stable"
+	"repro/internal/trace"
+)
+
+// runTracedCluster executes one three-node agent run on a frozen
+// VirtualClock and returns the canonical JSONL export of its merged
+// trace.
+func runTracedCluster(t *testing.T) []byte {
+	t.Helper()
+	vc := network.NewVirtualClock(time.Time{})
+	cl := cluster.New(cluster.Options{
+		Optimized: true,
+		Clock:     vc,
+		Counters:  &metrics.Counters{},
+	})
+	bank := func(name string) node.ResourceFactory {
+		return func(store stable.Store) (resource.Resource, error) {
+			return resource.NewBank(store, name, false)
+		}
+	}
+	for _, n := range []string{"A", "B", "C"} {
+		if err := cl.AddNode(n, bank("bank-"+n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Registry().RegisterStep("replay.noop", func(ctx agent.StepContext) error {
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	it, err := itinerary.New(&itinerary.Sub{ID: "trip", Entries: []itinerary.Entry{
+		itinerary.Step{Method: "replay.noop", Loc: "A"},
+		itinerary.Step{Method: "replay.noop", Loc: "B"},
+		itinerary.Step{Method: "replay.noop", Loc: "C"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, entered, err := agent.New("replay-agent", "", it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(a, entered, "A", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("agent failed: %s", res.Reason)
+	}
+
+	// The completion notification races the last ack deliveries (done
+	// acks, commit acks), so quiesce before snapshotting: the *settled*
+	// record multiset is the deterministic one.
+	rs := cl.TraceRecords()
+	for settled, last := 0, -1; settled < 10; {
+		rs = cl.TraceRecords()
+		if len(rs) == last {
+			settled++
+		} else {
+			settled, last = 0, len(rs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(rs) == 0 {
+		t.Fatal("traced cluster produced no records (tracing should be on by default)")
+	}
+	trace.CanonicalSort(rs)
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReplayByteIdentical is the tracer's determinism contract: two runs
+// of the same workload on a frozen VirtualClock over a loss-free network
+// produce byte-identical canonical trace exports, even though goroutine
+// interleaving (and hence ring claim order) differs between runs.
+func TestReplayByteIdentical(t *testing.T) {
+	first := runTracedCluster(t)
+	second := runTracedCluster(t)
+	if !bytes.Equal(first, second) {
+		la, lb := diffLine(first, second)
+		t.Fatalf("same-seed replays diverged:\nrun1: %s\nrun2: %s", la, lb)
+	}
+}
+
+// diffLine returns the first differing line pair for a readable failure.
+func diffLine(a, b []byte) (string, string) {
+	as := bytes.Split(a, []byte("\n"))
+	bs := bytes.Split(b, []byte("\n"))
+	for i := 0; i < len(as) && i < len(bs); i++ {
+		if !bytes.Equal(as[i], bs[i]) {
+			return string(as[i]), string(bs[i])
+		}
+	}
+	return "<run1 has " + itoa(len(as)) + " lines>", "<run2 has " + itoa(len(bs)) + " lines>"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var d []byte
+	for n > 0 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+		n /= 10
+	}
+	return string(d)
+}

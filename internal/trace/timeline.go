@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"sort"
+	"strings"
+)
+
+func sortRecords(rs []Record, less func(a, b Record) bool) {
+	sort.Slice(rs, func(i, j int) bool { return less(rs[i], rs[j]) })
+}
+
+// CausalSort orders records for reading: by clock time, then node, then
+// claim sequence. Under a wall clock this is the causal order of the
+// run; it is the order post-mortems and the /trace endpoint present.
+func CausalSort(rs []Record) {
+	sortRecords(rs, func(a, b Record) bool {
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Seq < b.Seq
+	})
+}
+
+// CanonicalSort orders records by content alone — time, node, agent,
+// txn, op, name, edge, N — ignoring the claim sequence. Claim order
+// between goroutines is scheduler-dependent, but in a loss-free run
+// under a frozen VirtualClock the record *multiset* is deterministic;
+// sorting by content (and omitting Seq from exports) therefore yields
+// byte-identical output across same-seed replays. Ties are records with
+// identical content, so their relative order cannot matter.
+func CanonicalSort(rs []Record) {
+	sortRecords(rs, func(a, b Record) bool {
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Agent != b.Agent {
+			return a.Agent < b.Agent
+		}
+		if a.Txn != b.Txn {
+			return a.Txn < b.Txn
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		if a.B != b.B {
+			return a.B < b.B
+		}
+		return a.N < b.N
+	})
+}
+
+// Merge combines per-node snapshots into one record set (no ordering
+// guarantees; sort with CausalSort or CanonicalSort).
+func Merge(snapshots ...[]Record) []Record {
+	total := 0
+	for _, s := range snapshots {
+		total += len(s)
+	}
+	out := make([]Record, 0, total)
+	for _, s := range snapshots {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// TxnAgents builds the txn → agent join table from records that carry
+// both IDs (the worker's OpAgentStep records, by construction the only
+// place that knows both sides of the mapping).
+func TxnAgents(rs []Record) map[string]string {
+	m := make(map[string]string)
+	for _, r := range rs {
+		if r.Txn != "" && r.Agent != "" {
+			m[r.Txn] = r.Agent
+		}
+	}
+	return m
+}
+
+// AgentOf resolves the agent a record belongs to, using the join table
+// for records that only name a transaction. Returns "" for records tied
+// to neither (node-level events like batch flushes).
+func AgentOf(r Record, byTxn map[string]string) string {
+	if r.Agent != "" {
+		return r.Agent
+	}
+	if r.Txn != "" {
+		return byTxn[r.Txn]
+	}
+	return ""
+}
+
+// Timeline is the causally ordered record sequence of one agent —
+// its itinerary steps, the step transactions they ran, and every
+// protocol transition, timer and wire hop those transactions caused.
+type Timeline struct {
+	Agent   string
+	Records []Record
+}
+
+// BuildTimelines groups a merged record set into per-agent timelines,
+// joining txn-only records to their agents via TxnAgents. Records that
+// resolve to no agent are dropped. Timelines come back sorted by agent
+// ID, each internally in causal order.
+func BuildTimelines(rs []Record) []Timeline {
+	byTxn := TxnAgents(rs)
+	groups := make(map[string][]Record)
+	for _, r := range rs {
+		if ag := AgentOf(r, byTxn); ag != "" {
+			groups[ag] = append(groups[ag], r)
+		}
+	}
+	agents := make([]string, 0, len(groups))
+	for ag := range groups {
+		agents = append(agents, ag)
+	}
+	sort.Strings(agents)
+	out := make([]Timeline, 0, len(agents))
+	for _, ag := range agents {
+		recs := groups[ag]
+		CausalSort(recs)
+		out = append(out, Timeline{Agent: ag, Records: recs})
+	}
+	return out
+}
+
+// FilterTxn keeps records of one transaction.
+func FilterTxn(rs []Record, txn string) []Record {
+	var out []Record
+	for _, r := range rs {
+		if r.Txn == txn {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FilterAgent keeps one agent's records (join-aware, like BuildTimelines).
+func FilterAgent(rs []Record, agent string) []Record {
+	byTxn := TxnAgents(rs)
+	var out []Record
+	for _, r := range rs {
+		if AgentOf(r, byTxn) == agent {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// AgentPostMortem is the tail of one agent's timeline with its last
+// known transaction and protocol state edge pulled out — the summary a
+// failing chaos seed prints per stuck agent.
+type AgentPostMortem struct {
+	Agent     string
+	LastTxn   string // most recent transaction the agent touched
+	LastEvent string // event name of its last protocol transition
+	LastEdge  string // "before → after" state edge of that transition
+	Tail      []Record
+}
+
+// tailLen bounds how much of each timeline a post-mortem reproduces.
+const tailLen = 48
+
+// BuildPostMortem summarizes the named agents' timelines (all agents
+// with any records when agents is nil).
+func BuildPostMortem(rs []Record, agents []string) []AgentPostMortem {
+	tls := BuildTimelines(rs)
+	want := make(map[string]bool, len(agents))
+	for _, a := range agents {
+		want[a] = true
+	}
+	var out []AgentPostMortem
+	for _, tl := range tls {
+		if agents != nil && !want[tl.Agent] {
+			continue
+		}
+		pm := AgentPostMortem{Agent: tl.Agent}
+		for i := len(tl.Records) - 1; i >= 0; i-- {
+			r := tl.Records[i]
+			if pm.LastTxn == "" && r.Txn != "" {
+				pm.LastTxn = r.Txn
+			}
+			if pm.LastEvent == "" && r.Op == OpTransition {
+				pm.LastEvent = r.Name
+				pm.LastEdge = r.A + " → " + r.B
+			}
+			if pm.LastTxn != "" && pm.LastEvent != "" {
+				break
+			}
+		}
+		tail := tl.Records
+		if len(tail) > tailLen {
+			tail = tail[len(tail)-tailLen:]
+		}
+		pm.Tail = tail
+		out = append(out, pm)
+	}
+	return out
+}
+
+// WritePostMortem renders post-mortems as readable text.
+func WritePostMortem(sb *strings.Builder, pms []AgentPostMortem) {
+	for i, pm := range pms {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		sb.WriteString("agent " + pm.Agent)
+		if pm.LastTxn != "" {
+			sb.WriteString("  last txn " + pm.LastTxn)
+		}
+		if pm.LastEvent != "" {
+			sb.WriteString("  last edge " + pm.LastEvent + " [" + pm.LastEdge + "]")
+		}
+		sb.WriteString("\n")
+		var base int64
+		if len(pm.Tail) > 0 {
+			base = pm.Tail[0].T
+		}
+		for _, r := range pm.Tail {
+			sb.WriteString("  " + FormatRecord(r, base) + "\n")
+		}
+	}
+}

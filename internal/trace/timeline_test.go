@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fixture: two agents on two nodes; the transitions carry only txn IDs
+// and must be joined to their agents through the OpAgentStep records.
+func timelineFixture() []Record {
+	return []Record{
+		{Seq: 1, T: 10, Op: OpAgentStep, Node: "A", Txn: "A#1", Agent: "trip1", Name: "buy"},
+		{Seq: 2, T: 20, Op: OpTransition, Node: "A", Txn: "A#1", Name: "PrepareReceived", A: "-", B: "staged", N: 1},
+		{Seq: 3, T: 30, Op: OpWireSend, Node: "A", Txn: "A#1", Name: "q.commit", A: "B", N: 64},
+		{Seq: 4, T: 15, Op: OpAgentStep, Node: "B", Txn: "B#7", Agent: "trip2", Name: "sell"},
+		{Seq: 5, T: 25, Op: OpTransition, Node: "B", Txn: "B#7", Name: "AckReceived(commit)", A: "coord-active", B: "coord-idle", N: 0},
+		{Seq: 6, T: 40, Op: OpBatchFlush, Node: "A", A: "B", N: 3}, // node-level, no agent
+	}
+}
+
+func TestTxnAgentsJoin(t *testing.T) {
+	rs := timelineFixture()
+	byTxn := TxnAgents(rs)
+	want := map[string]string{"A#1": "trip1", "B#7": "trip2"}
+	if !reflect.DeepEqual(byTxn, want) {
+		t.Errorf("TxnAgents = %v, want %v", byTxn, want)
+	}
+	if ag := AgentOf(rs[1], byTxn); ag != "trip1" {
+		t.Errorf("AgentOf(txn-only transition) = %q, want trip1", ag)
+	}
+	if ag := AgentOf(rs[5], byTxn); ag != "" {
+		t.Errorf("AgentOf(batch flush) = %q, want \"\"", ag)
+	}
+}
+
+func TestBuildTimelines(t *testing.T) {
+	tls := BuildTimelines(timelineFixture())
+	if len(tls) != 2 {
+		t.Fatalf("%d timelines, want 2", len(tls))
+	}
+	if tls[0].Agent != "trip1" || tls[1].Agent != "trip2" {
+		t.Fatalf("agents = %s, %s (want sorted trip1, trip2)", tls[0].Agent, tls[1].Agent)
+	}
+	if n := len(tls[0].Records); n != 3 {
+		t.Errorf("trip1 has %d records, want 3 (join must pull in txn-only records)", n)
+	}
+	for i := 1; i < len(tls[0].Records); i++ {
+		if tls[0].Records[i-1].T > tls[0].Records[i].T {
+			t.Errorf("trip1 timeline not causally ordered at %d", i)
+		}
+	}
+}
+
+func TestFilters(t *testing.T) {
+	rs := timelineFixture()
+	if got := FilterTxn(rs, "B#7"); len(got) != 2 {
+		t.Errorf("FilterTxn(B#7) = %d records, want 2", len(got))
+	}
+	if got := FilterAgent(rs, "trip1"); len(got) != 3 {
+		t.Errorf("FilterAgent(trip1) = %d records, want 3 (join-aware)", len(got))
+	}
+	if got := FilterAgent(rs, "nobody"); len(got) != 0 {
+		t.Errorf("FilterAgent(nobody) = %d records, want 0", len(got))
+	}
+}
+
+func TestCausalSortOrder(t *testing.T) {
+	rs := []Record{
+		{Seq: 9, T: 5, Node: "B"},
+		{Seq: 1, T: 5, Node: "A"},
+		{Seq: 2, T: 3, Node: "Z"},
+		{Seq: 1, T: 5, Node: "B"},
+	}
+	CausalSort(rs)
+	want := []Record{
+		{Seq: 2, T: 3, Node: "Z"},
+		{Seq: 1, T: 5, Node: "A"},
+		{Seq: 1, T: 5, Node: "B"},
+		{Seq: 9, T: 5, Node: "B"},
+	}
+	if !reflect.DeepEqual(rs, want) {
+		t.Errorf("CausalSort = %v", rs)
+	}
+}
+
+// CanonicalSort must produce the same order regardless of the racy claim
+// sequence — permute Seq, sort, and the content order must not move.
+func TestCanonicalSortSeqFree(t *testing.T) {
+	base := timelineFixture()
+	a := append([]Record(nil), base...)
+	b := append([]Record(nil), base...)
+	// Reverse b and scramble its Seq values.
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	for i := range b {
+		b[i].Seq = uint64(100 - i)
+	}
+	CanonicalSort(a)
+	CanonicalSort(b)
+	for i := range a {
+		x, y := a[i], b[i]
+		x.Seq, y.Seq = 0, 0
+		if !reflect.DeepEqual(x, y) {
+			t.Fatalf("canonical order diverged at %d:\n%+v\n%+v", i, x, y)
+		}
+	}
+}
+
+func TestBuildPostMortem(t *testing.T) {
+	pms := BuildPostMortem(timelineFixture(), []string{"trip1"})
+	if len(pms) != 1 {
+		t.Fatalf("%d post-mortems, want 1", len(pms))
+	}
+	pm := pms[0]
+	if pm.Agent != "trip1" || pm.LastTxn != "A#1" {
+		t.Errorf("agent/txn = %s/%s, want trip1/A#1", pm.Agent, pm.LastTxn)
+	}
+	if pm.LastEvent != "PrepareReceived" || pm.LastEdge != "- → staged" {
+		t.Errorf("last transition = %s [%s]", pm.LastEvent, pm.LastEdge)
+	}
+	if len(pm.Tail) != 3 {
+		t.Errorf("tail = %d records, want 3", len(pm.Tail))
+	}
+
+	var sb strings.Builder
+	WritePostMortem(&sb, pms)
+	text := sb.String()
+	for _, want := range []string{"agent trip1", "last txn A#1", "last edge PrepareReceived [- → staged]", "wire-send"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("post-mortem text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// The tail must be bounded so a post-mortem of a long-lived agent stays
+// readable (and the chaos artifact stays small).
+func TestPostMortemTailBounded(t *testing.T) {
+	rs := []Record{{Seq: 1, T: 1, Op: OpAgentStep, Node: "A", Txn: "A#1", Agent: "ag", Name: "s"}}
+	for i := 0; i < 200; i++ {
+		rs = append(rs, Record{Seq: uint64(i + 2), T: int64(i + 2), Op: OpTransition,
+			Node: "A", Txn: "A#1", Name: fmt.Sprintf("ev%d", i), A: "x", B: "y"})
+	}
+	pms := BuildPostMortem(rs, nil)
+	if len(pms) != 1 || len(pms[0].Tail) != tailLen {
+		t.Fatalf("tail = %d records, want cap %d", len(pms[0].Tail), tailLen)
+	}
+	last := pms[0].Tail[len(pms[0].Tail)-1]
+	if last.Name != "ev199" {
+		t.Errorf("tail must keep the newest records, ends at %q", last.Name)
+	}
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// seqClock returns a now func that ticks once per call, so record times
+// are distinct and ordered by claim without touching the wall clock.
+func seqClock() func() int64 {
+	var t int64
+	return func() int64 { t++; return t }
+}
+
+func TestRingWraparound(t *testing.T) {
+	tr := New("n1", 8, seqClock())
+	for i := int64(1); i <= 20; i++ {
+		tr.Rec(OpWireSend, "", "", "kind", "peer", "", i)
+	}
+	rs := tr.Snapshot()
+	if len(rs) != 8 {
+		t.Fatalf("snapshot after wrap = %d records, want 8", len(rs))
+	}
+	// The ring keeps exactly the newest 8 claims, in claim order.
+	for i, r := range rs {
+		wantSeq := uint64(13 + i)
+		if r.Seq != wantSeq {
+			t.Errorf("record %d: seq = %d, want %d", i, r.Seq, wantSeq)
+		}
+		if r.N != int64(wantSeq) {
+			t.Errorf("record %d: payload N = %d, want %d (oldest records must be overwritten)", i, r.N, wantSeq)
+		}
+	}
+	if tr.Len() != 20 {
+		t.Errorf("Len = %d, want 20 (total claims, not occupancy)", tr.Len())
+	}
+}
+
+func TestRingSizeRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{5, 8}, {8, 8}, {9, 16}, {1, 1},
+		{0, DefaultRingSize}, {-3, DefaultRingSize},
+	} {
+		tr := New("n", tc.in, nil)
+		if got := len(tr.slots); got != tc.want {
+			t.Errorf("New(size=%d): %d slots, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Rec(OpTransition, "t", "a", "ev", "s1", "s2", 1) // must not panic
+	if rs := tr.Snapshot(); rs != nil {
+		t.Errorf("nil Snapshot = %v, want nil", rs)
+	}
+	if tr.Len() != 0 || tr.Node() != "" {
+		t.Errorf("nil Len/Node = %d/%q", tr.Len(), tr.Node())
+	}
+}
+
+// TestRecAllocs pins the hot path at zero allocations: the ring is on by
+// default, so a Rec that allocates would tax every protocol transition.
+func TestRecAllocs(t *testing.T) {
+	tr := New("n", 64, seqClock())
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Rec(OpTransition, "w0#1", "agent", "PrepareReceived", "staged", "locked", 2)
+	})
+	if allocs != 0 {
+		t.Errorf("Rec allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestConcurrentHammer drives writers and snapshotters concurrently; run
+// under -race it proves the per-slot locking keeps records untorn.
+func TestConcurrentHammer(t *testing.T) {
+	var clock atomic.Int64
+	tr := New("n", 256, func() int64 { return clock.Add(1) })
+	const writers, perWriter = 8, 2000
+	var writeWG, readWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < perWriter; i++ {
+				tr.Rec(OpSchedClaim, "", "agent", "", "", "", int64(w))
+			}
+		}(w)
+	}
+	readWG.Add(1)
+	go func() {
+		defer readWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, r := range tr.Snapshot() {
+				if r.Op != OpSchedClaim || r.Agent != "agent" {
+					t.Errorf("torn record: %+v", r)
+					return
+				}
+			}
+		}
+	}()
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+
+	if tr.Len() != writers*perWriter {
+		t.Errorf("Len = %d, want %d", tr.Len(), writers*perWriter)
+	}
+	rs := tr.Snapshot()
+	if len(rs) != 256 {
+		t.Fatalf("final snapshot = %d records, want full ring of 256", len(rs))
+	}
+	seen := make(map[uint64]bool, len(rs))
+	for i, r := range rs {
+		if seen[r.Seq] {
+			t.Errorf("duplicate seq %d", r.Seq)
+		}
+		seen[r.Seq] = true
+		if i > 0 && rs[i-1].Seq >= r.Seq {
+			t.Errorf("snapshot not seq-ordered at %d: %d >= %d", i, rs[i-1].Seq, r.Seq)
+		}
+	}
+}

@@ -142,6 +142,22 @@ type Manager struct {
 	// transaction (the paper lists deadlocks among the abort causes of
 	// compensation transactions, §4.3).
 	LockTimeout time.Duration
+
+	// trace, when set, observes transaction outcomes ("commit", "abort",
+	// "prepare", "commit-prepared"). Set before the manager is shared.
+	trace func(op, id string)
+}
+
+// SetTraceHook installs an observer of durable transaction outcomes. It
+// keeps this package free of any tracer dependency: the node runtime
+// wires the hook into its trace ring. Call before the manager is used
+// concurrently; a nil hook disables observation.
+func (m *Manager) SetTraceHook(hook func(op, id string)) { m.trace = hook }
+
+func (m *Manager) traceOp(op, id string) {
+	if m.trace != nil {
+		m.trace(op, id)
+	}
 }
 
 // NewManager returns a Manager persisting into store. The transaction-ID
@@ -312,6 +328,7 @@ func (tx *Tx) Commit() error {
 		return fmt.Errorf("txn %s: commit: %w", tx.id, err)
 	}
 	tx.status = StatusCommitted
+	tx.mgr.traceOp("commit", tx.id)
 	tx.releaseLocks()
 	return nil
 }
@@ -331,6 +348,7 @@ func (tx *Tx) Abort() error {
 		tx.undo[i]()
 	}
 	tx.status = StatusAborted
+	tx.mgr.traceOp("abort", tx.id)
 	tx.releaseLocks()
 	return nil
 }
@@ -361,6 +379,7 @@ func (tx *Tx) Prepare() error {
 		tx.pending = append(tx.pending, pendingOp{op: op})
 	}
 	tx.status = StatusPrepared
+	tx.mgr.traceOp("prepare", tx.id)
 	return nil
 }
 
@@ -379,6 +398,7 @@ func (tx *Tx) CommitPrepared() error {
 		return fmt.Errorf("txn %s: commit prepared: %w", tx.id, err)
 	}
 	tx.status = StatusCommitted
+	tx.mgr.traceOp("commit-prepared", tx.id)
 	tx.releaseLocks()
 	return nil
 }
