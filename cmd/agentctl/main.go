@@ -11,6 +11,7 @@
 //
 //	agentctl metrics -obs http://localhost:7901 [-filter sched] [-all]
 //	agentctl trace   -obs http://localhost:7901 [-txn A#12 | -agent trip1] [-last 50]
+//	agentctl ring    -obs http://localhost:7901
 package main
 
 import (
@@ -42,6 +43,8 @@ func run(args []string) error {
 			return runMetrics(args[1:], os.Stdout)
 		case "trace":
 			return runTrace(args[1:], os.Stdout)
+		case "ring":
+			return runRing(args[1:], os.Stdout)
 		}
 	}
 	return runLaunch(args)

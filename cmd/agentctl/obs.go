@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -61,6 +63,37 @@ func runMetrics(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "no matching non-zero metrics (use -all to include zeros)")
 	}
 	return nil
+}
+
+// runRing fetches a node's membership view from the admin plane's /ring
+// endpoint and renders it: one row per member with its status, epoch and
+// owned fraction of the hash space, plus the node's local placement
+// stats (queue depth, claims in flight, agents adopted via migration).
+func runRing(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("agentctl ring", flag.ContinueOnError)
+	var (
+		obsURL  = fs.String("obs", "http://127.0.0.1:7901", "admin-plane base URL (agentnode -obs-addr)")
+		timeout = fs.Duration("timeout", 5*time.Second, "fetch timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	body, err := httpGet(strings.TrimRight(*obsURL, "/")+"/ring", *timeout)
+	if err != nil {
+		return err
+	}
+	var d obs.RingDump
+	if err := json.Unmarshal(body, &d); err != nil {
+		return fmt.Errorf("decode ring: %w", err)
+	}
+	fmt.Fprintf(out, "node %s: %d members, %d vnodes/member, queue depth=%d claimed=%d adopted=%d\n",
+		d.Node, len(d.Members), d.VNodes, d.Depth, d.Claimed, d.Adopted)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "MEMBER\tSTATUS\tEPOCH\tSHARE")
+	for _, m := range d.Members {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f%%\n", m.Name, m.Status, m.Epoch, 100*m.Share)
+	}
+	return tw.Flush()
 }
 
 // runTrace fetches causal trace records from a node admin plane's /trace

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/membership"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -26,7 +27,12 @@ func startObs(t *testing.T) string {
 	tr.Rec(trace.OpAgentStep, "A#1", "trip1", "buy", "", "", 1)
 	tr.Rec(trace.OpTransition, "A#1", "", "AckReceived(commit)", "coord-active", "coord-idle", 2)
 	tr.Rec(trace.OpTransition, "A#2", "", "PrepareReceived", "-", "staged", 1)
-	h := obs.Handler(obs.Config{Node: "A", Counters: c, Tracer: tr})
+	m := membership.NewManager("A", 16,
+		membership.Member{Name: "B", Status: membership.Alive, Epoch: 1})
+	h := obs.Handler(obs.Config{
+		Node: "A", Counters: c, Tracer: tr,
+		Membership: m, Adopted: func() int { return 2 },
+	})
 
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -117,6 +123,29 @@ func TestTraceSubcommand(t *testing.T) {
 	}
 }
 
+func TestRingSubcommand(t *testing.T) {
+	base := startObs(t)
+	var out bytes.Buffer
+	if err := runRing([]string{"-obs", base}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"node A: 2 members, 16 vnodes/member",
+		"adopted=2",
+		"MEMBER", // table header
+		"alive",
+		"%", // rendered shares
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("ring output missing %q:\n%s", want, got)
+		}
+	}
+	if err := runRing([]string{"-no-such-flag"}, &out); err == nil {
+		t.Error("unknown ring flag accepted")
+	}
+}
+
 // The subcommands must fail fast against a dead endpoint, honouring the
 // scrape timeout rather than hanging.
 func TestObsSubcommandsFailFast(t *testing.T) {
@@ -147,5 +176,8 @@ func TestSubcommandDispatch(t *testing.T) {
 	}
 	if err := run([]string{"trace", "-no-such-flag"}); err == nil {
 		t.Error("trace subcommand swallowed a flag error")
+	}
+	if err := run([]string{"ring", "-no-such-flag"}); err == nil {
+		t.Error("ring subcommand swallowed a flag error")
 	}
 }

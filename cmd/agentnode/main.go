@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/demo"
+	"repro/internal/membership"
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/node"
@@ -71,7 +72,9 @@ func run(args []string) error {
 		storeKind = fs.String("store", "wal", "stable storage engine: wal (log-structured segments + checkpoints, recommended), file (one file per key), mem (volatile, testing only)")
 		segSize   = fs.Int64("wal-segment", 0, "wal engine: segment rotation size in bytes (0 = default 4 MiB)")
 		ckptEvery = fs.Int64("wal-checkpoint", 0, "wal engine: bytes appended between index checkpoints (0 = default 1 MiB, negative disables)")
-		obsAddr   = fs.String("obs-addr", "", "admin-plane listen address serving /metrics, /healthz, /trace and /debug/pprof (empty disables)")
+		obsAddr   = fs.String("obs-addr", "", "admin-plane listen address serving /metrics, /healthz, /trace, /ring and /debug/pprof (empty disables)")
+		members   = fs.String("members", "", "comma-separated peer node names seeding the membership view; enables consistent-hash placement (@ring itinerary locations) and live rebalancing (empty keeps static wiring)")
+		vnodes    = fs.Int("vnodes", 0, "virtual points per member on the consistent-hash ring (0 = default 128; only with -members)")
 		traceRing = fs.Int("trace-ring", 0, "causal trace ring size per node (0 = default 16384, negative disables tracing)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -120,13 +123,26 @@ func run(args []string) error {
 		}
 		tracer = trace.New(*name, size, func() int64 { return time.Now().UnixNano() })
 	}
+	var mgr *membership.Manager
+	if *members != "" {
+		// Seeds are epoch-0 hints ("announce to these"); the flood and the
+		// anti-entropy replies converge the real view after boot.
+		var seed []membership.Member
+		for _, p := range strings.Split(*members, ",") {
+			if p = strings.TrimSpace(p); p != "" && p != *name {
+				seed = append(seed, membership.Member{Name: p})
+			}
+		}
+		mgr = membership.NewManager(*name, *vnodes, seed...)
+	}
 	n, err := node.New(node.Config{
-		Name:      *name,
-		Optimized: *optimized,
-		Workers:   *workers,
-		Counters:  counters,
-		Tracer:    tracer,
-		Logger:    logger,
+		Name:       *name,
+		Optimized:  *optimized,
+		Workers:    *workers,
+		Counters:   counters,
+		Tracer:     tracer,
+		Logger:     logger,
+		Membership: mgr,
 	}, ep, store, reg, factories...)
 	if err != nil {
 		return err
@@ -150,6 +166,9 @@ func run(args []string) error {
 						return false
 					}
 				},
+				Membership: mgr,
+				Queue:      n.Queue(),
+				Adopted:    n.Adopted,
 			}),
 		}
 		go func() {

@@ -10,6 +10,8 @@
 //	loadgen -sweep 1,2,4,8 -json out.json    # worker sweep, machine-readable
 //	loadgen -store wal                       # nodes on the log-structured WAL engine
 //	loadgen -storesweep -workers 4           # backend sweep: mem vs file vs wal
+//	loadgen -ring                            # consistent-hash placement (@ring steps)
+//	loadgen -join -workers 4                 # boot a 5th node mid-run; live agents migrate to it
 //	loadgen -chaos -chaos-seeds 20           # chaos sweep: 20 seeded fault schedules
 //	loadgen -chaos -chaos-seed 7 -store wal  # replay one failing seed, print its schedule
 //
@@ -50,6 +52,9 @@ type runReport struct {
 	Store         string  `json:"store"`
 	Wire          string  `json:"wire"`
 	Batching      bool    `json:"batching"`
+	Ring          bool    `json:"ring,omitempty"`
+	JoinMidRun    bool    `json:"join_mid_run,omitempty"`
+	Migrations    int64   `json:"migrations,omitempty"`
 	ConflictRatio float64 `json:"conflict_ratio"`
 	StepWorkMS    float64 `json:"step_work_ms"`
 	ElapsedMS     float64 `json:"elapsed_ms"`
@@ -111,6 +116,8 @@ func run(args []string) error {
 	jsonPath := fs.String("json", "", "write the reports as JSON to this file")
 	tracePath := fs.String("trace", "", "write the final run's causal trace as Chrome trace_event JSON (open in chrome://tracing or Perfetto)")
 	noTrace := fs.Bool("notrace", false, "disable the per-node trace rings (tracing is on by default; used to measure its overhead)")
+	ring := fs.Bool("ring", false, "place steps by consistent hash (membership layer on) instead of static round-robin wiring")
+	joinMid := fs.Bool("join", false, "boot one extra node mid-run and let the rebalancer migrate its ring share of live agents over (implies -ring)")
 	chaosMode := fs.Bool("chaos", false, "run the seeded fault-injection harness instead of the plain load")
 	chaosSeed := fs.Int64("chaos-seed", -1, "chaos: replay exactly this seed (prints the schedule)")
 	chaosSeeds := fs.Int("chaos-seeds", 5, "chaos: number of consecutive seeds to sweep")
@@ -178,6 +185,8 @@ func run(args []string) error {
 				NoCoalesce:    *noBatch,
 				TraceRing:     traceRing,
 				CollectTrace:  *tracePath != "",
+				Ring:          *ring || *joinMid,
+				JoinMidRun:    *joinMid,
 			})
 			if err != nil {
 				return err
@@ -190,6 +199,9 @@ func run(args []string) error {
 				Store:          backend,
 				Wire:           *wireFmt,
 				Batching:       !*noBatch,
+				Ring:           *ring || *joinMid,
+				JoinMidRun:     *joinMid,
+				Migrations:     res.Metrics.Migrations,
 				ConflictRatio:  *conflict,
 				StepWorkMS:     float64(stepwork.Microseconds()) / 1000,
 				ElapsedMS:      float64(res.Elapsed.Microseconds()) / 1000,
@@ -233,6 +245,9 @@ func run(args []string) error {
 			fmt.Printf("workers=%-3d store=%-4s wire=%-6s agents/s=%-8.1f steps/s=%-8.1f p50=%6.2fms p99=%7.2fms elapsed=%7.1fms inflight=%-3d goroutines=%-4d claimConf=%-4d lockAborts=%-3d retries=%-4d msgs=%-6d avgBatch=%.2f\n",
 				r.Workers, r.Store, r.Wire, r.AgentsPerSec, r.StepsPerSec, r.P50MS, r.P99MS, r.ElapsedMS,
 				r.InFlightPeak, r.GoroutinePeak, r.ClaimConflict, r.LockAborts, r.Retries, r.Messages, r.AvgBatchSize)
+			if r.Ring {
+				fmt.Printf("ring placement: join_mid_run=%v migrations=%d\n", r.JoinMidRun, r.Migrations)
+			}
 		}
 	}
 	if len(reports) > 1 && len(backends) == 1 {

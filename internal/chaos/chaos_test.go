@@ -26,6 +26,7 @@ var (
 	chaosStore   = flag.String("chaos-store", "mem", "stable engine per node: mem|file|wal")
 	chaosWorkers = flag.Int("chaos-workers", 1, "scheduler workers per node")
 	chaosWire    = flag.String("chaos-wire", "binary", "wire format: binary|gob")
+	chaosChurn   = flag.Int("chaos-churn", 0, "membership churn draws per seed (joins + leaves; 0 disables)")
 )
 
 func chaosOptions(seed int64) chaos.Options {
@@ -34,6 +35,7 @@ func chaosOptions(seed int64) chaos.Options {
 		Store:   *chaosStore,
 		Workers: *chaosWorkers,
 		Wire:    *chaosWire,
+		Churn:   *chaosChurn,
 	}
 }
 
@@ -211,6 +213,46 @@ func TestChaosDetectsInjectedViolation(t *testing.T) {
 	}
 	if !second.Failed() {
 		t.Error("replay of the failing seed did not reproduce the violation")
+	}
+}
+
+// TestChaosChurn runs seeds whose schedules include membership churn:
+// nodes join (and some drain back out) while crashes, partitions and
+// message faults fire, so live agents migrate under fire. Conservation
+// and exactly-once must hold across the migrations.
+func TestChaosChurn(t *testing.T) {
+	for _, seed := range []int64{11, 12} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			res, err := chaos.Run(chaos.Options{
+				Seed:    seed,
+				Churn:   2,
+				Agents:  10,
+				Steps:   4,
+				Gen:     chaos.GenConfig{Faults: 4, Horizon: 900 * time.Millisecond},
+				Timeout: time.Minute,
+			})
+			if err != nil {
+				t.Fatalf("harness error: %v", err)
+			}
+			joins := 0
+			for _, e := range res.Schedule.Events {
+				if e.Op == chaos.OpJoin {
+					joins++
+				}
+			}
+			if joins == 0 {
+				t.Fatalf("churn run drew no joins:\n%s", res.Schedule.String())
+			}
+			t.Logf("%s migrations=%d aborts=%d refusals=%d",
+				res.Summary(), res.Metrics.Migrations, res.Metrics.MigrationAborts, res.Metrics.AdoptionRefusals)
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			if t.Failed() {
+				t.Logf("\n%s", res.Schedule.String())
+			}
+		})
 	}
 }
 

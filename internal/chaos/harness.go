@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/agent"
@@ -56,6 +57,14 @@ type Options struct {
 	// the deposit — an injected protocol violation the invariant checker
 	// must catch (used to validate the harness itself).
 	SkipCompensation bool
+
+	// Churn draws this many membership join (and ~half as many leave)
+	// events into the schedule, so crashes and partitions fire while
+	// live agents migrate between nodes. Churn cells run the workload
+	// ring-placed ("@ring:<key>" locations instead of fixed node names)
+	// and with rollbacks disabled: a compensation targets the concrete
+	// node its step ran on, which may have permanently left.
+	Churn int
 }
 
 func (o *Options) fillDefaults() {
@@ -76,6 +85,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.Wire == "" {
 		o.Wire = "binary"
+	}
+	if o.Churn > 0 {
+		o.RollbackRatio = -1 // see the Churn comment: no rollbacks under churn
 	}
 	if o.RollbackRatio == 0 {
 		o.RollbackRatio = 1.0 / 3
@@ -227,6 +239,7 @@ func run(opts Options, fixed *Schedule) (*Result, error) {
 		StoreFactory: factory,
 		ReopenStores: factory != nil, // durable engines run real recovery
 		FaultSeed:    opts.Seed,      // probabilistic faults replay with the seed
+		Membership:   opts.Churn > 0,
 	})
 	names := make([]string, opts.Nodes)
 	for i := range names {
@@ -246,11 +259,7 @@ func run(opts Options, fixed *Schedule) (*Result, error) {
 	}
 	defer cl.Close()
 	for _, n := range names {
-		nd, _ := cl.Node(n)
-		if err := cl.WithTx(n, func(tx *txn.Tx, _ *node.Node) error {
-			r, _ := nd.Resource("bank")
-			return r.(*resource.Bank).OpenAccount(tx, sinkAccount, 0)
-		}); err != nil {
+		if err := openSink(cl, n); err != nil {
 			return nil, err
 		}
 	}
@@ -340,7 +349,9 @@ func run(opts Options, fixed *Schedule) (*Result, error) {
 	if err := checkConservation(res, cl, rollback, opts); err != nil {
 		return nil, err
 	}
-	if err := checkQueuesEmpty(res, cl, names); err != nil {
+	// cl.NodeNames(), not names: joined churn nodes (and drained-out
+	// leavers, whose queues must have emptied) are checked too.
+	if err := checkQueuesEmpty(res, cl, cl.NodeNames()); err != nil {
 		return nil, err
 	}
 	res.Metrics = counters.Snapshot().Sub(before)
@@ -401,7 +412,27 @@ func writeTimelineArtifact(opts Options, res *Result) {
 func genConfig(opts Options, names []string) GenConfig {
 	g := opts.Gen
 	g.Nodes = names
+	if opts.Churn > 0 {
+		g.Churn = opts.Churn
+		for i := 0; i < opts.Churn; i++ {
+			g.JoinNames = append(g.JoinNames, joinName(i))
+		}
+	}
 	return g
+}
+
+func joinName(i int) string { return fmt.Sprintf("j%d", i) }
+
+// openSink opens the shared sink account on one node's bank.
+func openSink(cl *cluster.Cluster, name string) error {
+	nd, ok := cl.Node(name)
+	if !ok {
+		return fmt.Errorf("chaos: no node %q", name)
+	}
+	return cl.WithTx(name, func(tx *txn.Tx, _ *node.Node) error {
+		r, _ := nd.Resource("bank")
+		return r.(*resource.Bank).OpenAccount(tx, sinkAccount, 0)
+	})
 }
 
 // registerWorkload registers the chaos steps and compensations: every
@@ -501,11 +532,19 @@ func launchAgent(cl *cluster.Cluster, i int, rollback bool, opts Options) (<-cha
 	start := i % opts.Nodes
 	sub := &itinerary.Sub{ID: "job-" + id}
 	for s := 0; s < opts.Steps; s++ {
-		sub.Entries = append(sub.Entries, itinerary.Step{
-			Method: "chaos.work", Loc: nodeName((start + s) % opts.Nodes),
-		})
+		loc := nodeName((start + s) % opts.Nodes)
+		if opts.Churn > 0 {
+			// Ring-placed: churn can move the step to whichever node owns
+			// the key when the hand-off happens.
+			loc = fmt.Sprintf("%s:%s-s%d", node.RingLoc, id, s)
+		}
+		sub.Entries = append(sub.Entries, itinerary.Step{Method: "chaos.work", Loc: loc})
 	}
-	sub.Entries = append(sub.Entries, itinerary.Step{Method: "chaos.decide", Loc: nodeName(start)})
+	decideLoc := nodeName(start)
+	if opts.Churn > 0 {
+		decideLoc = node.RingLoc
+	}
+	sub.Entries = append(sub.Entries, itinerary.Step{Method: "chaos.decide", Loc: decideLoc})
 	it, err := itinerary.New(sub)
 	if err != nil {
 		return nil, err
@@ -523,8 +562,13 @@ func launchAgent(cl *cluster.Cluster, i int, rollback bool, opts Options) (<-cha
 // execute applies the schedule against the cluster in real time, then
 // quiesces: every crashed node is recovered, every partition healed and
 // every fault cleared, so the workload is guaranteed to finish (§4.3
-// assumes crashes and network failures are temporary).
+// assumes crashes and network failures are temporary). Leaves run
+// asynchronously: a drain can only finish once the nodes holding the new
+// owners are reachable again, which may require recover/heal events that
+// come later in the schedule.
 func execute(cl *cluster.Cluster, sched Schedule, start time.Time) error {
+	var leaves sync.WaitGroup
+	leaveErr := make(chan error, len(sched.Events))
 	for _, ev := range sched.Events {
 		if d := time.Until(start.Add(ev.At)); d > 0 {
 			time.Sleep(d)
@@ -544,6 +588,18 @@ func execute(cl *cluster.Cluster, sched Schedule, start time.Time) error {
 			cl.SetLinkFaults(ev.A, ev.B, ev.Faults)
 		case OpClearFaults:
 			cl.SetLinkFaults(ev.A, ev.B, network.LinkFaults{})
+		case OpJoin:
+			if err := joinNode(cl, ev.Node); err != nil {
+				return err
+			}
+		case OpLeave:
+			leaves.Add(1)
+			go func(name string) {
+				defer leaves.Done()
+				if err := cl.Leave(name, time.Minute); err != nil {
+					leaveErr <- fmt.Errorf("chaos: leave %s: %w", name, err)
+				}
+			}(ev.Node)
 		}
 	}
 	for _, n := range cl.CrashedNodes() {
@@ -553,7 +609,24 @@ func execute(cl *cluster.Cluster, sched Schedule, start time.Time) error {
 	}
 	cl.HealAllLinks()
 	cl.ClearLinkFaults()
-	return nil
+	leaves.Wait()
+	select {
+	case err := <-leaveErr:
+		return err
+	default:
+		return nil
+	}
+}
+
+// joinNode boots one churn node with the workload's bank and sink.
+func joinNode(cl *cluster.Cluster, name string) error {
+	bank := func(store stable.Store) (resource.Resource, error) {
+		return resource.NewBank(store, "bank", true)
+	}
+	if err := cl.Join(name, node.ResourceFactory(bank)); err != nil {
+		return err
+	}
+	return openSink(cl, name)
 }
 
 // recoverNode recovers one crashed node, tolerating "not crashed".

@@ -48,6 +48,14 @@ const (
 	OpFaults
 	// OpClearFaults removes the faults installed on a link.
 	OpClearFaults
+	// OpJoin boots an additional node mid-run (membership churn): it
+	// announces itself, and every node's rebalancer migrates its ring
+	// share of live agents over — while the surrounding crash/partition
+	// windows keep firing.
+	OpJoin
+	// OpLeave drains a previously joined node back out: Left status
+	// floods, its agents migrate to the new owners, then it detaches.
+	OpLeave
 )
 
 func (o Op) String() string {
@@ -64,6 +72,10 @@ func (o Op) String() string {
 		return "faults"
 	case OpClearFaults:
 		return "clear-faults"
+	case OpJoin:
+		return "join"
+	case OpLeave:
+		return "leave"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
@@ -80,7 +92,7 @@ type Event struct {
 
 func (e Event) String() string {
 	switch e.Op {
-	case OpCrash, OpRecover:
+	case OpCrash, OpRecover, OpJoin, OpLeave:
 		return fmt.Sprintf("t=%-8s %-12s %s", e.At, e.Op, e.Node)
 	case OpFaults:
 		return fmt.Sprintf("t=%-8s %-12s %s<->%s drop=%.2f dup=%.2f reorder=%.2f delay=%s spike=%s",
@@ -117,8 +129,14 @@ func (s *Schedule) Counts() (crashes, partitions, faultWindows int) {
 func (s *Schedule) String() string {
 	var b strings.Builder
 	crashes, parts, faults := s.Counts()
-	fmt.Fprintf(&b, "chaos schedule seed=%d nodes=%v (%d crashes, %d partitions, %d fault windows)\n",
-		s.Seed, s.Nodes, crashes, parts, faults)
+	joins := 0
+	for _, e := range s.Events {
+		if e.Op == OpJoin {
+			joins++
+		}
+	}
+	fmt.Fprintf(&b, "chaos schedule seed=%d nodes=%v (%d crashes, %d partitions, %d fault windows, %d joins)\n",
+		s.Seed, s.Nodes, crashes, parts, faults, joins)
 	for _, e := range s.Events {
 		fmt.Fprintf(&b, "  %s\n", e)
 	}
@@ -139,6 +157,16 @@ type GenConfig struct {
 	MaxDuplicate float64       // duplicate-probability cap (default 0.25)
 	MaxReorder   float64       // reorder-probability cap (default 0.25)
 	MaxSpike     time.Duration // latency-spike cap (default 2ms)
+
+	// Churn is the number of membership-churn draws: each boots
+	// JoinNames[i] somewhere in the first half of the horizon (so its
+	// rebalancing overlaps the crash/partition windows), and about half
+	// the joins are followed by a drain-out leave of the same node later
+	// on. Only previously joined nodes ever leave — the original Nodes
+	// stay, because the workload's completion notifications and the
+	// crash/partition draws target them. Zero disables churn.
+	Churn     int
+	JoinNames []string // names for joined nodes; must cover Churn draws
 }
 
 func (g *GenConfig) fillDefaults() {
@@ -273,6 +301,18 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 					Event{At: at + hold, Op: OpClearFaults, A: a, B: b})
 			}
 			break
+		}
+	}
+	for i := 0; i < cfg.Churn && i < len(cfg.JoinNames); i++ {
+		name := cfg.JoinNames[i]
+		at := time.Duration(rng.Int63n(int64(cfg.Horizon/2) + 1))
+		events = append(events, Event{At: at, Op: OpJoin, Node: name})
+		if rng.Intn(2) == 0 {
+			// Drain back out later in the horizon, leaving room for the
+			// join's rebalancing to actually move agents first.
+			lo := at + cfg.Horizon/4
+			leaveAt := lo + time.Duration(rng.Int63n(int64(cfg.Horizon-lo)+1))
+			events = append(events, Event{At: leaveAt, Op: OpLeave, Node: name})
 		}
 	}
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })

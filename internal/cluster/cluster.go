@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/core"
+	"repro/internal/membership"
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/node"
@@ -90,6 +91,15 @@ type Options struct {
 	// Tracers are stamped from Clock and survive Crash/Recover, so a
 	// node's timeline spans simulated reboots.
 	TraceRing int
+	// Membership gives every node a membership manager: views flood via
+	// announcements, "@ring" step locations resolve through the
+	// consistent-hash ring, and each node rebalances misplaced agents.
+	// It also enables Join (boot a node mid-run) and Leave (drain and
+	// detach a node).
+	Membership bool
+	// VNodes overrides the ring's virtual-node count per member (default
+	// membership.DefaultVNodes).
+	VNodes int
 }
 
 // Result is the final outcome of one agent delivered to the collector.
@@ -106,6 +116,11 @@ type nodeState struct {
 	store     stable.Store
 	factories []node.ResourceFactory
 	crashed   bool
+	// left: the node was drained out via Leave. The runtime is stopped
+	// and detached from the network, but — unlike a crash — the state is
+	// terminal, and the node object and store stay readable so
+	// invariant checks can still sum its resources.
+	left bool
 }
 
 // Cluster is a simulated multi-node agent system.
@@ -257,6 +272,12 @@ func (c *Cluster) bootNode(name string) error {
 		Counters:     c.counters,
 		Tracer:       c.nodeTracer(name),
 	}
+	if c.opts.Membership {
+		// A fresh manager per boot: the view is volatile (like the rest
+		// of the node's soft state); the boot announcement plus
+		// anti-entropy replies re-teach a recovered node the present.
+		cfg.Membership = membership.NewManager(name, c.opts.VNodes, c.seedMembers()...)
+	}
 	if c.opts.NodeOverride != nil {
 		c.opts.NodeOverride(name, &cfg)
 	}
@@ -270,6 +291,134 @@ func (c *Cluster) bootNode(name string) error {
 	c.mu.Unlock()
 	n.Start()
 	return nil
+}
+
+// seedMembers builds the epoch-0 membership hints a booting node starts
+// from: every registered, not-left node. Hints only say "announce to
+// these"; real entries learned from the flood override them.
+func (c *Cluster) seedMembers() []membership.Member {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seeds := make([]membership.Member, 0, len(c.nodes))
+	for name, st := range c.nodes {
+		if st.left {
+			continue
+		}
+		seeds = append(seeds, membership.Member{Name: name, Status: membership.Alive, Epoch: 0})
+	}
+	return seeds
+}
+
+// Join registers and boots an additional node after Start — the
+// membership join path. The newcomer's boot announcement floods its
+// existence; every node's ring then includes it, and their rebalancers
+// migrate its fair share of ring-placed agents over. Requires
+// Options.Membership (without it the existing nodes would never learn
+// the new name).
+func (c *Cluster) Join(name string, factories ...node.ResourceFactory) error {
+	if !c.opts.Membership {
+		return errors.New("cluster: Join requires Options.Membership")
+	}
+	c.mu.Lock()
+	started := c.started
+	c.mu.Unlock()
+	if !started {
+		return errors.New("cluster: Join before Start (use AddNode)")
+	}
+	store, err := c.newStore(name)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.nodes[name] != nil {
+		c.mu.Unlock()
+		if closer, ok := store.(io.Closer); ok {
+			_ = closer.Close()
+		}
+		return fmt.Errorf("cluster: duplicate node %q", name)
+	}
+	c.nodes[name] = &nodeState{store: store, factories: factories}
+	c.mu.Unlock()
+	if err := c.bootNode(name); err != nil {
+		return err
+	}
+	n, _ := c.Node(name)
+	timer := time.NewTimer(5 * time.Second)
+	defer timer.Stop()
+	select {
+	case <-n.Ready():
+		return nil
+	case <-timer.C:
+		return fmt.Errorf("cluster: join %q: ready timeout", name)
+	}
+}
+
+// Leave drains a node out of the cluster: its Left status floods, its
+// rebalancer migrates every ring-placed agent to the new owners (and the
+// node refuses new adoptions), and once the input queue is empty with no
+// claims or staged hand-offs in flight, the runtime stops and detaches
+// from the network. The node object and its store remain readable — a
+// departed node's resources still count in conservation sums.
+func (c *Cluster) Leave(name string, timeout time.Duration) error {
+	if !c.opts.Membership {
+		return errors.New("cluster: Leave requires Options.Membership")
+	}
+	n, ok := c.Node(name)
+	if !ok {
+		return fmt.Errorf("cluster: no node %q", name)
+	}
+	c.mu.Lock()
+	if c.nodes[name].left {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: node %q already left", name)
+	}
+	c.mu.Unlock()
+	n.AnnounceStatus(name, membership.Left)
+	deadline := time.Now().Add(timeout)
+	// Two consecutive clean reads: one could race an entry between its
+	// claim release and the rebalancer's next hand-off.
+	for streak := 0; streak < 2; {
+		depth, err := n.Queue().Len()
+		if err != nil {
+			return err
+		}
+		staged, err := n.Queue().StagedTxns()
+		if err != nil {
+			return err
+		}
+		claimed := n.Queue().Claimed()
+		if depth == 0 && claimed == 0 && len(staged) == 0 {
+			streak++
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		streak = 0
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: leave %q: not drained after %v (%d queued, %d claimed, %d staged)",
+				name, timeout, depth, claimed, len(staged))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.mu.Lock()
+	c.nodes[name].left = true
+	c.mu.Unlock()
+	c.sim.Crash(name)
+	n.Stop()
+	return nil
+}
+
+// LeftNodes returns the names of nodes drained out via Leave, sorted.
+func (c *Cluster) LeftNodes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var names []string
+	for name, st := range c.nodes {
+		if st.left {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 // nodeTracer returns the node's trace ring, creating it on first boot
@@ -428,7 +577,7 @@ func (c *Cluster) Run(a *agent.Agent, entered []string, at string, timeout time.
 func (c *Cluster) Crash(name string) error {
 	c.mu.Lock()
 	st, ok := c.nodes[name]
-	if !ok || st.n == nil || st.crashed {
+	if !ok || st.n == nil || st.crashed || st.left {
 		c.mu.Unlock()
 		return fmt.Errorf("cluster: cannot crash %q", name)
 	}
@@ -532,7 +681,7 @@ func (c *Cluster) Close() {
 	}
 	c.mu.Unlock()
 	for _, st := range nodes {
-		if st.n != nil && !st.crashed {
+		if st.n != nil && !st.crashed && !st.left {
 			st.n.Stop()
 		}
 		if closer, ok := st.store.(io.Closer); ok {

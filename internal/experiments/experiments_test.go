@@ -240,3 +240,35 @@ func TestThroughputHarness(t *testing.T) {
 		t.Error("scheduler claimed nothing; pool not engaged")
 	}
 }
+
+// TestThroughputJoinMidRun: the join smoke the CI loadgen job runs — ring
+// placement with a 5th node booting mid-run. The exactly-once sink check
+// inside RunThroughput (sum over all nodes, including the joiner) is the
+// zero-lost/zero-duplicated-steps assertion; here we additionally require
+// that the joiner actually received load via transactional migrations.
+func TestThroughputJoinMidRun(t *testing.T) {
+	res, err := RunThroughput(ThroughputConfig{
+		Nodes: 4, Workers: 2, Agents: 24, Steps: 6, Banks: 2,
+		StepWork: 4 * time.Millisecond, Ring: true, JoinMidRun: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.StepTxns != 24*6 {
+		t.Errorf("step txns = %d, want 144", res.Metrics.StepTxns)
+	}
+	if res.Metrics.Migrations == 0 {
+		t.Error("mid-run join triggered no migrations")
+	}
+	t.Logf("migrations=%d bytes=%d aborts=%d refusals=%d",
+		res.Metrics.Migrations, res.Metrics.MigrationBytes,
+		res.Metrics.MigrationAborts, res.Metrics.AdoptionRefusals)
+}
+
+// JoinMidRun without ring placement is a configuration error: a joiner
+// owns nothing under static wiring, so the run would assert vacuously.
+func TestThroughputJoinNeedsRing(t *testing.T) {
+	if _, err := RunThroughput(ThroughputConfig{JoinMidRun: true}); err == nil {
+		t.Fatal("JoinMidRun without Ring accepted")
+	}
+}

@@ -64,6 +64,15 @@ type ThroughputConfig struct {
 	// ThroughputResult.TraceRecords after the run (they are dropped
 	// otherwise — a full sweep's records would dwarf the report).
 	CollectTrace bool
+	// Ring runs the cluster with the membership layer on and places
+	// every step by consistent hash (@ring itinerary locations) instead
+	// of static round-robin wiring.
+	Ring bool
+	// JoinMidRun boots one extra node partway through the run (Ring
+	// only): every node's rebalancer migrates the new node's ring share
+	// of live agents over while the load keeps flowing, and the
+	// exactly-once sink check at the end covers the migrated steps.
+	JoinMidRun bool
 }
 
 func (cfg *ThroughputConfig) fillDefaults() {
@@ -139,16 +148,10 @@ func BuildThroughputCluster(cfg ThroughputConfig) (*cluster.Cluster, error) {
 		Counters:     counters,
 		StoreFactory: factory,
 		TraceRing:    cfg.TraceRing,
+		Membership:   cfg.Ring,
 	})
 	for i := 0; i < cfg.Nodes; i++ {
-		var factories []node.ResourceFactory
-		for b := 0; b < cfg.Banks; b++ {
-			name := fmt.Sprintf("bank%d", b)
-			factories = append(factories, func(store stable.Store) (resource.Resource, error) {
-				return resource.NewBank(store, name, true)
-			})
-		}
-		if err := cl.AddNode(workerName(i), factories...); err != nil {
+		if err := cl.AddNode(workerName(i), tputFactories(cfg)...); err != nil {
 			return nil, err
 		}
 	}
@@ -205,24 +208,41 @@ func BuildThroughputCluster(cfg ThroughputConfig) (*cluster.Cluster, error) {
 		return nil, err
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		name := workerName(i)
-		nd, ok := cl.Node(name)
-		if !ok {
-			return nil, fmt.Errorf("throughput: node %s missing", name)
-		}
-		if err := cl.WithTx(name, func(tx *txn.Tx, _ *node.Node) error {
-			for b := 0; b < cfg.Banks; b++ {
-				r, _ := nd.Resource(fmt.Sprintf("bank%d", b))
-				if err := r.(*resource.Bank).OpenAccount(tx, sinkAccount, 0); err != nil {
-					return err
-				}
-			}
-			return nil
-		}); err != nil {
+		if err := tputOpenSinks(cl, workerName(i), cfg.Banks); err != nil {
 			return nil, err
 		}
 	}
 	return cl, nil
+}
+
+// tputFactories builds the per-node bank resource set (shared by the
+// initial nodes and any node joined mid-run).
+func tputFactories(cfg ThroughputConfig) []node.ResourceFactory {
+	var factories []node.ResourceFactory
+	for b := 0; b < cfg.Banks; b++ {
+		name := fmt.Sprintf("bank%d", b)
+		factories = append(factories, func(store stable.Store) (resource.Resource, error) {
+			return resource.NewBank(store, name, true)
+		})
+	}
+	return factories
+}
+
+// tputOpenSinks opens the sink account in every bank on one node.
+func tputOpenSinks(cl *cluster.Cluster, name string, banks int) error {
+	nd, ok := cl.Node(name)
+	if !ok {
+		return fmt.Errorf("throughput: node %s missing", name)
+	}
+	return cl.WithTx(name, func(tx *txn.Tx, _ *node.Node) error {
+		for b := 0; b < banks; b++ {
+			r, _ := nd.Resource(fmt.Sprintf("bank%d", b))
+			if err := r.(*resource.Bank).OpenAccount(tx, sinkAccount, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // tputItinerary builds one agent's itinerary: Steps steps round-robin over
@@ -230,9 +250,14 @@ func BuildThroughputCluster(cfg ThroughputConfig) (*cluster.Cluster, error) {
 func tputItinerary(id string, start int, cfg ThroughputConfig) (*itinerary.Itinerary, error) {
 	sub := &itinerary.Sub{ID: "load-" + id}
 	for s := 0; s < cfg.Steps; s++ {
-		sub.Entries = append(sub.Entries, itinerary.Step{
-			Method: "tput.work", Loc: workerName((start + s) % cfg.Nodes),
-		})
+		loc := workerName((start + s) % cfg.Nodes)
+		if cfg.Ring {
+			// A distinct ring key per step spreads the agent's steps over
+			// the owners (and hands a mid-run joiner its fair share of the
+			// remaining steps) instead of pinning each agent to one node.
+			loc = fmt.Sprintf("%s:%s-s%d", node.RingLoc, id, s)
+		}
+		sub.Entries = append(sub.Entries, itinerary.Step{Method: "tput.work", Loc: loc})
 	}
 	return itinerary.New(sub)
 }
@@ -242,6 +267,9 @@ func tputItinerary(id string, start int, cfg ThroughputConfig) (*itinerary.Itine
 // step-latency percentiles.
 func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	cfg.fillDefaults()
+	if cfg.JoinMidRun && !cfg.Ring {
+		return ThroughputResult{}, errors.New("throughput: JoinMidRun needs Ring placement (a joiner owns nothing under static wiring)")
+	}
 	if cfg.Store != "" && cfg.Store != "mem" && cfg.StoreDir == "" {
 		dir, err := os.MkdirTemp("", "tput-"+cfg.Store)
 		if err != nil {
@@ -312,6 +340,25 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 		}
 		chans[i] = ch
 	}
+	joinErr := make(chan error, 1)
+	if cfg.JoinMidRun {
+		go func() {
+			// Land the join mid-run: late enough that the load is spread
+			// out, early enough that plenty of steps remain to migrate.
+			delay := time.Duration(cfg.Steps) * cfg.StepWork / 3
+			if delay < 25*time.Millisecond {
+				delay = 25 * time.Millisecond
+			}
+			time.Sleep(delay)
+			name := workerName(cfg.Nodes)
+			if err := cl.Join(name, tputFactories(cfg)...); err != nil {
+				joinErr <- err
+				return
+			}
+			// Steps migrated here before the sinks open fail and retry.
+			joinErr <- tputOpenSinks(cl, name, cfg.Banks)
+		}()
+	}
 	timeout := cfg.Timeout
 	if timeout <= 0 {
 		timeout = runTimeout
@@ -335,14 +382,19 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	elapsed := time.Since(start)
 	close(gorStop)
 	gorPeak := <-gorSamples
+	if runErr == nil && cfg.JoinMidRun {
+		if err := <-joinErr; err != nil {
+			runErr = fmt.Errorf("throughput: mid-run join: %w", err)
+		}
+	}
 	if runErr != nil {
 		return ThroughputResult{}, runErr
 	}
 
-	// Invariant: every step deposited exactly once.
+	// Invariant: every step deposited exactly once. NodeNames covers the
+	// mid-run joiner too — migrated steps deposited into its banks.
 	var total int64
-	for i := 0; i < cfg.Nodes; i++ {
-		name := workerName(i)
+	for _, name := range cl.NodeNames() {
 		nd, _ := cl.Node(name)
 		if err := cl.WithTx(name, func(tx *txn.Tx, _ *node.Node) error {
 			for b := 0; b < cfg.Banks; b++ {

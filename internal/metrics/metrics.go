@@ -70,6 +70,15 @@ type Counters struct {
 	timersFired         atomic.Int64
 	timersCanceled      atomic.Int64
 
+	// Membership / migration (internal/membership driven by
+	// internal/node's rebalancer) instrumentation.
+	memberAnnounces  atomic.Int64
+	ringChanges      atomic.Int64
+	migrations       atomic.Int64
+	migrationBytes   atomic.Int64
+	migrationAborts  atomic.Int64
+	adoptionRefusals atomic.Int64
+
 	// WAL storage engine (internal/stable/wal) instrumentation.
 	walRotations      atomic.Int64
 	walCompactions    atomic.Int64
@@ -124,6 +133,13 @@ type Snapshot struct {
 	TimersArmed         int64 // protocol timers armed on the wheel
 	TimersFired         int64 // protocol timers that fired
 	TimersCanceled      int64 // protocol timers canceled before firing
+
+	MemberAnnounces  int64 // membership announcements received over the wire
+	RingChanges      int64 // local ring rebuilds after a view change
+	Migrations       int64 // agents migrated off this node by the rebalancer
+	MigrationBytes   int64 // encoded container bytes moved by migrations
+	MigrationAborts  int64 // migration hand-offs aborted (retried later)
+	AdoptionRefusals int64 // duplicate adoptions refused by the epoch guard
 
 	WALRotations      int64 // WAL segments sealed and rotated
 	WALCompactions    int64 // cold segments compacted and deleted
@@ -276,6 +292,27 @@ func (c *Counters) IncTimerFired() { c.timersFired.Add(1) }
 
 // IncTimerCanceled records one protocol timer canceled before firing.
 func (c *Counters) IncTimerCanceled() { c.timersCanceled.Add(1) }
+
+// IncMemberAnnounce records one membership announcement received.
+func (c *Counters) IncMemberAnnounce() { c.memberAnnounces.Add(1) }
+
+// IncRingChange records one local consistent-hash ring rebuild.
+func (c *Counters) IncRingChange() { c.ringChanges.Add(1) }
+
+// IncMigration records one agent migrated off this node (container of n
+// encoded bytes handed to its new owner through the 2PC hand-off).
+func (c *Counters) IncMigration(n int64) {
+	c.migrations.Add(1)
+	c.migrationBytes.Add(n)
+}
+
+// IncMigrationAbort records one migration hand-off that aborted (the
+// rebalancer retries on the next sweep).
+func (c *Counters) IncMigrationAbort() { c.migrationAborts.Add(1) }
+
+// IncAdoptionRefusal records a duplicate adoption refused by the
+// destination's agent-epoch guard.
+func (c *Counters) IncAdoptionRefusal() { c.adoptionRefusals.Add(1) }
 
 // IncWALRotation records one WAL segment sealed and a new one opened.
 func (c *Counters) IncWALRotation() { c.walRotations.Add(1) }
@@ -445,6 +482,13 @@ func (c *Counters) Snapshot() Snapshot {
 		TimersFired:         c.timersFired.Load(),
 		TimersCanceled:      c.timersCanceled.Load(),
 
+		MemberAnnounces:  c.memberAnnounces.Load(),
+		RingChanges:      c.ringChanges.Load(),
+		Migrations:       c.migrations.Load(),
+		MigrationBytes:   c.migrationBytes.Load(),
+		MigrationAborts:  c.migrationAborts.Load(),
+		AdoptionRefusals: c.adoptionRefusals.Load(),
+
 		WALRotations:      c.walRotations.Load(),
 		WALCompactions:    c.walCompactions.Load(),
 		WALCompactedBytes: c.walCompactedBytes.Load(),
@@ -537,6 +581,13 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		TimersArmed:         s.TimersArmed - o.TimersArmed,
 		TimersFired:         s.TimersFired - o.TimersFired,
 		TimersCanceled:      s.TimersCanceled - o.TimersCanceled,
+
+		MemberAnnounces:  s.MemberAnnounces - o.MemberAnnounces,
+		RingChanges:      s.RingChanges - o.RingChanges,
+		Migrations:       s.Migrations - o.Migrations,
+		MigrationBytes:   s.MigrationBytes - o.MigrationBytes,
+		MigrationAborts:  s.MigrationAborts - o.MigrationAborts,
+		AdoptionRefusals: s.AdoptionRefusals - o.AdoptionRefusals,
 
 		WALRotations:      s.WALRotations - o.WALRotations,
 		WALCompactions:    s.WALCompactions - o.WALCompactions,

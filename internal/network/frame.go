@@ -43,6 +43,7 @@ var frameKinds = [...]string{
 	16: "agent.launch.ack",
 	17: "agent.done",
 	18: "agent.done.ack",
+	19: "member.announce",
 }
 
 // frameKindCodes is the inverse of frameKinds.

@@ -149,6 +149,10 @@ func (n *Node) handle(msg network.Message) {
 		n.step(protocol.AckReceived{Kind: msg.Kind, TxnID: ack.TxnID, From: msg.From, OK: ack.OK, Err: ack.Err})
 	case kindAgentLaunch:
 		n.handleLaunch(msg)
+	case kindMemberAnnounce:
+		if n.members != nil {
+			n.handleAnnounce(msg)
+		}
 	case kindAgentDoneAck:
 		var ack protocol.AckMsg
 		if err := protocol.Decode(msg.Payload, &ack); err != nil {
@@ -169,7 +173,13 @@ func (n *Node) applyEffect(eff protocol.Effect, b *outBatch) {
 	case protocol.DeliverAck:
 		n.deliverAck(e.Kind, e.TxnID, protocol.AckMsg{TxnID: e.TxnID, OK: e.OK, Err: e.Err})
 	case protocol.StageEntry:
-		err := n.queue.Prepare(e.TxnID, e.EntryID, e.Data)
+		// Membership: a draining (Left) node and an already-adopted agent
+		// epoch are refused before anything touches stable storage — the
+		// coordinator sees a NOT-OK ack and aborts, same as a full queue.
+		err := n.adoptionGate(e)
+		if err == nil {
+			err = n.queue.Prepare(e.TxnID, e.EntryID, e.Data)
+		}
 		if err == nil {
 			n.stepInto(protocol.StageOutcome{TxnID: e.TxnID, OK: true}, b)
 		}
@@ -193,6 +203,9 @@ func (n *Node) applyEffect(eff protocol.Effect, b *outBatch) {
 			// queue.StagedTxns() every cycle. (The coordinator keeps its
 			// commit obligation too: refused ctl acks do not retire it.)
 			n.stepInto(protocol.RecoveredStaged{TxnID: e.TxnID}, b)
+		}
+		if err == nil {
+			n.resolveAdoption(e.TxnID, e.Commit)
 		}
 		if e.AckTo != "" {
 			reply := protocol.AckMsg{TxnID: e.TxnID, OK: err == nil}

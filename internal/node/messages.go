@@ -37,6 +37,11 @@ type Container struct {
 	Mode  Mode
 	SpID  string // rollback target savepoint (ModeRollback only)
 	Agent *agent.Agent
+	// Epoch versions migration hand-offs of this container. Zero on the
+	// ordinary step/rollback paths; the rebalancer bumps it before each
+	// migration so a destination can refuse adopting an agent epoch it
+	// has already adopted (duplicate-adoption guard, see membership.go).
+	Epoch int64
 }
 
 // EncodeContainer serializes a container for queue storage / transfer.

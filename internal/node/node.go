@@ -47,6 +47,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/core"
+	"repro/internal/membership"
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/protocol"
@@ -115,6 +116,12 @@ type Config struct {
 	// failures, recovery problems) with node/agent/txn attributes; nil
 	// discards them.
 	Logger *slog.Logger
+	// Membership, when set, turns on the membership layer: the node
+	// floods view announcements, resolves "@ring" step locations through
+	// the manager's consistent-hash ring, and runs a rebalancer that
+	// migrates misplaced ring-placed agents via 2PC hand-offs (see
+	// membership.go). Nil keeps the static-wiring behaviour.
+	Membership *membership.Manager
 }
 
 func (c *Config) fillDefaults() {
@@ -157,6 +164,12 @@ type Node struct {
 	// single-threaded. Never hold mu and pmu together.
 	pmu     sync.Mutex
 	machine *protocol.Machine
+
+	// members is cfg.Membership (nil without the membership layer);
+	// adopted/adopting (under mu) back the duplicate-adoption guard.
+	members  *membership.Manager
+	adopted  map[string]int64
+	adopting map[string]stagingAdoption
 
 	mu        sync.Mutex
 	resources map[string]resource.Resource
@@ -206,6 +219,9 @@ func New(cfg Config, ep network.Endpoint, store stable.Store, registry *agent.Re
 			StaleAfter:    2 * cfg.AckTimeout,
 		}),
 		factories: factories,
+		members:   cfg.Membership,
+		adopted:   make(map[string]int64),
+		adopting:  make(map[string]stagingAdoption),
 		resources: make(map[string]resource.Resource),
 		waiters:   make(map[string]chan protocol.AckMsg),
 		branchTx:  make(map[string]*txn.Tx),
@@ -250,6 +266,14 @@ func (n *Node) Start() {
 		defer n.wg.Done()
 		n.recoverThenWork()
 	}()
+	if n.members != nil {
+		n.wg.Add(1)
+		go n.rebalanceLoop()
+		// Introduce ourselves: a joining (or restarting) node's first
+		// announcement provokes anti-entropy replies that teach it the
+		// present view.
+		n.Announce()
+	}
 }
 
 // Stop halts the node, abandoning volatile state (the crash case). The

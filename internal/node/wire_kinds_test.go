@@ -31,6 +31,7 @@ func TestAllKindsHaveFrameCodes(t *testing.T) {
 		kindAgentLaunchAck,
 		kindAgentDone,
 		kindAgentDoneAck,
+		kindMemberAnnounce,
 	}
 	seen := make(map[byte]string, len(kinds))
 	for _, k := range kinds {

@@ -395,6 +395,13 @@ func (n *Node) runStep(entry *stable.Entry, c *Container, attempt int) error {
 		return permanent(err)
 	}
 	dest := protocol.PickDestination(next.Loc, next.Alt, attempt)
+	if key, ok := RingKey(next.Loc, a.ID); ok {
+		if n.members == nil {
+			_ = tx.Abort()
+			return permanent(fmt.Errorf("node %s: agent %s location %q needs the membership layer", n.cfg.Name, a.ID, next.Loc))
+		}
+		dest = n.ringDest(key)
+	}
 	var onCommit func()
 	if n.cfg.Counters != nil {
 		onCommit = n.cfg.Counters.IncStepTxn

@@ -8,11 +8,14 @@
 package obs
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 
+	"repro/internal/membership"
 	"repro/internal/metrics"
+	"repro/internal/stable"
 	"repro/internal/trace"
 )
 
@@ -27,6 +30,33 @@ type Config struct {
 	// Healthy reports whether the node is serving (e.g. recovery done);
 	// nil means always healthy.
 	Healthy func() bool
+	// Membership backs /ring; nil makes /ring return 404 (the node runs
+	// static wiring).
+	Membership *membership.Manager
+	// Queue adds local queue depth/claims to /ring; may be nil.
+	Queue *stable.Queue
+	// Adopted reports how many agents migrated in; may be nil.
+	Adopted func() int
+}
+
+// RingMember is one member entry in the /ring dump.
+type RingMember struct {
+	Name   string  `json:"name"`
+	Status string  `json:"status"`
+	Epoch  int64   `json:"epoch"`
+	Share  float64 `json:"share"` // fraction of the hash space owned; 0 when Left
+}
+
+// RingDump is the /ring response: this node's membership view, the ring
+// ownership it derives, and the local agent-placement stats. Exported so
+// agentctl decodes the same shape it serves.
+type RingDump struct {
+	Node    string       `json:"node"`
+	VNodes  int          `json:"vnodes"`
+	Members []RingMember `json:"members"`
+	Depth   int          `json:"queue_depth"`
+	Claimed int          `json:"queue_claimed"`
+	Adopted int          `json:"adopted"`
 }
 
 // Handler returns the admin-plane HTTP handler:
@@ -35,6 +65,9 @@ type Config struct {
 //	/healthz            200 "ok <node>" or 503 while not ready
 //	/trace              causal trace ring as a JSON record array;
 //	                    ?txn=ID, ?agent=ID filter, ?last=N tails
+//	/ring               membership view + consistent-hash shares +
+//	                    local placement stats as JSON (404 when the
+//	                    node runs static wiring)
 //	/debug/pprof/...    the standard Go profiling endpoints
 func Handler(cfg Config) http.Handler {
 	mux := http.NewServeMux()
@@ -82,6 +115,35 @@ func Handler(cfg Config) http.Handler {
 		trace.CausalSort(rs)
 		w.Header().Set("Content-Type", "application/json")
 		_ = trace.WriteJSON(w, rs)
+	})
+	mux.HandleFunc("/ring", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Membership == nil {
+			http.Error(w, "membership disabled", http.StatusNotFound)
+			return
+		}
+		view := cfg.Membership.View()
+		ring := cfg.Membership.Ring()
+		shares := ring.Shares()
+		d := RingDump{Node: cfg.Node, VNodes: ring.VNodes()}
+		for _, m := range view.Members {
+			d.Members = append(d.Members, RingMember{
+				Name:   m.Name,
+				Status: m.Status.String(),
+				Epoch:  m.Epoch,
+				Share:  shares[m.Name],
+			})
+		}
+		if cfg.Queue != nil {
+			d.Depth, _ = cfg.Queue.Len()
+			d.Claimed = cfg.Queue.Claimed()
+		}
+		if cfg.Adopted != nil {
+			d.Adopted = cfg.Adopted()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(d)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -7,7 +7,9 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/membership"
 	"repro/internal/metrics"
+	"repro/internal/stable"
 	"repro/internal/trace"
 )
 
@@ -116,6 +118,65 @@ func TestTraceDisabled(t *testing.T) {
 	h := Handler(Config{Node: "n1"})
 	if rec := get(t, h, "/trace"); rec.Code != http.StatusNotFound {
 		t.Errorf("disabled trace status = %d", rec.Code)
+	}
+}
+
+func TestRingEndpoint(t *testing.T) {
+	m := membership.NewManager("n1", 16,
+		membership.Member{Name: "n2", Status: membership.Alive, Epoch: 1},
+		membership.Member{Name: "n3", Status: membership.Left, Epoch: 2})
+	q := stable.NewQueue(stable.NewMemStore(nil), "q/")
+	if err := q.Enqueue("a1", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	h := Handler(Config{
+		Node:       "n1",
+		Membership: m,
+		Queue:      q,
+		Adopted:    func() int { return 3 },
+	})
+	rec := get(t, h, "/ring")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content type = %q", ct)
+	}
+	var d RingDump
+	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Node != "n1" || d.VNodes != 16 {
+		t.Errorf("node/vnodes = %q/%d", d.Node, d.VNodes)
+	}
+	if d.Depth != 1 || d.Claimed != 0 || d.Adopted != 3 {
+		t.Errorf("placement stats = depth=%d claimed=%d adopted=%d", d.Depth, d.Claimed, d.Adopted)
+	}
+	if len(d.Members) != 3 {
+		t.Fatalf("members = %+v", d.Members)
+	}
+	total := 0.0
+	byName := map[string]RingMember{}
+	for _, mm := range d.Members {
+		byName[mm.Name] = mm
+		total += mm.Share
+	}
+	// Left members report a zero share; the live ones split the space.
+	if byName["n3"].Status != "left" || byName["n3"].Share != 0 {
+		t.Errorf("left member = %+v", byName["n3"])
+	}
+	if byName["n1"].Status != "alive" || byName["n1"].Share <= 0 || byName["n2"].Share <= 0 {
+		t.Errorf("live members = %+v %+v", byName["n1"], byName["n2"])
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("shares sum to %v, want ~1", total)
+	}
+}
+
+func TestRingDisabled(t *testing.T) {
+	h := Handler(Config{Node: "n1"})
+	if rec := get(t, h, "/ring"); rec.Code != http.StatusNotFound {
+		t.Errorf("disabled ring status = %d", rec.Code)
 	}
 }
 

@@ -1,0 +1,51 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/stable"
+)
+
+// The pool claims through stable.Queue.Claim, so an installed claim fence
+// (the migration/drain gate) keeps workers off fenced agents without any
+// scheduler-side coordination: unfenced agents drain normally, fenced
+// ones sit untouched until the fence lifts, then drain too.
+func TestPoolRespectsQueueFence(t *testing.T) {
+	h := newHarness()
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := h.queue.Enqueue(fmt.Sprintf("a%02d", i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fenced := func(id string) bool { return id < "a05" }
+	h.queue.SetFence(fenced)
+
+	p := New(Config{
+		Workers: 4,
+		Queue:   h.queue,
+		Exec: func(e *stable.Entry, attempt int) error {
+			h.record(e.ID)
+			return h.consume(e)
+		},
+	})
+	p.Start()
+	defer p.Stop()
+
+	waitFor(t, "unfenced half processed", func() bool { return len(h.executed()) == n/2 })
+	// Give the pool a beat: it must NOT touch the fenced half.
+	time.Sleep(20 * time.Millisecond)
+	for _, id := range h.executed() {
+		if fenced(id) {
+			t.Fatalf("pool executed fenced agent %s", id)
+		}
+	}
+	if l, _ := h.queue.Len(); l != n/2 {
+		t.Fatalf("queue len %d, want the fenced half (%d) still queued", l, n/2)
+	}
+
+	h.queue.SetFence(nil)
+	waitFor(t, "fenced half drains after lift", func() bool { return len(h.executed()) == n })
+}

@@ -71,6 +71,14 @@ type Queue struct {
 	// cache and the store can never diverge observably.
 	seq       uint64
 	seqLoaded bool
+
+	// fence, when set, withholds matching agents from the worker Claim
+	// path. The membership rebalancer installs it while migrating agents
+	// away (and the drain before a Leave fences everything), so workers
+	// stop opening new step transactions on entries that are about to be
+	// handed to another node. TryClaim bypasses the fence — it *is* the
+	// rebalancer's path. Like claims, the fence is volatile.
+	fence func(id string) bool
 }
 
 // Entry is one committed queue element.
@@ -360,6 +368,9 @@ func (q *Queue) claimScan(skip func(id string) bool) (e *Entry, depth int, err e
 		if skip != nil && skip(id) {
 			continue
 		}
+		if q.fence != nil && q.fence(id) {
+			continue // withheld for migration (see SetFence)
+		}
 		if cached {
 			var rec entryRec
 			if rec, err = q.readEntry(k); err != nil {
@@ -435,6 +446,71 @@ func (q *Queue) Claimed() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return len(q.claimed)
+}
+
+// SetFence installs (or, with nil, removes) the claim fence: Claim passes
+// over entries whose agent ID f reports as fenced, exactly as if they were
+// claimed by someone else. Fenced entries stay visible, keep their FIFO
+// position and still count toward Len — only the worker hand-out path is
+// gated. A fence change wakes blocked consumers so a lifted fence is
+// noticed without a new enqueue.
+func (q *Queue) SetFence(f func(id string) bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.fence = f
+	q.signal()
+}
+
+// Entries returns the visible entries in FIFO order, including claimed
+// and fenced ones — the rebalancer's sweep listing. Entries that vanish
+// between the key listing and the read (a removal committing under a
+// released claim) are skipped rather than reported as corruption.
+func (q *Queue) Entries() ([]*Entry, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	keys, err := q.store.Keys(q.prefix + "e/")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Entry, 0, len(keys))
+	for _, k := range keys {
+		rec, err := q.readEntry(k)
+		if errors.Is(err, errEntryVanished) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Entry{ID: rec.ID, Data: rec.Data, key: k})
+	}
+	return out, nil
+}
+
+// TryClaim claims the specific entry e (by queue position), bypassing the
+// fence — the migration path's targeted claim. It fails (ok=false) when
+// the entry is claimed, when its agent has another entry in flight, or
+// when the entry is no longer in the store (consumed since the listing).
+// On success it returns the entry re-read from the store, so the caller
+// migrates the current container bytes, never a stale listing's.
+func (q *Queue) TryClaim(e *Entry) (*Entry, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, taken := q.claimed[e.key]; taken {
+		return nil, false, nil
+	}
+	rec, err := q.readEntry(e.key)
+	if errors.Is(err, errEntryVanished) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	if q.claimedIDs[rec.ID] > 0 {
+		return nil, false, nil // an older entry of this agent is in flight
+	}
+	q.claimed[e.key] = rec.ID
+	q.claimedIDs[rec.ID]++
+	return &Entry{ID: rec.ID, Data: rec.Data, key: e.key}, true, nil
 }
 
 // RemoveOp returns the batch Op deleting e; include it in the commit batch

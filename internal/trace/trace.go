@@ -54,6 +54,13 @@ const (
 	// OpStable is a stable-store transaction outcome (Name is one of
 	// commit, abort, prepare, commit-prepared; Txn the transaction).
 	OpStable
+	// OpMember is a membership view change (Name is the event — merge,
+	// set-status, announce; A the subject member, B its status).
+	OpMember
+	// OpMigrate follows one agent migration hand-off (Name is start,
+	// commit, abort or refuse; Agent the migrating agent, A the source,
+	// B the destination, N the container bytes).
+	OpMigrate
 )
 
 var opNames = [...]string{
@@ -69,6 +76,8 @@ var opNames = [...]string{
 	OpSchedAbort:  "sched-abort",
 	OpAgentStep:   "agent-step",
 	OpStable:      "stable",
+	OpMember:      "member",
+	OpMigrate:     "migrate",
 }
 
 func (o Op) String() string {
