@@ -25,7 +25,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log/slog"
 	"net/http"
 	"os"
@@ -45,7 +44,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/stable"
-	"repro/internal/stable/wal"
+	_ "repro/internal/stable/wal" // registers the wal engine for stable.Open
 	"repro/internal/trace"
 	"repro/internal/txn"
 )
@@ -68,15 +67,14 @@ func run(args []string) error {
 		seedFlag  = fs.String("seed", "", "semicolon-separated seeding directives: "+demo.FormatHint())
 		optimized = fs.Bool("optimized", true, "use the optimized (Figure 5) rollback algorithm")
 		workers   = fs.Int("workers", 1, "concurrent step-transaction workers (1 = the paper's serial node model)")
-		sync      = fs.Bool("sync", true, "fsync stable-storage writes (crash-safe across power loss); disable only for throwaway deployments")
-		storeKind = fs.String("store", "wal", "stable storage engine: wal (log-structured segments + checkpoints, recommended), file (one file per key), mem (volatile, testing only)")
-		segSize   = fs.Int64("wal-segment", 0, "wal engine: segment rotation size in bytes (0 = default 4 MiB)")
-		ckptEvery = fs.Int64("wal-checkpoint", 0, "wal engine: bytes appended between index checkpoints (0 = default 1 MiB, negative disables)")
 		obsAddr   = fs.String("obs-addr", "", "admin-plane listen address serving /metrics, /healthz, /trace, /ring and /debug/pprof (empty disables)")
 		members   = fs.String("members", "", "comma-separated peer node names seeding the membership view; enables consistent-hash placement (@ring itinerary locations) and live rebalancing (empty keeps static wiring)")
 		vnodes    = fs.Int("vnodes", 0, "virtual points per member on the consistent-hash ring (0 = default 128; only with -members)")
 		traceRing = fs.Int("trace-ring", 0, "causal trace ring size per node (0 = default 16384, negative disables tracing)")
 	)
+	// The storage knobs (-store, -sync, -wal-*, -repl*) are the shared
+	// flag surface: they parse into a stable.Spec in one place.
+	sflags := stable.BindFlags(fs, stable.Spec{Engine: "wal", Sync: true})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,13 +87,22 @@ func run(args []string) error {
 		return err
 	}
 
-	store, err := openStore(*storeKind, *dataDir, *sync, *segSize, *ckptEvery, logger)
+	spec, err := sflags.Spec()
 	if err != nil {
 		return err
 	}
-	if closer, ok := store.(io.Closer); ok {
-		defer closer.Close()
+	if spec.Repl.Enabled() {
+		// Replication needs the multi-node runtime to wire a transport
+		// between primaries and replica hosts (see stable.Spec.Repl); a
+		// standalone process has no peers to hold its replicas.
+		return fmt.Errorf("-repl is not supported by the standalone agentnode (replication is wired by the cluster runtime)")
 	}
+	spec.Dir = *dataDir
+	store, err := openStore(spec, logger)
+	if err != nil {
+		return err
+	}
+	defer stable.Close(store)
 	ep, err := network.NewTCP(network.TCPConfig{
 		Name:   *name,
 		Listen: *listen,
@@ -200,40 +207,33 @@ func run(args []string) error {
 	return nil
 }
 
-// openStore builds the node's stable store. Opening a data directory that
-// was written by a different engine is refused rather than silently
-// starting empty — the layouts are disjoint, so the agent queue and
-// resource states would all be invisible.
-func openStore(kind, dataDir string, sync bool, segSize, ckptEvery int64, logger *slog.Logger) (stable.Store, error) {
+// openStore builds the node's stable store through the unified
+// stable.Open path. Opening a data directory that was written by a
+// different engine is refused rather than silently starting empty — the
+// layouts are disjoint, so the agent queue and resource states would all
+// be invisible.
+func openStore(spec stable.Spec, logger *slog.Logger) (stable.Store, error) {
 	hasFileLayout := false
-	if _, err := os.Stat(filepath.Join(dataDir, "kv")); err == nil {
+	if _, err := os.Stat(filepath.Join(spec.Dir, "kv")); err == nil {
 		hasFileLayout = true
 	}
 	hasWALLayout := false
-	if segs, _ := filepath.Glob(filepath.Join(dataDir, "*.seg")); len(segs) > 0 {
+	if segs, _ := filepath.Glob(filepath.Join(spec.Dir, "*.seg")); len(segs) > 0 {
 		hasWALLayout = true
 	}
-	switch kind {
+	switch spec.Engine {
 	case "wal":
 		if hasFileLayout {
-			return nil, fmt.Errorf("data dir %s holds a file-store layout; restart with -store=file (engines do not migrate in place)", dataDir)
+			return nil, fmt.Errorf("data dir %s holds a file-store layout; restart with -store=file (engines do not migrate in place)", spec.Dir)
 		}
-		return wal.Open(dataDir, wal.Options{
-			Sync:            sync,
-			SegmentSize:     segSize,
-			CheckpointEvery: ckptEvery,
-		})
 	case "file":
 		if hasWALLayout {
-			return nil, fmt.Errorf("data dir %s holds a wal layout; restart with -store=wal (engines do not migrate in place)", dataDir)
+			return nil, fmt.Errorf("data dir %s holds a wal layout; restart with -store=wal (engines do not migrate in place)", spec.Dir)
 		}
-		return stable.OpenFileStoreWith(dataDir, nil, stable.FileStoreOptions{Sync: sync})
 	case "mem":
 		logger.Warn("-store=mem is volatile; a restart loses the input queue and all resource state")
-		return stable.NewMemStore(nil), nil
-	default:
-		return nil, fmt.Errorf("unknown -store %q (want wal, file or mem)", kind)
 	}
+	return stable.Open(spec)
 }
 
 func parsePeers(s string) (map[string]string, error) {

@@ -1,8 +1,8 @@
 package main
 
 import (
-	"io"
 	"log/slog"
+	"strings"
 	"testing"
 
 	"repro/internal/stable"
@@ -71,45 +71,53 @@ func TestRunRequiresFlags(t *testing.T) {
 // TestOpenStoreLayoutGuard: opening a data dir written by a different
 // engine must be refused, never silently started empty.
 func TestOpenStoreLayoutGuard(t *testing.T) {
+	spec := func(engine, dir string) stable.Spec {
+		return stable.Spec{Engine: engine, Dir: dir}
+	}
 	fileDir := t.TempDir()
-	fs, err := openStore("file", fileDir, false, 0, 0, testLogger())
+	fs, err := openStore(spec("file", fileDir), testLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := fs.Apply(stable.Put("k", []byte("v"))); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := openStore("wal", fileDir, false, 0, 0, testLogger()); err == nil {
+	if _, err := openStore(spec("wal", fileDir), testLogger()); err == nil {
 		t.Error("wal engine opened a file-store layout")
 	}
 
 	walDir := t.TempDir()
-	ws, err := openStore("wal", walDir, false, 0, 0, testLogger())
+	ws, err := openStore(spec("wal", walDir), testLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := ws.Apply(stable.Put("k", []byte("v"))); err != nil {
 		t.Fatal(err)
 	}
-	if c, ok := ws.(io.Closer); ok {
-		_ = c.Close()
-	}
-	if _, err := openStore("file", walDir, false, 0, 0, testLogger()); err == nil {
+	_ = stable.Close(ws)
+	if _, err := openStore(spec("file", walDir), testLogger()); err == nil {
 		t.Error("file engine opened a wal layout")
 	}
 	// Reopening with the matching engine works.
-	ws2, err := openStore("wal", walDir, false, 0, 0, testLogger())
+	ws2, err := openStore(spec("wal", walDir), testLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if v, ok, _ := ws2.Get("k"); !ok || string(v) != "v" {
 		t.Errorf("wal reopen lost data: %q %v", v, ok)
 	}
-	if c, ok := ws2.(io.Closer); ok {
-		_ = c.Close()
-	}
+	_ = stable.Close(ws2)
 
-	if _, err := openStore("papyrus", t.TempDir(), false, 0, 0, testLogger()); err == nil {
+	if _, err := openStore(spec("papyrus", t.TempDir()), testLogger()); err == nil {
 		t.Error("unknown engine accepted")
+	}
+}
+
+// TestRunRejectsRepl: the standalone process has no peers to hold
+// replicas; -repl must be refused up front, not silently ignored.
+func TestRunRejectsRepl(t *testing.T) {
+	err := run([]string{"-name", "A", "-listen", ":0", "-data", t.TempDir(), "-repl", "2"})
+	if err == nil || !strings.Contains(err.Error(), "-repl") {
+		t.Errorf("standalone -repl accepted: %v", err)
 	}
 }

@@ -12,8 +12,11 @@
 //	loadgen -storesweep -workers 4           # backend sweep: mem vs file vs wal
 //	loadgen -ring                            # consistent-hash placement (@ring steps)
 //	loadgen -join -workers 4                 # boot a 5th node mid-run; live agents migrate to it
+//	loadgen -repl 2                          # replicate every shard to 2 followers (quorum acks)
+//	loadgen -repl 2 -repl-acks async         # replicate asynchronously (primary-only durability)
 //	loadgen -chaos -chaos-seeds 20           # chaos sweep: 20 seeded fault schedules
 //	loadgen -chaos -chaos-seed 7 -store wal  # replay one failing seed, print its schedule
+//	loadgen -chaos -repl 2 -chaos-kill 2     # chaos with permanent machine kills + failover
 //
 // The per-step service time (-stepwork) is spent inside the step
 // transaction with the bank lock held; it is what makes the workload
@@ -41,6 +44,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/stable"
 	"repro/internal/trace"
 )
 
@@ -50,6 +54,8 @@ type runReport struct {
 	Agents        int     `json:"agents"`
 	Steps         int     `json:"steps"`
 	Store         string  `json:"store"`
+	Repl          int     `json:"repl,omitempty"`
+	ReplAcks      string  `json:"repl_acks,omitempty"`
 	Wire          string  `json:"wire"`
 	Batching      bool    `json:"batching"`
 	Ring          bool    `json:"ring,omitempty"`
@@ -71,6 +77,7 @@ type runReport struct {
 	Retries       int64   `json:"retries"`
 	StableWrites  int64   `json:"stable_writes"`
 	Fsyncs        int64   `json:"fsyncs"`
+	ReplBatches   int64   `json:"repl_batches,omitempty"`
 	Messages      int64   `json:"messages"`
 	BytesSent     int64   `json:"bytes_sent"`
 	// NetBatches / NetBatchedMsgs summarize per-link coalescing: how
@@ -108,7 +115,7 @@ func run(args []string) error {
 	stepwork := fs.Duration("stepwork", 8*time.Millisecond, "per-step service time inside the transaction")
 	latency := fs.Duration("latency", 200*time.Microsecond, "one-way network latency")
 	optimized := fs.Bool("optimized", false, "use the Figure-5 optimized rollback algorithm")
-	store := fs.String("store", "mem", "stable-storage backend per node: mem|file|wal")
+	sflags := stable.BindFlags(fs, stable.Spec{Engine: "mem"})
 	wireFmt := fs.String("wire", "binary", "payload wire format: binary (fast path) | gob (legacy)")
 	noBatch := fs.Bool("nobatch", false, "disable per-destination coalescing of protocol sends")
 	storeSweep := fs.Bool("storesweep", false, "run the full backend sweep (mem, file, wal) per worker count")
@@ -122,6 +129,7 @@ func run(args []string) error {
 	chaosSeed := fs.Int64("chaos-seed", -1, "chaos: replay exactly this seed (prints the schedule)")
 	chaosSeeds := fs.Int("chaos-seeds", 5, "chaos: number of consecutive seeds to sweep")
 	chaosBase := fs.Int64("chaos-base-seed", 1, "chaos: first seed of the sweep")
+	chaosKill := fs.Int("chaos-kill", 0, "chaos: permanent machine kills per schedule (requires -repl with quorum acks)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -132,13 +140,35 @@ func run(args []string) error {
 		return fmt.Errorf("bad -wire %q (want binary or gob)", *wireFmt)
 	}
 
+	spec, err := sflags.Spec()
+	if err != nil {
+		return err
+	}
+	replAcks := ""
+	if spec.Repl.Enabled() {
+		switch spec.Repl.Acks {
+		case 1:
+			replAcks = "async"
+		case stable.AcksQuorum:
+			replAcks = "quorum"
+		default:
+			return fmt.Errorf("loadgen supports -repl-acks async or quorum (got %d explicit copies)", spec.Repl.Acks)
+		}
+	}
+
 	if *chaosMode {
 		return runChaos(chaosConfig{
 			seed: *chaosSeed, seeds: *chaosSeeds, base: *chaosBase,
-			store: *store, workers: *workers, nodes: *nodes,
+			store: spec.Engine, workers: *workers, nodes: *nodes,
 			wire:     *wireFmt,
+			repl:     spec.Repl.Followers,
+			replAcks: replAcks,
+			kills:    *chaosKill,
 			jsonPath: *jsonPath,
 		})
+	}
+	if *chaosKill > 0 {
+		return fmt.Errorf("-chaos-kill requires -chaos")
 	}
 
 	counts := []int{*workers}
@@ -153,7 +183,7 @@ func run(args []string) error {
 		}
 	}
 
-	backends := []string{*store}
+	backends := []string{spec.Engine}
 	if *storeSweep {
 		backends = experiments.StoreBackends
 	}
@@ -181,6 +211,7 @@ func run(args []string) error {
 				Latency:       *latency,
 				Optimized:     *optimized,
 				Store:         backend,
+				Repl:          spec.Repl,
 				WireGob:       *wireFmt == "gob",
 				NoCoalesce:    *noBatch,
 				TraceRing:     traceRing,
@@ -197,6 +228,8 @@ func run(args []string) error {
 				Agents:         *agents,
 				Steps:          *steps,
 				Store:          backend,
+				Repl:           spec.Repl.Followers,
+				ReplAcks:       replAcks,
 				Wire:           *wireFmt,
 				Batching:       !*noBatch,
 				Ring:           *ring || *joinMid,
@@ -218,6 +251,7 @@ func run(args []string) error {
 				Retries:        res.Metrics.SchedRetries,
 				StableWrites:   res.Metrics.StableWrites,
 				Fsyncs:         res.Metrics.Fsyncs,
+				ReplBatches:    res.Metrics.ReplBatches,
 				Messages:       res.Metrics.Messages,
 				BytesSent:      res.Metrics.BytesSent,
 				NetBatches:     res.Metrics.NetBatches,
@@ -247,6 +281,9 @@ func run(args []string) error {
 				r.InFlightPeak, r.GoroutinePeak, r.ClaimConflict, r.LockAborts, r.Retries, r.Messages, r.AvgBatchSize)
 			if r.Ring {
 				fmt.Printf("ring placement: join_mid_run=%v migrations=%d\n", r.JoinMidRun, r.Migrations)
+			}
+			if r.Repl > 0 {
+				fmt.Printf("replication: followers=%d acks=%s batches=%d\n", r.Repl, r.ReplAcks, r.ReplBatches)
 			}
 		}
 	}
@@ -299,6 +336,9 @@ type chaosConfig struct {
 	workers  int
 	nodes    int
 	wire     string
+	repl     int    // follower replicas per shard (0 disables)
+	replAcks string // "quorum" or "async"
+	kills    int    // permanent machine kills per schedule
 	jsonPath string
 }
 
@@ -306,6 +346,8 @@ type chaosReport struct {
 	Seed       int64    `json:"seed"`
 	Store      string   `json:"store"`
 	Workers    int      `json:"workers"`
+	Repl       int      `json:"repl,omitempty"`
+	Kills      int      `json:"kills,omitempty"`
 	Crashes    int      `json:"crashes"`
 	Partitions int      `json:"partitions"`
 	FaultWins  int      `json:"fault_windows"`
@@ -333,11 +375,14 @@ func runChaos(cfg chaosConfig) error {
 	failed := 0
 	for _, seed := range seeds {
 		res, err := chaos.Run(chaos.Options{
-			Seed:    seed,
-			Store:   cfg.store,
-			Workers: cfg.workers,
-			Nodes:   cfg.nodes,
-			Wire:    cfg.wire,
+			Seed:     seed,
+			Store:    cfg.store,
+			Workers:  cfg.workers,
+			Nodes:    cfg.nodes,
+			Wire:     cfg.wire,
+			Repl:     cfg.repl,
+			ReplAcks: cfg.replAcks,
+			Kills:    cfg.kills,
 		})
 		if err != nil {
 			return err
@@ -348,6 +393,7 @@ func runChaos(cfg chaosConfig) error {
 		fmt.Println(res.Summary())
 		r := chaosReport{
 			Seed: seed, Store: cfg.store, Workers: cfg.workers,
+			Repl: cfg.repl, Kills: cfg.kills,
 			Drops: res.Faults.Drops, Dups: res.Faults.Dups, Reorders: res.Faults.Reorders,
 			RolledBack: res.RolledBack,
 			ElapsedMS:  float64(res.Elapsed.Microseconds()) / 1000,
@@ -362,8 +408,12 @@ func runChaos(cfg chaosConfig) error {
 			for _, v := range res.Violations {
 				fmt.Printf("  violation: %s\n", v)
 			}
-			fmt.Printf("  reproduce: go run ./cmd/loadgen -chaos -chaos-seed=%d -store=%s -workers=%d -wire=%s\n",
+			repro := fmt.Sprintf("go run ./cmd/loadgen -chaos -chaos-seed=%d -store=%s -workers=%d -wire=%s",
 				seed, cfg.store, cfg.workers, cfg.wire)
+			if cfg.repl > 0 {
+				repro += fmt.Sprintf(" -repl=%d -repl-acks=%s -chaos-kill=%d", cfg.repl, cfg.replAcks, cfg.kills)
+			}
+			fmt.Printf("  reproduce: %s\n", repro)
 		}
 	}
 	if cfg.jsonPath != "" {

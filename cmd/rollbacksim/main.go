@@ -5,7 +5,7 @@
 // Usage:
 //
 //	rollbacksim                 # run every experiment
-//	rollbacksim -exp f5         # run one experiment (f1..f6, tlog, tft, tperf, tput, stor)
+//	rollbacksim -exp f5         # run one experiment (f1..f6, tlog, tft, tperf, tput, stor, repl)
 //	rollbacksim -list           # list experiments
 //	rollbacksim -json out.json  # also write the tables as JSON
 package main
@@ -39,7 +39,7 @@ type jsonTable struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("rollbacksim", flag.ContinueOnError)
-	exp := fs.String("exp", "", "run a single experiment (f1..f6, tlog, tft, tperf, tput, stor, chaos)")
+	exp := fs.String("exp", "", "run a single experiment (f1..f6, tlog, tft, tperf, tput, stor, repl, chaos)")
 	list := fs.Bool("list", false, "list experiments and exit")
 	jsonPath := fs.String("json", "", "write the experiment tables as JSON to this file")
 	if err := fs.Parse(args); err != nil {
@@ -57,6 +57,7 @@ func run(args []string) error {
 		fmt.Println("tperf §4.4.1: remote-compensation strategy model ([16])")
 		fmt.Println("tput  node throughput vs scheduler workers (see also cmd/loadgen)")
 		fmt.Println("stor  stable-storage engines: durable Apply throughput + crash-recovery time")
+		fmt.Println("repl  replicated stable storage: ack-mode cost on the step path")
 		fmt.Println("chaos seeded fault schedules vs §4.3 invariants (replay: loadgen -chaos)")
 		return nil
 	}

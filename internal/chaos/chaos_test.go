@@ -27,15 +27,21 @@ var (
 	chaosWorkers = flag.Int("chaos-workers", 1, "scheduler workers per node")
 	chaosWire    = flag.String("chaos-wire", "binary", "wire format: binary|gob")
 	chaosChurn   = flag.Int("chaos-churn", 0, "membership churn draws per seed (joins + leaves; 0 disables)")
+	chaosRepl    = flag.Int("chaos-repl", 0, "follower replicas per shard (0 disables replication)")
+	chaosAcks    = flag.String("chaos-repl-acks", "quorum", "replication ack mode: quorum|async")
+	chaosKill    = flag.Int("chaos-kill", 0, "permanent-kill draws per seed (requires -chaos-repl with quorum acks)")
 )
 
 func chaosOptions(seed int64) chaos.Options {
 	return chaos.Options{
-		Seed:    seed,
-		Store:   *chaosStore,
-		Workers: *chaosWorkers,
-		Wire:    *chaosWire,
-		Churn:   *chaosChurn,
+		Seed:     seed,
+		Store:    *chaosStore,
+		Workers:  *chaosWorkers,
+		Wire:     *chaosWire,
+		Churn:    *chaosChurn,
+		Repl:     *chaosRepl,
+		ReplAcks: *chaosAcks,
+		Kills:    *chaosKill,
 	}
 }
 
@@ -60,8 +66,12 @@ func runSeed(t *testing.T, seed int64, verbose bool) {
 		report += "  " + v.String() + "\n"
 	}
 	report += "\n" + res.Schedule.String()
-	report += fmt.Sprintf("\nreproduce with:\n  go test ./internal/chaos -run 'TestChaos$' -chaos-seed=%d -chaos-store=%s -chaos-workers=%d -chaos-wire=%s\n",
+	repro := fmt.Sprintf("go test ./internal/chaos -run 'TestChaos$' -chaos-seed=%d -chaos-store=%s -chaos-workers=%d -chaos-wire=%s",
 		seed, *chaosStore, *chaosWorkers, *chaosWire)
+	if *chaosRepl > 0 {
+		repro += fmt.Sprintf(" -chaos-repl=%d -chaos-repl-acks=%s -chaos-kill=%d", *chaosRepl, *chaosAcks, *chaosKill)
+	}
+	report += fmt.Sprintf("\nreproduce with:\n  %s\n", repro)
 	writeArtifact(t, seed, report)
 	t.Errorf("%s", report)
 }
@@ -253,6 +263,68 @@ func TestChaosChurn(t *testing.T) {
 				t.Logf("\n%s", res.Schedule.String())
 			}
 		})
+	}
+}
+
+// TestChaosKillPermanent runs seeds whose schedules include permanent
+// kills — machine death with the disk — on a replicated cluster with
+// quorum acks. The killed node's agents must complete on the promoted
+// replica with zero lost or duplicated steps; the executor restores the
+// replication factor between kills, so a seed may kill several machines.
+func TestChaosKillPermanent(t *testing.T) {
+	for _, tc := range []struct {
+		store string
+		seed  int64
+	}{
+		{"mem", 21}, {"wal", 22},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("%s/seed=%d", tc.store, tc.seed), func(t *testing.T) {
+			res, err := chaos.Run(chaos.Options{
+				Seed:    tc.seed,
+				Store:   tc.store,
+				Repl:    2,
+				Kills:   2,
+				Agents:  10,
+				Steps:   4,
+				Gen:     chaos.GenConfig{Faults: 4, Horizon: 900 * time.Millisecond},
+				Timeout: time.Minute,
+			})
+			if err != nil {
+				t.Fatalf("harness error: %v", err)
+			}
+			kills := 0
+			for _, e := range res.Schedule.Events {
+				if e.Op == chaos.OpKillPermanent {
+					kills++
+				}
+			}
+			if kills == 0 {
+				t.Fatalf("kill run drew no kills:\n%s", res.Schedule.String())
+			}
+			t.Logf("%s", res.Summary())
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			if t.Failed() {
+				t.Logf("\n%s", res.Schedule.String())
+			}
+		})
+	}
+}
+
+// TestChaosKillRequiresQuorum: the harness must refuse the combinations
+// a permanent kill genuinely cannot survive, instead of reporting the
+// resulting data loss as a protocol violation.
+func TestChaosKillRequiresQuorum(t *testing.T) {
+	if _, err := chaos.Run(chaos.Options{Seed: 1, Kills: 1, Repl: 2, ReplAcks: "async"}); err == nil {
+		t.Error("async acks + permanent kills was not rejected")
+	}
+	if _, err := chaos.Run(chaos.Options{Seed: 1, Kills: 1}); err == nil {
+		t.Error("permanent kills without replication was not rejected")
+	}
+	if _, err := chaos.Run(chaos.Options{Seed: 1, Kills: 1, Repl: 2, Churn: 1}); err == nil {
+		t.Error("permanent kills + churn was not rejected")
 	}
 }
 

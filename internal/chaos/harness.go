@@ -2,7 +2,6 @@ package chaos
 
 import (
 	"fmt"
-	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -20,7 +19,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/resource"
 	"repro/internal/stable"
-	"repro/internal/stable/wal"
+	_ "repro/internal/stable/wal" // registers the wal engine for stable.Open
 	"repro/internal/trace"
 	"repro/internal/txn"
 )
@@ -65,6 +64,25 @@ type Options struct {
 	// and with rollbacks disabled: a compensation targets the concrete
 	// node its step ran on, which may have permanently left.
 	Churn int
+
+	// Repl is the number of follower replicas of each node's store
+	// (stable.ReplSpec.Followers); 0 disables replication. With
+	// replication on, every node's engine (mem included) is wrapped in
+	// the repl primary and the node hosts replicas of its neighbours'
+	// shards.
+	Repl int
+	// ReplAcks selects the ack mode when Repl > 0: "quorum" (default —
+	// Apply blocks until a majority of copies is durable) or "async"
+	// (ship-and-return; an unreplicated tail can die with a machine).
+	ReplAcks string
+	// Kills draws this many permanent-kill events into the schedule:
+	// distinct nodes whose disk is destroyed with the machine and whose
+	// identity fails over onto the most caught-up surviving replica.
+	// Requires Repl > 0 with quorum acks (with async acks a kill
+	// genuinely loses acknowledged data — the harness refuses the
+	// combination rather than report it as a protocol violation) and is
+	// mutually exclusive with Churn.
+	Kills int
 }
 
 func (o *Options) fillDefaults() {
@@ -136,12 +154,18 @@ func (r *Result) Failed() bool { return len(r.Violations) > 0 }
 // Summary is a one-line digest for logs and tables.
 func (r *Result) Summary() string {
 	crashes, parts, faults := r.Schedule.Counts()
+	kills := 0
+	for _, e := range r.Schedule.Events {
+		if e.Op == OpKillPermanent {
+			kills++
+		}
+	}
 	verdict := "OK"
 	if r.Failed() {
 		verdict = fmt.Sprintf("VIOLATIONS=%d", len(r.Violations))
 	}
-	return fmt.Sprintf("seed=%d crashes=%d partitions=%d faultwins=%d drops=%d dups=%d reorders=%d agents=%d rolledback=%d elapsed=%s %s",
-		r.Seed, crashes, parts, faults, r.Faults.Drops, r.Faults.Dups, r.Faults.Reorders,
+	return fmt.Sprintf("seed=%d crashes=%d kills=%d partitions=%d faultwins=%d drops=%d dups=%d reorders=%d agents=%d rolledback=%d elapsed=%s %s",
+		r.Seed, crashes, kills, parts, faults, r.Faults.Drops, r.Faults.Dups, r.Faults.Reorders,
 		r.Completed, r.RolledBack, r.Elapsed.Round(time.Millisecond), verdict)
 }
 
@@ -154,23 +178,33 @@ func nodeName(i int) string { return fmt.Sprintf("w%d", i) }
 
 func agentID(i int) string { return fmt.Sprintf("chaos%04d", i) }
 
-// storeFactory mirrors the experiment harness's backend selector (chaos
-// cannot import experiments: experiments imports chaos for its table).
-func storeFactory(backend, baseDir string, counters *metrics.Counters) (func(string) (stable.Store, error), error) {
-	switch backend {
-	case "", "mem":
-		return nil, nil
-	case "file":
-		return func(n string) (stable.Store, error) {
-			return stable.OpenFileStoreWith(filepath.Join(baseDir, n), counters, stable.FileStoreOptions{})
-		}, nil
-	case "wal":
-		return func(n string) (stable.Store, error) {
-			return wal.Open(filepath.Join(baseDir, n), wal.Options{Counters: counters})
-		}, nil
-	default:
-		return nil, fmt.Errorf("chaos: unknown store backend %q (want mem, file or wal)", backend)
+// storeSpec builds the run's stable.Spec: chaos constructs every store
+// through the unified stable.Open path (via cluster.Options.Store), so
+// the engines come from the registry — the wal engine via its blank
+// import above.
+func storeSpec(opts Options, counters *metrics.Counters) (stable.Spec, error) {
+	spec := stable.Spec{Engine: opts.Store, Dir: opts.Dir, Counters: counters}
+	known := false
+	for _, e := range stable.Engines() {
+		if e == spec.Engine {
+			known = true
+		}
 	}
+	if !known {
+		return stable.Spec{}, fmt.Errorf("chaos: unknown store backend %q (want one of %v)", opts.Store, stable.Engines())
+	}
+	if opts.Repl > 0 {
+		acks := stable.AcksQuorum
+		switch opts.ReplAcks {
+		case "", "quorum":
+		case "async":
+			acks = 1
+		default:
+			return stable.Spec{}, fmt.Errorf("chaos: unknown repl ack mode %q (want quorum or async)", opts.ReplAcks)
+		}
+		spec.Repl = stable.ReplSpec{Followers: opts.Repl, Acks: acks}
+	}
+	return spec, nil
 }
 
 // spreadFlags marks round(ratio*n) of n slots true, spread evenly.
@@ -221,25 +255,35 @@ func run(opts Options, fixed *Schedule) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("chaos: unknown wire format %q (want binary or gob)", opts.Wire)
 	}
+	if opts.Kills > 0 {
+		if opts.Churn > 0 {
+			return nil, fmt.Errorf("chaos: Kills and Churn cannot be combined (a drain can target an identity mid-failover)")
+		}
+		if opts.Repl <= 0 {
+			return nil, fmt.Errorf("chaos: Kills requires replication (Repl > 0): a permanent kill destroys the disk")
+		}
+		if opts.ReplAcks == "async" {
+			return nil, fmt.Errorf("chaos: async acks cannot survive permanent kills (the unreplicated tail dies with the machine); use quorum")
+		}
+	}
 
 	counters := &metrics.Counters{}
-	factory, err := storeFactory(opts.Store, opts.Dir, counters)
+	spec, err := storeSpec(opts, counters)
 	if err != nil {
 		return nil, err
 	}
 	cl := cluster.New(cluster.Options{
-		Optimized:    true,
-		Latency:      200 * time.Microsecond,
-		RetryDelay:   2 * time.Millisecond,
-		AckTimeout:   150 * time.Millisecond,
-		MaxAttempts:  5000,
-		Workers:      opts.Workers,
-		WireGob:      opts.Wire == "gob",
-		Counters:     counters,
-		StoreFactory: factory,
-		ReopenStores: factory != nil, // durable engines run real recovery
-		FaultSeed:    opts.Seed,      // probabilistic faults replay with the seed
-		Membership:   opts.Churn > 0,
+		Optimized:   true,
+		Latency:     200 * time.Microsecond,
+		RetryDelay:  2 * time.Millisecond,
+		AckTimeout:  150 * time.Millisecond,
+		MaxAttempts: 5000,
+		Workers:     opts.Workers,
+		WireGob:     opts.Wire == "gob",
+		Counters:    counters,
+		Store:       spec,      // durable engines run real recovery on crash
+		FaultSeed:   opts.Seed, // probabilistic faults replay with the seed
+		Membership:  opts.Churn > 0,
 	})
 	names := make([]string, opts.Nodes)
 	for i := range names {
@@ -357,7 +401,7 @@ func run(opts Options, fixed *Schedule) (*Result, error) {
 	res.Metrics = counters.Snapshot().Sub(before)
 	res.Faults = cl.LinkFaultStats()
 	cl.Close()
-	if err := checkStoresReopen(res, opts, names, counters); err != nil {
+	if err := checkStoresReopen(res, cl, names); err != nil {
 		return nil, err
 	}
 	sortViolations(res.Violations)
@@ -412,6 +456,7 @@ func writeTimelineArtifact(opts Options, res *Result) {
 func genConfig(opts Options, names []string) GenConfig {
 	g := opts.Gen
 	g.Nodes = names
+	g.Kills = opts.Kills
 	if opts.Churn > 0 {
 		g.Churn = opts.Churn
 		for i := 0; i < opts.Churn; i++ {
@@ -600,6 +645,23 @@ func execute(cl *cluster.Cluster, sched Schedule, start time.Time) error {
 					leaveErr <- fmt.Errorf("chaos: leave %s: %w", name, err)
 				}
 			}(ev.Node)
+		case OpKillPermanent:
+			// The most severe fault subsumes the milder network chaos:
+			// end every open partition/fault window early, because this
+			// executor must block until the replication factor is back
+			// (the scheduled heal/clear events it would starve become
+			// harmless no-ops).
+			cl.HealAllLinks()
+			cl.ClearLinkFaults()
+			if err := cl.KillPermanent(ev.Node); err != nil {
+				return fmt.Errorf("chaos: kill-permanent %s: %w", ev.Node, err)
+			}
+			// Quorum tolerates one lost copy at a time: the survivors
+			// must finish re-replicating before the schedule may take
+			// the next machine down.
+			if err := cl.AwaitReplication(30 * time.Second); err != nil {
+				return err
+			}
 		}
 	}
 	for _, n := range cl.CrashedNodes() {
@@ -769,17 +831,16 @@ func checkQueuesEmpty(res *Result, cl *cluster.Cluster, names []string) error {
 // checkStoresReopen reopens every durable store after the cluster shut
 // down — the cold-restart conformance check: the engine must recover
 // (checkpoint load + tail replay for wal), and the recovered queue must
-// be empty.
-func checkStoresReopen(res *Result, opts Options, names []string, counters *metrics.Counters) error {
-	if opts.Store == "mem" {
-		return nil
-	}
-	factory, err := storeFactory(opts.Store, opts.Dir, counters)
-	if err != nil {
-		return err
-	}
+// be empty. The spec comes from the cluster because a permanent-kill
+// failover re-homes a node's primary onto the promoted replica's
+// directory, not the node's original one.
+func checkStoresReopen(res *Result, cl *cluster.Cluster, names []string) error {
 	for _, n := range names {
-		st, err := factory(n)
+		spec, ok := cl.NodeStoreSpec(n)
+		if !ok {
+			return nil // volatile engine: nothing to reopen
+		}
+		st, err := stable.Open(spec)
 		if err != nil {
 			res.Violations = append(res.Violations, Violation{
 				Invariant: "store-recovery",
@@ -800,9 +861,7 @@ func checkStoresReopen(res *Result, opts Options, names []string, counters *metr
 				Detail:    fmt.Sprintf("node %s: reopened store holds %d queue entries", n, depth),
 			})
 		}
-		if closer, ok := st.(io.Closer); ok {
-			_ = closer.Close()
-		}
+		_ = stable.Close(st)
 	}
 	return nil
 }

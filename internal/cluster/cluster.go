@@ -8,12 +8,14 @@
 // discarding all volatile state; the stable store survives, exactly like a
 // machine reboot. Recover re-attaches a fresh runtime to the surviving
 // store and lets the node-level recovery protocol resolve in-doubt work.
+// With replication configured (Options.Store.Repl), KillPermanent models
+// the harsher fault where the disk dies too: the node's identity fails
+// over onto the most caught-up surviving replica (see repl.go).
 package cluster
 
 import (
 	"errors"
 	"fmt"
-	"io"
 	"sort"
 	"sync"
 	"time"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/node"
 	"repro/internal/stable"
+	"repro/internal/stable/repl"
 	"repro/internal/trace"
 	"repro/internal/txn"
 )
@@ -53,14 +56,25 @@ type Options struct {
 	SagaBaseline bool
 	// Counters receives all metrics; one is created if nil.
 	Counters *metrics.Counters
-	// StoreFactory builds one node's stable store (nil: a MemStore per
-	// node, owned by the cluster so it survives simulated crashes). A
-	// file- or WAL-backed factory lets simulations run over real disks.
+	// Store configures every node's stable engine through the unified
+	// stable.Spec entry point: Engine/Dir/Sync select the engine (each
+	// node gets Spec.ForNode(name)), Repl adds per-shard primary/backup
+	// replication (enabling KillPermanent failover). The zero value gives
+	// each node a MemStore owned by the cluster, so it survives simulated
+	// crashes; a durable engine automatically runs its real
+	// crash-recovery path on Recover (the store handle is closed on Crash
+	// and reopened via stable.Open).
+	Store stable.Spec
+	// StoreFactory builds one node's stable store.
+	//
+	// Deprecated: superseded by Store, which replaces the factory with a
+	// declarative stable.Spec. Ignored when Store.Engine is set.
 	StoreFactory func(node string) (stable.Store, error)
-	// ReopenStores makes Crash close the node's store (if it implements
-	// io.Closer) and Recover re-invoke StoreFactory on the same node
-	// name, so a durable engine runs its real crash-recovery path
-	// (checkpoint load + log replay) instead of surviving in memory.
+	// ReopenStores makes Crash close the node's store and Recover
+	// re-invoke StoreFactory on the same node name.
+	//
+	// Deprecated: only meaningful with StoreFactory. With Store, reopen
+	// behaviour follows Store.Durable() automatically.
 	ReopenStores bool
 	// FaultSeed seeds the simulated network's fault RNG so probabilistic
 	// link faults (SetLinkFaults) replay identically for the same seed.
@@ -121,6 +135,13 @@ type nodeState struct {
 	// terminal, and the node object and store stay readable so
 	// invariant checks can still sum its resources.
 	left bool
+	// dead: KillPermanent destroyed the node's storage and no failover
+	// has (yet) succeeded. Terminal unless a replica promotion revives
+	// the identity.
+	dead bool
+	// replHost is the follower side of the node's replication plane,
+	// rebuilt on every boot.
+	replHost *repl.Host
 }
 
 // Cluster is a simulated multi-node agent system.
@@ -135,6 +156,17 @@ type Cluster struct {
 	tracers map[string]*trace.Tracer
 	results map[string]chan Result
 	started bool
+	// followers caches each shard's fixed follower set; storeDirs
+	// overrides a node's primary data directory after a failover promoted
+	// a replica living elsewhere on disk.
+	followers map[string][]string
+	storeDirs map[string]string
+
+	// replicaMu guards the cluster-owned replica stores (they outlive
+	// their holder's runtime, like the primaries outlive theirs).
+	replicaMu sync.Mutex
+	replicas  map[string]map[string]*replicaRef // holder -> shard -> ref
+	replGen   map[string]int                    // "holder/shard" -> next dir generation
 
 	collectorEp network.Endpoint
 	wg          sync.WaitGroup
@@ -158,12 +190,16 @@ func New(opts Options) *Cluster {
 			MailboxCap: opts.MailboxCap,
 			Clock:      opts.Clock,
 		}),
-		registry: agent.NewRegistry(),
-		counters: opts.Counters,
-		nodes:    make(map[string]*nodeState),
-		tracers:  make(map[string]*trace.Tracer),
-		results:  make(map[string]chan Result),
-		stop:     make(chan struct{}),
+		registry:  agent.NewRegistry(),
+		counters:  opts.Counters,
+		nodes:     make(map[string]*nodeState),
+		tracers:   make(map[string]*trace.Tracer),
+		results:   make(map[string]chan Result),
+		followers: make(map[string][]string),
+		storeDirs: make(map[string]string),
+		replicas:  make(map[string]map[string]*replicaRef),
+		replGen:   make(map[string]int),
+		stop:      make(chan struct{}),
 	}
 }
 
@@ -176,7 +212,7 @@ func (c *Cluster) Counters() *metrics.Counters { return c.counters }
 // AddNode registers a node with its resource factories. Must be called
 // before Start.
 func (c *Cluster) AddNode(name string, factories ...node.ResourceFactory) error {
-	if c.opts.ReopenStores && c.opts.StoreFactory == nil {
+	if !c.specPath() && c.opts.ReopenStores && c.opts.StoreFactory == nil {
 		// Recover would otherwise silently swap in a fresh MemStore,
 		// destroying the "stable store survives the crash" contract.
 		return errors.New("cluster: ReopenStores requires a StoreFactory")
@@ -188,9 +224,7 @@ func (c *Cluster) AddNode(name string, factories ...node.ResourceFactory) error 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.started || c.nodes[name] != nil {
-		if closer, ok := store.(io.Closer); ok {
-			_ = closer.Close()
-		}
+		_ = stable.Close(store)
 		if c.started {
 			return errors.New("cluster: AddNode after Start")
 		}
@@ -203,12 +237,40 @@ func (c *Cluster) AddNode(name string, factories ...node.ResourceFactory) error 
 	return nil
 }
 
-// newStore builds one node's stable store via the configured factory.
-func (c *Cluster) newStore(name string) (stable.Store, error) {
-	if c.opts.StoreFactory == nil {
-		return stable.NewMemStore(c.counters), nil
+// specPath reports whether stores come from Options.Store (the unified
+// Spec) rather than the deprecated StoreFactory.
+func (c *Cluster) specPath() bool {
+	return c.opts.Store.Engine != "" || c.opts.StoreFactory == nil
+}
+
+// reopenStores reports whether Crash/Recover cycle the store handle
+// through its engine's real crash-recovery path.
+func (c *Cluster) reopenStores() bool {
+	if c.specPath() {
+		return c.opts.Store.Durable()
 	}
-	store, err := c.opts.StoreFactory(name)
+	return c.opts.ReopenStores
+}
+
+// newStore builds one node's stable engine store (the inner store —
+// replication wrapping happens separately, once the node set is known).
+func (c *Cluster) newStore(name string) (stable.Store, error) {
+	if !c.specPath() {
+		store, err := c.opts.StoreFactory(name)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: store for %q: %w", name, err)
+		}
+		return store, nil
+	}
+	spec := c.opts.Store
+	spec.Repl = stable.ReplSpec{} // replication is layered on by the cluster
+	if spec.Counters == nil {
+		spec.Counters = c.counters
+	}
+	if spec.Durable() {
+		spec.Dir = c.storeDir(name)
+	}
+	store, err := stable.Open(spec)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: store for %q: %w", name, err)
 	}
@@ -229,6 +291,24 @@ func (c *Cluster) Start() error {
 		names = append(names, name)
 	}
 	c.mu.Unlock()
+	sort.Strings(names)
+
+	if c.replEnabled() {
+		// The node set is final now: fix every shard's follower set and
+		// wrap each engine store into its shard's primary.
+		for _, name := range names {
+			c.mu.Lock()
+			st := c.nodes[name]
+			c.mu.Unlock()
+			rs, err := c.wrapRepl(name, st.store, false)
+			if err != nil {
+				return err
+			}
+			c.mu.Lock()
+			st.store = rs
+			c.mu.Unlock()
+		}
+	}
 
 	ep, err := c.sim.Endpoint(collectorName)
 	if err != nil {
@@ -253,6 +333,13 @@ func (c *Cluster) bootNode(name string) error {
 	c.mu.Lock()
 	st := c.nodes[name]
 	c.mu.Unlock()
+	if c.replEnabled() {
+		// Attach the replication plane first, so the store can replicate
+		// (and block on quorum acks) from the node's first write on.
+		if err := c.bootRepl(name, st); err != nil {
+			return err
+		}
+	}
 	ep, err := c.sim.Endpoint(name)
 	if err != nil {
 		return err
@@ -332,13 +419,20 @@ func (c *Cluster) Join(name string, factories ...node.ResourceFactory) error {
 	c.mu.Lock()
 	if c.nodes[name] != nil {
 		c.mu.Unlock()
-		if closer, ok := store.(io.Closer); ok {
-			_ = closer.Close()
-		}
+		_ = stable.Close(store)
 		return fmt.Errorf("cluster: duplicate node %q", name)
 	}
 	c.nodes[name] = &nodeState{store: store, factories: factories}
 	c.mu.Unlock()
+	if c.replEnabled() {
+		rs, err := c.wrapRepl(name, store, false)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		c.nodes[name].store = rs
+		c.mu.Unlock()
+	}
 	if err := c.bootNode(name); err != nil {
 		return err
 	}
@@ -401,8 +495,12 @@ func (c *Cluster) Leave(name string, timeout time.Duration) error {
 	}
 	c.mu.Lock()
 	c.nodes[name].left = true
+	store := c.nodes[name].store
 	c.mu.Unlock()
 	c.sim.Crash(name)
+	if rs, ok := store.(*repl.Store); ok {
+		rs.Unbind()
+	}
 	n.Stop()
 	return nil
 }
@@ -571,9 +669,10 @@ func (c *Cluster) Run(a *agent.Agent, entered []string, at string, timeout time.
 }
 
 // Crash stops a node abruptly: volatile state is lost, messages to it are
-// dropped, the stable store survives. With Options.ReopenStores the store
-// handle is closed too (the on-disk state survives, like a machine
-// reboot), and Recover reopens it through the factory.
+// dropped, the stable store survives. With a durable engine (or the
+// deprecated ReopenStores) the store handle is closed too (the on-disk
+// state survives, like a machine reboot), and Recover reopens it through
+// its real crash-recovery path.
 func (c *Cluster) Crash(name string) error {
 	c.mu.Lock()
 	st, ok := c.nodes[name]
@@ -585,12 +684,17 @@ func (c *Cluster) Crash(name string) error {
 	n := st.n
 	store := st.store
 	c.mu.Unlock()
+	// Order matters: detach from the network first, so that when
+	// releasing quorum-blocked writers (Unbind) lets the node runtime
+	// wind down, nothing under-replicated can leak out of the dead node.
 	c.sim.Crash(name)
+	if rs, ok := store.(*repl.Store); ok {
+		rs.Unbind()
+	}
 	n.Stop()
-	if c.opts.ReopenStores {
-		if closer, ok := store.(io.Closer); ok {
-			_ = closer.Close()
-		}
+	if c.reopenStores() {
+		_ = stable.Close(store)
+		c.closeReplicas(name)
 	}
 	return nil
 }
@@ -600,15 +704,22 @@ func (c *Cluster) Crash(name string) error {
 func (c *Cluster) Recover(name string) error {
 	c.mu.Lock()
 	st, ok := c.nodes[name]
-	if !ok || !st.crashed {
+	if !ok || !st.crashed || st.dead {
 		c.mu.Unlock()
 		return fmt.Errorf("cluster: cannot recover %q", name)
 	}
 	c.mu.Unlock()
-	if c.opts.ReopenStores {
+	if c.reopenStores() {
 		store, err := c.newStore(name)
 		if err != nil {
 			return err
+		}
+		if c.replEnabled() {
+			rs, err := c.wrapRepl(name, store, false)
+			if err != nil {
+				return err
+			}
+			store = rs
 		}
 		c.mu.Lock()
 		st.store = store
@@ -657,7 +768,7 @@ func (c *Cluster) CrashedNodes() []string {
 	defer c.mu.Unlock()
 	var names []string
 	for name, st := range c.nodes {
-		if st.crashed {
+		if st.crashed && !st.dead {
 			names = append(names, name)
 		}
 	}
@@ -682,12 +793,23 @@ func (c *Cluster) Close() {
 	c.mu.Unlock()
 	for _, st := range nodes {
 		if st.n != nil && !st.crashed && !st.left {
+			if rs, ok := st.store.(*repl.Store); ok {
+				rs.Unbind()
+			}
 			st.n.Stop()
 		}
-		if closer, ok := st.store.(io.Closer); ok {
-			_ = closer.Close()
+		_ = stable.Close(st.store)
+	}
+	c.replicaMu.Lock()
+	for _, byShard := range c.replicas {
+		for _, ref := range byShard {
+			if ref.store != nil {
+				_ = stable.Close(ref.store)
+				ref.store = nil
+			}
 		}
 	}
+	c.replicaMu.Unlock()
 	c.sim.Close()
 	c.wg.Wait()
 }

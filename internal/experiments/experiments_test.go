@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/stable"
 )
 
 // TestPipelineForward: the generic workload completes a forward run and
@@ -168,7 +169,7 @@ func TestSmallFigures(t *testing.T) {
 }
 
 func TestList(t *testing.T) {
-	want := []string{"f1", "f2", "f3", "f4", "f5", "f6", "tlog", "tft", "tperf", "tput", "stor", "chaos"}
+	want := []string{"f1", "f2", "f3", "f4", "f5", "f6", "tlog", "tft", "tperf", "tput", "stor", "repl", "chaos"}
 	got := List()
 	if len(got) != len(want) {
 		t.Fatalf("List has %d experiments, want %d", len(got), len(want))
@@ -238,6 +239,27 @@ func TestThroughputHarness(t *testing.T) {
 	}
 	if res.Metrics.SchedClaims == 0 {
 		t.Error("scheduler claimed nothing; pool not engaged")
+	}
+}
+
+// TestThroughputReplicated: the `repl` experiment's wiring — a load run
+// with quorum-replicated stores completes with the exactly-once sink
+// invariant intact (checked inside RunThroughput) and with replication
+// actually engaged on the commit path.
+func TestThroughputReplicated(t *testing.T) {
+	res, err := RunThroughput(ThroughputConfig{
+		Nodes: 3, Workers: 2, Agents: 9, Steps: 3, Banks: 2,
+		StepWork: time.Millisecond,
+		Repl:     stable.ReplSpec{Followers: 2, Acks: stable.AcksQuorum},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.StepTxns != 9*3 {
+		t.Errorf("step txns = %d, want 27", res.Metrics.StepTxns)
+	}
+	if res.Metrics.ReplBatches == 0 {
+		t.Error("no batches replicated; Repl spec not wired through")
 	}
 }
 

@@ -484,6 +484,6 @@ func List() []Experiment {
 		{"f1", Fig1}, {"f2", Fig2}, {"f3", Fig3}, {"f4", Fig4},
 		{"f5", Fig5}, {"f6", Fig6}, {"tlog", TLog}, {"tft", TFT},
 		{"tperf", TPerf}, {"tput", Throughput}, {"stor", Storage},
-		{"chaos", Chaos},
+		{"repl", Repl}, {"chaos", Chaos},
 	}
 }

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stable"
+)
+
+// Repl is the `repl` experiment: the price of replicated stable storage
+// on the step-transaction path. Every node's store streams committed
+// batches to two follower replicas; the ack mode decides whether a
+// commit returns as soon as it is locally durable (async — the
+// unreplicated tail can die with the machine) or only after a majority
+// of copies holds it (quorum — an acknowledged batch survives one
+// permanent machine loss). The table prices that durability against the
+// unreplicated baseline.
+func Repl() (*Table, error) {
+	t := &Table{
+		Title: "REPL: replicated stable storage — ack-mode cost on the step path (32 agents, 4 nodes, 6 steps, 4 ms/step, 4 workers)",
+		Note:  "followers=2 per shard; async acks return after the local commit, quorum acks wait for a majority of copies",
+		Header: []string{"mode", "followers", "agents/s", "steps/s",
+			"p50 ms", "p99 ms", "elapsed ms"},
+	}
+	modes := []struct {
+		name string
+		repl stable.ReplSpec
+	}{
+		{"unreplicated", stable.ReplSpec{}},
+		{"async", stable.ReplSpec{Followers: 2, Acks: 1}},
+		{"quorum", stable.ReplSpec{Followers: 2, Acks: stable.AcksQuorum}},
+	}
+	for _, m := range modes {
+		res, err := RunThroughput(ThroughputConfig{
+			Nodes:    4,
+			Agents:   32,
+			Steps:    6,
+			Workers:  4,
+			StepWork: 4 * time.Millisecond,
+			Latency:  expLatency,
+			Repl:     m.repl,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("repl %s: %w", m.name, err)
+		}
+		t.AddRow(m.name, m.repl.Followers, res.AgentsPerSec, res.StepsPerSec,
+			float64(res.P50.Microseconds())/1000,
+			float64(res.P99.Microseconds())/1000,
+			float64(res.Elapsed.Microseconds())/1000)
+	}
+	return t, nil
+}

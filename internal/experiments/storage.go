@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -10,7 +9,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/stable"
-	"repro/internal/stable/wal"
+	"repro/internal/stable/wal" // linked for the engine registration; typed asserts below
 )
 
 // StoreBackends names the pluggable stable-storage engines the harnesses
@@ -18,26 +17,20 @@ import (
 // "wal" (log-structured segments + checkpoints).
 var StoreBackends = []string{"mem", "file", "wal"}
 
-// StoreFactory builds a cluster store factory for one backend. mem
-// returns nil (the cluster's default per-node MemStore). file and wal
-// root each node's store under baseDir/<node>; Sync is left off — the
+// StoreSpec builds the cluster storage Spec for one backend of the
+// sweep. Durable backends root per-node directories under baseDir (the
+// cluster derives them with Spec.ForNode); Sync is left off — the
 // simulation convention, matching MemStore semantics — while the `stor`
 // experiment measures the Sync-on path explicitly.
-func StoreFactory(backend, baseDir string, counters *metrics.Counters) (func(node string) (stable.Store, error), error) {
+func StoreSpec(backend, baseDir string, counters *metrics.Counters) (stable.Spec, error) {
 	switch backend {
-	case "", "mem":
-		return nil, nil
-	case "file":
-		return func(node string) (stable.Store, error) {
-			return stable.OpenFileStoreWith(filepath.Join(baseDir, node), counters, stable.FileStoreOptions{})
-		}, nil
-	case "wal":
-		return func(node string) (stable.Store, error) {
-			return wal.Open(filepath.Join(baseDir, node), wal.Options{Counters: counters})
-		}, nil
+	case "":
+		backend = "mem"
+	case "mem", "file", "wal":
 	default:
-		return nil, fmt.Errorf("unknown store backend %q (want %v)", backend, StoreBackends)
+		return stable.Spec{}, fmt.Errorf("unknown store backend %q (want %v)", backend, StoreBackends)
 	}
+	return stable.Spec{Engine: backend, Dir: baseDir, Counters: counters}, nil
 }
 
 // --- grouped Apply throughput (durable path) --------------------------
@@ -63,26 +56,22 @@ type ApplyBenchResult struct {
 
 // RunApplyBench measures grouped Apply throughput with Sync on.
 func RunApplyBench(cfg ApplyBenchConfig) (ApplyBenchResult, error) {
-	counters := &metrics.Counters{}
-	var store stable.Store
-	var groupCommits func() int64
 	switch cfg.Backend {
-	case "file":
-		s, err := stable.OpenFileStoreWith(cfg.Dir, counters, stable.FileStoreOptions{Sync: true})
-		if err != nil {
-			return ApplyBenchResult{}, err
-		}
-		store, groupCommits = s, s.GroupCommits
-	case "wal":
-		s, err := wal.Open(cfg.Dir, wal.Options{Sync: true, Counters: counters})
-		if err != nil {
-			return ApplyBenchResult{}, err
-		}
-		defer s.Close()
-		store, groupCommits = s, s.GroupCommits
+	case "file", "wal":
 	default:
 		return ApplyBenchResult{}, fmt.Errorf("apply bench: unsupported backend %q", cfg.Backend)
 	}
+	counters := &metrics.Counters{}
+	store, err := stable.Open(stable.Spec{Engine: cfg.Backend, Dir: cfg.Dir, Sync: true, Counters: counters})
+	if err != nil {
+		return ApplyBenchResult{}, err
+	}
+	defer stable.Close(store)
+	grouped, ok := store.(interface{ GroupCommits() int64 })
+	if !ok {
+		return ApplyBenchResult{}, fmt.Errorf("apply bench: engine %q does not report group commits", cfg.Backend)
+	}
+	groupCommits := grouped.GroupCommits
 
 	val := make([]byte, cfg.ValueSize)
 	perWorker := cfg.Batches / cfg.Workers
@@ -147,11 +136,13 @@ type RecoveryBenchResult struct {
 func (cfg RecoveryBenchConfig) open(dir string) (stable.Store, error) {
 	switch cfg.Backend {
 	case "file":
-		return stable.OpenFileStoreWith(dir, nil, stable.FileStoreOptions{})
+		return stable.Open(stable.Spec{Engine: "file", Dir: dir})
 	case "wal":
-		return wal.Open(dir, wal.Options{CheckpointEvery: 256 << 10, NoBackground: true})
+		return stable.Open(stable.Spec{Engine: "wal", Dir: dir,
+			WAL: stable.WALSpec{CheckpointEvery: 256 << 10, NoBackground: true}})
 	case "wal-nockpt":
-		return wal.Open(dir, wal.Options{CheckpointEvery: -1, NoBackground: true})
+		return stable.Open(stable.Spec{Engine: "wal", Dir: dir,
+			WAL: stable.WALSpec{CheckpointEvery: -1, NoBackground: true}})
 	default:
 		return nil, fmt.Errorf("recovery bench: unsupported backend %q", cfg.Backend)
 	}
@@ -225,12 +216,8 @@ func RunRecoveryBench(cfg RecoveryBenchConfig) (RecoveryBenchResult, error) {
 	if w, ok := r.(*wal.Store); ok {
 		res.BytesReplayed = w.Recovery().BytesReplayed
 	}
-	if c, ok := r.(io.Closer); ok {
-		_ = c.Close()
-	}
-	if c, ok := s.(io.Closer); ok {
-		_ = c.Close()
-	}
+	_ = stable.Close(r)
+	_ = stable.Close(s)
 	return res, nil
 }
 

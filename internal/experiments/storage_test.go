@@ -3,6 +3,8 @@ package experiments
 import (
 	"path/filepath"
 	"testing"
+
+	"repro/internal/stable"
 )
 
 // TestApplyBenchBackends smoke-runs the durable-throughput harness for
@@ -57,27 +59,29 @@ func TestRecoveryBenchBackends(t *testing.T) {
 	}
 }
 
-// TestStoreFactoryBackends covers the backend selector used by the
-// cluster harnesses.
-func TestStoreFactoryBackends(t *testing.T) {
-	if f, err := StoreFactory("mem", "", nil); err != nil || f != nil {
-		t.Errorf("mem factory: err=%v, nil=%v (want nil factory: cluster default)", err, f == nil)
+// TestStoreSpecBackends covers the backend selector used by the cluster
+// harnesses: every named backend resolves to a Spec that opens through
+// the unified stable.Open path.
+func TestStoreSpecBackends(t *testing.T) {
+	if spec, err := StoreSpec("", "", nil); err != nil || spec.Engine != "mem" {
+		t.Errorf("empty backend: spec=%+v err=%v (want the mem default)", spec, err)
 	}
 	dir := t.TempDir()
-	for _, backend := range []string{"file", "wal"} {
-		f, err := StoreFactory(backend, dir, nil)
-		if err != nil || f == nil {
-			t.Fatalf("%s factory: %v", backend, err)
+	for _, backend := range []string{"mem", "file", "wal"} {
+		spec, err := StoreSpec(backend, dir, nil)
+		if err != nil {
+			t.Fatalf("%s spec: %v", backend, err)
 		}
-		s, err := f("n0-" + backend)
+		s, err := stable.Open(spec.ForNode("n0-" + backend))
 		if err != nil {
 			t.Fatalf("%s store: %v", backend, err)
 		}
 		if err := s.Apply(); err != nil {
 			t.Errorf("%s store unusable: %v", backend, err)
 		}
+		_ = stable.Close(s)
 	}
-	if _, err := StoreFactory("papyrus", dir, nil); err == nil {
+	if _, err := StoreSpec("papyrus", dir, nil); err == nil {
 		t.Error("unknown backend accepted")
 	}
 }

@@ -48,6 +48,11 @@ type ThroughputConfig struct {
 	// (RunThroughput provisions a temp dir when empty).
 	Store    string
 	StoreDir string
+	// Repl replicates every node's store (stable.Spec.Repl): Followers
+	// replicas per shard, Acks selecting async vs quorum durability. The
+	// `repl` experiment sweeps the ack modes to price synchronous
+	// replication.
+	Repl stable.ReplSpec
 	// WireGob forces the legacy gob payload encoding on every node; the
 	// default is the binary fast-path codec (cluster.Options.WireGob).
 	WireGob bool
@@ -132,23 +137,24 @@ func BuildThroughputCluster(cfg ThroughputConfig) (*cluster.Cluster, error) {
 	if cfg.Store != "" && cfg.Store != "mem" && cfg.StoreDir == "" {
 		return nil, fmt.Errorf("throughput: backend %q needs a StoreDir", cfg.Store)
 	}
-	factory, err := StoreFactory(cfg.Store, cfg.StoreDir, counters)
+	spec, err := StoreSpec(cfg.Store, cfg.StoreDir, counters)
 	if err != nil {
 		return nil, err
 	}
+	spec.Repl = cfg.Repl
 	cl := cluster.New(cluster.Options{
-		Optimized:    cfg.Optimized,
-		Latency:      cfg.Latency,
-		Workers:      cfg.Workers,
-		RetryDelay:   2 * time.Millisecond,
-		AckTimeout:   2 * time.Second,
-		MaxAttempts:  100,
-		WireGob:      cfg.WireGob,
-		NoCoalesce:   cfg.NoCoalesce,
-		Counters:     counters,
-		StoreFactory: factory,
-		TraceRing:    cfg.TraceRing,
-		Membership:   cfg.Ring,
+		Optimized:   cfg.Optimized,
+		Latency:     cfg.Latency,
+		Workers:     cfg.Workers,
+		RetryDelay:  2 * time.Millisecond,
+		AckTimeout:  2 * time.Second,
+		MaxAttempts: 100,
+		WireGob:     cfg.WireGob,
+		NoCoalesce:  cfg.NoCoalesce,
+		Counters:    counters,
+		Store:       spec,
+		TraceRing:   cfg.TraceRing,
+		Membership:  cfg.Ring,
 	})
 	for i := 0; i < cfg.Nodes; i++ {
 		if err := cl.AddNode(workerName(i), tputFactories(cfg)...); err != nil {

@@ -87,6 +87,11 @@ type Counters struct {
 	fsyncs            atomic.Int64
 	fsyncNanos        atomic.Int64
 
+	// Replicated storage (internal/stable/repl) instrumentation.
+	replBatches   atomic.Int64
+	replAcks      atomic.Int64
+	replSnapshots atomic.Int64
+
 	latMu    sync.Mutex
 	latCount int64
 	latRing  []time.Duration
@@ -147,6 +152,10 @@ type Snapshot struct {
 	WALCheckpoints    int64 // index checkpoints persisted
 	Fsyncs            int64 // fsync calls issued by stable storage
 	FsyncNanos        int64 // cumulative time spent in fsync
+
+	ReplBatches   int64 // committed batches shipped to follower replicas
+	ReplAcks      int64 // follower flush acknowledgements received
+	ReplSnapshots int64 // full-snapshot catch-ups streamed to followers
 }
 
 // IncMessages records one delivered network message carrying n payload bytes.
@@ -333,6 +342,16 @@ func (c *Counters) ObserveFsync(d time.Duration) {
 	c.fsyncNanos.Add(int64(d))
 }
 
+// IncReplBatch records one committed batch shipped to follower replicas.
+func (c *Counters) IncReplBatch() { c.replBatches.Add(1) }
+
+// IncReplAck records one follower flush acknowledgement received.
+func (c *Counters) IncReplAck() { c.replAcks.Add(1) }
+
+// IncReplSnapshot records one full-snapshot catch-up streamed to a
+// lagging or freshly (re)joined follower.
+func (c *Counters) IncReplSnapshot() { c.replSnapshots.Add(1) }
+
 // StepStarted marks one step entering execution; it returns the current
 // in-flight count. Pair with StepFinished.
 func (c *Counters) StepStarted() int64 {
@@ -495,6 +514,10 @@ func (c *Counters) Snapshot() Snapshot {
 		WALCheckpoints:    c.walCheckpoints.Load(),
 		Fsyncs:            c.fsyncs.Load(),
 		FsyncNanos:        c.fsyncNanos.Load(),
+
+		ReplBatches:   c.replBatches.Load(),
+		ReplAcks:      c.replAcks.Load(),
+		ReplSnapshots: c.replSnapshots.Load(),
 	}
 }
 
@@ -595,5 +618,9 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		WALCheckpoints:    s.WALCheckpoints - o.WALCheckpoints,
 		Fsyncs:            s.Fsyncs - o.Fsyncs,
 		FsyncNanos:        s.FsyncNanos - o.FsyncNanos,
+
+		ReplBatches:   s.ReplBatches - o.ReplBatches,
+		ReplAcks:      s.ReplAcks - o.ReplAcks,
+		ReplSnapshots: s.ReplSnapshots - o.ReplSnapshots,
 	}
 }

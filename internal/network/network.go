@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
@@ -78,6 +79,18 @@ var (
 	ErrUnknownNode   = errors.New("network: unknown node")
 	ErrNetworkClosed = errors.New("network: closed")
 )
+
+// hostOf maps an endpoint name to the host (node) it lives on. A node
+// may attach several endpoints — e.g. "w1" for the protocol plane and
+// "w1!repl" for the storage replication plane — that share the node's
+// fate: one partition blocks both, one crash detaches both. The host is
+// the name up to the first '!'.
+func hostOf(name string) string {
+	if i := strings.IndexByte(name, '!'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
 
 // SimConfig configures a simulated network.
 type SimConfig struct {
@@ -189,20 +202,23 @@ func (s *Sim) Endpoint(name string) (Endpoint, error) {
 	}
 	ep := newSimEndpoint(name, s)
 	s.eps[name] = ep
-	delete(s.down, name)
+	delete(s.down, hostOf(name))
 	return ep, nil
 }
 
-// Crash marks a node as down: its endpoint is detached, all messages to it
-// are dropped until Endpoint is called again for the same name, and
-// messages already in flight are lost (they were addressed to the previous
-// incarnation).
+// Crash marks a node as down: every endpoint attached to the host is
+// detached, all messages to or from it are dropped until Endpoint is
+// called again for the same host, and messages already in flight toward
+// it are lost (they were addressed to the previous incarnation).
 func (s *Sim) Crash(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if ep, ok := s.eps[name]; ok {
-		ep.close()
-		delete(s.eps, name)
+	for epName, ep := range s.eps {
+		if hostOf(epName) == name {
+			ep.close()
+			delete(s.eps, epName)
+			s.epoch[epName]++
+		}
 	}
 	s.down[name] = true
 	s.epoch[name]++
@@ -339,9 +355,13 @@ func (s *Sim) send(msg Message) error {
 		s.mu.Unlock()
 		return ErrNetworkClosed
 	}
-	if s.blocked[msg.From][msg.To] || s.down[msg.To] {
+	hostFrom, hostTo := hostOf(msg.From), hostOf(msg.To)
+	if s.blocked[hostFrom][hostTo] || s.down[hostTo] || s.down[hostFrom] {
 		s.mu.Unlock()
-		// Partitioned link or crashed destination: lost, and counted.
+		// Partitioned link or crashed host on either end: lost, and
+		// counted. A crashed sender cannot transmit — its endpoint
+		// object may survive in a stopping goroutine, but the host it
+		// modeled is gone.
 		if s.cfg.Counters != nil {
 			s.cfg.Counters.IncNetUnreachableDrop()
 		}
@@ -353,8 +373,8 @@ func (s *Sim) send(msg Message) error {
 	}
 	lat := s.cfg.Latency
 	var dup, reorder bool
-	if f := s.faults[msg.From][msg.To]; f.Active() {
-		st := s.statsFor(msg.From, msg.To)
+	if f := s.faults[hostFrom][hostTo]; f.Active() {
+		st := s.statsFor(hostFrom, hostTo)
 		if f.Drop > 0 && s.rng.Float64() < f.Drop {
 			st.Drops++
 			s.mu.Unlock()
@@ -411,7 +431,8 @@ func (s *Sim) sendBatch(from, to string, msgs []Outgoing) error {
 		s.mu.Unlock()
 		return ErrNetworkClosed
 	}
-	if s.blocked[from][to] || s.down[to] {
+	hostFrom, hostTo := hostOf(from), hostOf(to)
+	if s.blocked[hostFrom][hostTo] || s.down[hostTo] || s.down[hostFrom] {
 		s.mu.Unlock()
 		if s.cfg.Counters != nil {
 			for range msgs {
@@ -430,8 +451,8 @@ func (s *Sim) sendBatch(from, to string, msgs []Outgoing) error {
 	var drops, dups, reorders int
 	var sentBytes []int64 // payload size per surviving original, for counters
 	var sentKinds []string
-	if f := s.faults[from][to]; f.Active() {
-		st := s.statsFor(from, to)
+	if f := s.faults[hostFrom][hostTo]; f.Active() {
+		st := s.statsFor(hostFrom, hostTo)
 		lat += f.Extra
 		for _, m := range msgs {
 			msg := Message{From: from, To: to, Kind: m.Kind, Payload: m.Payload}
@@ -577,7 +598,7 @@ func (s *Sim) deliverBatch(batch []Message, epoch int) {
 	from, to := batch[0].From, batch[0].To
 	s.mu.Lock()
 	ep, ok := s.eps[to]
-	if s.closed || !ok || s.down[to] || s.epoch[to] != epoch || s.blocked[from][to] {
+	if s.closed || !ok || s.down[hostOf(to)] || s.epoch[to] != epoch || s.blocked[hostOf(from)][hostOf(to)] {
 		closed := s.closed
 		s.mu.Unlock()
 		if !closed && s.cfg.Counters != nil {
@@ -597,7 +618,7 @@ func (s *Sim) deliverBatch(batch []Message, epoch int) {
 func (s *Sim) deliver(msg Message, epoch int) {
 	s.mu.Lock()
 	ep, ok := s.eps[msg.To]
-	if s.closed || !ok || s.down[msg.To] || s.epoch[msg.To] != epoch || s.blocked[msg.From][msg.To] {
+	if s.closed || !ok || s.down[hostOf(msg.To)] || s.epoch[msg.To] != epoch || s.blocked[hostOf(msg.From)][hostOf(msg.To)] {
 		closed := s.closed
 		s.mu.Unlock()
 		if !closed && s.cfg.Counters != nil {

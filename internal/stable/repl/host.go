@@ -1,0 +1,160 @@
+package repl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/stable"
+)
+
+// Host is the follower side of replication on one node: the set of
+// replica stores this node holds for other nodes' shards. Records apply
+// in LSN order; anything else — duplicates, gaps, stale epochs — is
+// answered with the replica's current position so the primary's resend
+// loop can repair the stream (or ship a snapshot).
+type Host struct {
+	self string
+	// factory opens a fresh, empty replica store for a shard this node
+	// has no replica of yet (first contact, or the previous replica was
+	// promoted away or destroyed). May be nil: unknown shards are then
+	// rejected.
+	factory func(shard string) (stable.Store, error)
+
+	mu       sync.Mutex
+	replicas map[string]*replica
+}
+
+type replica struct {
+	store stable.Store
+	epoch uint64
+	lsn   uint64
+}
+
+// NewHost creates an empty follower host for node self.
+func NewHost(self string, factory func(shard string) (stable.Store, error)) *Host {
+	return &Host{self: self, factory: factory, replicas: make(map[string]*replica)}
+}
+
+// Attach registers an existing replica store for shard, resuming the
+// position persisted in it.
+func (h *Host) Attach(shard string, store stable.Store) error {
+	epoch, lsn, err := ReadMeta(store)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	h.replicas[shard] = &replica{store: store, epoch: epoch, lsn: lsn}
+	h.mu.Unlock()
+	return nil
+}
+
+// Detach removes and returns the replica store of shard, if any. The
+// cluster uses it at promotion: the replica stops following and becomes
+// the shard's authoritative store.
+func (h *Host) Detach(shard string) (stable.Store, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r, ok := h.replicas[shard]
+	if !ok {
+		return nil, false
+	}
+	delete(h.replicas, shard)
+	return r.store, true
+}
+
+// Shards returns the shards this host holds replicas of, sorted.
+func (h *Host) Shards() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.replicas))
+	for s := range h.replicas {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Position returns the durable position of the replica of shard.
+func (h *Host) Position(shard string) (Ack, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r, ok := h.replicas[shard]
+	if !ok {
+		return Ack{}, false
+	}
+	return Ack{Shard: shard, Epoch: r.epoch, LSN: r.lsn}, true
+}
+
+func (h *Host) replicaLocked(shard string) (*replica, error) {
+	if r, ok := h.replicas[shard]; ok {
+		return r, nil
+	}
+	if h.factory == nil {
+		return nil, fmt.Errorf("repl: host %s has no replica of shard %s", h.self, shard)
+	}
+	store, err := h.factory(shard)
+	if err != nil {
+		return nil, err
+	}
+	epoch, lsn, err := ReadMeta(store)
+	if err != nil {
+		return nil, err
+	}
+	r := &replica{store: store, epoch: epoch, lsn: lsn}
+	h.replicas[shard] = r
+	return r, nil
+}
+
+// ApplyRecord applies one streamed record if it continues the replica's
+// log — same or newer epoch, exactly the next LSN — and returns the
+// replica's durable position either way, which the peer acks back to the
+// primary.
+func (h *Host) ApplyRecord(rec Record) (Ack, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r, err := h.replicaLocked(rec.Shard)
+	if err != nil {
+		return Ack{}, err
+	}
+	if rec.Epoch >= r.epoch && rec.LSN == r.lsn+1 {
+		full := make([]stable.Op, 0, len(rec.Ops)+1)
+		full = append(full, rec.Ops...)
+		full = append(full, metaOp(rec.Epoch, rec.LSN))
+		if err := r.store.Apply(full...); err != nil {
+			return Ack{}, err
+		}
+		r.epoch, r.lsn = rec.Epoch, rec.LSN
+	}
+	return Ack{Shard: rec.Shard, Epoch: r.epoch, LSN: r.lsn}, nil
+}
+
+// ApplySnapshot installs a full state manifest, replacing the replica's
+// contents wholesale in one atomic batch, unless the replica is already
+// at or past the manifest's position.
+func (h *Host) ApplySnapshot(snap Snapshot) (Ack, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r, err := h.replicaLocked(snap.Shard)
+	if err != nil {
+		return Ack{}, err
+	}
+	ahead := snap.Epoch < r.epoch || (snap.Epoch == r.epoch && snap.LSN <= r.lsn)
+	if !ahead {
+		keys, err := r.store.Keys("")
+		if err != nil {
+			return Ack{}, err
+		}
+		batch := make([]stable.Op, 0, len(keys)+len(snap.Ops)+1)
+		for _, k := range keys {
+			batch = append(batch, stable.Del(k))
+		}
+		batch = append(batch, snap.Ops...)
+		batch = append(batch, metaOp(snap.Epoch, snap.LSN))
+		if err := r.store.Apply(batch...); err != nil {
+			return Ack{}, err
+		}
+		r.epoch, r.lsn = snap.Epoch, snap.LSN
+	}
+	return Ack{Shard: snap.Shard, Epoch: r.epoch, LSN: r.lsn}, nil
+}

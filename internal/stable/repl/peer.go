@@ -1,0 +1,94 @@
+package repl
+
+import "fmt"
+
+// Peer ties one node's replication plane together: its primary store (if
+// the node owns a replicated shard) and its follower host, behind one
+// replication endpoint. The owner pumps inbound frames into Deliver;
+// outbound frames go through the SendFunc.
+type Peer struct {
+	node    string
+	primary *Store
+	host    *Host
+	send    SendFunc
+}
+
+// NewPeer wires primary (may be nil) and host (may be nil) to a
+// transport and returns the frame dispatcher.
+func NewPeer(node string, primary *Store, host *Host, send SendFunc) *Peer {
+	p := &Peer{node: node, primary: primary, host: host, send: send}
+	if primary != nil {
+		primary.Bind(send)
+	}
+	return p
+}
+
+// Announce reports the durable position of every replica this node holds
+// to the shard's primary. Called once after (re)boot so primaries learn
+// immediately where a restarted — or wiped — follower stands instead of
+// discovering it on the next append.
+func (p *Peer) Announce() {
+	if p.host == nil {
+		return
+	}
+	for _, shard := range p.host.Shards() {
+		if ack, ok := p.host.Position(shard); ok {
+			p.send(Endpoint(shard), KindAck, EncodeAck(ack))
+		}
+	}
+}
+
+// Deliver dispatches one inbound replication frame. from is the sending
+// replication endpoint; append/snapshot frames are acknowledged back to
+// it with the replica's resulting position.
+func (p *Peer) Deliver(from, kind string, payload []byte) error {
+	switch kind {
+	case KindAppend:
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			return err
+		}
+		if p.host == nil {
+			return fmt.Errorf("repl: peer %s hosts no replicas", p.node)
+		}
+		ack, err := p.host.ApplyRecord(rec)
+		if err != nil {
+			return err
+		}
+		p.send(from, KindAck, EncodeAck(ack))
+		return nil
+	case KindSnapshot:
+		snap, err := DecodeSnapshot(payload)
+		if err != nil {
+			return err
+		}
+		if p.host == nil {
+			return fmt.Errorf("repl: peer %s hosts no replicas", p.node)
+		}
+		ack, err := p.host.ApplySnapshot(snap)
+		if err != nil {
+			return err
+		}
+		p.send(from, KindAck, EncodeAck(ack))
+		return nil
+	case KindAck:
+		ack, err := DecodeAck(payload)
+		if err != nil {
+			return err
+		}
+		if p.primary != nil {
+			p.primary.HandleAck(NodeOf(from), ack)
+		}
+		return nil
+	default:
+		return fmt.Errorf("repl: unknown frame kind %q", kind)
+	}
+}
+
+// Stop detaches the primary from the transport (releasing quorum waits);
+// see Store.Unbind for the safety argument.
+func (p *Peer) Stop() {
+	if p.primary != nil {
+		p.primary.Unbind()
+	}
+}

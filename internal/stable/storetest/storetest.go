@@ -18,7 +18,6 @@ package storetest
 
 import (
 	"fmt"
-	"io"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -32,8 +31,8 @@ type Factory func(t *testing.T) stable.Store
 
 // ReopenFactory opens (or re-opens) a durable store rooted at dir. The
 // suite calls it multiple times on the same dir to model process
-// restarts; the returned store is closed (if it implements io.Closer)
-// when the suite is done with that incarnation.
+// restarts; the returned store is closed (via the stable.Reopener
+// capability) when the suite is done with that incarnation.
 type ReopenFactory func(t *testing.T, dir string) stable.Store
 
 // Conformance runs the interface-semantics battery against one engine.
@@ -377,7 +376,5 @@ func verifyModel(t *testing.T, s stable.Store, model map[string]string) {
 }
 
 func closeStore(s stable.Store) {
-	if c, ok := s.(io.Closer); ok {
-		_ = c.Close()
-	}
+	_ = stable.Close(s)
 }
