@@ -37,6 +37,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -58,6 +60,7 @@ type runReport struct {
 	ReplAcks      string  `json:"repl_acks,omitempty"`
 	Wire          string  `json:"wire"`
 	Batching      bool    `json:"batching"`
+	CtlBatching   bool    `json:"ctl_batching"`
 	Ring          bool    `json:"ring,omitempty"`
 	JoinMidRun    bool    `json:"join_mid_run,omitempty"`
 	Migrations    int64   `json:"migrations,omitempty"`
@@ -88,6 +91,18 @@ type runReport struct {
 	// NetBatchSize is the frames-per-batch histogram, keyed by bucket
 	// label ("1", "2-2", "3-4", ..., ">64").
 	NetBatchSize map[string]int64 `json:"net_batch_size,omitempty"`
+	// Control-plane batching effectiveness: how many stable group
+	// commits retired how many decision/done GC ops
+	// (decision_commits_per_txn < 1.0 is the coalescing win), how many
+	// replies rode existing outbound batches, and how the timer-arm
+	// volume relates to committed step transactions (per-peer coalesced
+	// timers keep timers_per_txn far below the per-txn timer model).
+	DecisionBatches      int64   `json:"decision_batches"`
+	DecisionOps          int64   `json:"decision_ops"`
+	DecisionCommitsPerTx float64 `json:"decision_commits_per_txn"`
+	AckPiggybacked       int64   `json:"ack_piggybacked"`
+	TimersArmed          int64   `json:"timers_armed"`
+	TimersPerTxn         float64 `json:"timers_per_txn"`
 	// StepLatencyBuckets is the raw step-latency reservoir histogram,
 	// keyed by bucket label ("le_1ms", ..., "inf"); empty cells omitted.
 	StepLatencyBuckets map[string]int64 `json:"step_latency_buckets,omitempty"`
@@ -118,6 +133,10 @@ func run(args []string) error {
 	sflags := stable.BindFlags(fs, stable.Spec{Engine: "mem"})
 	wireFmt := fs.String("wire", "binary", "payload wire format: binary (fast path) | gob (legacy)")
 	noBatch := fs.Bool("nobatch", false, "disable per-destination coalescing of protocol sends")
+	noCtlBatch := fs.Bool("noctlbatch", false, "disable cross-transaction control-plane batching (per-txn resend timers, unstaged decision GC, no ack piggybacking) — A/B baseline")
+	profileName := fs.String("profile", "", `named load profile: "shard-saturate" saturates GOMAXPROCS across the shards and sweeps 1x/10x in-flight agents (p99 should stay flat)`)
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile covering the whole run to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	storeSweep := fs.Bool("storesweep", false, "run the full backend sweep (mem, file, wal) per worker count")
 	sweep := fs.String("sweep", "", "comma-separated worker counts to sweep (overrides -workers)")
 	jsonPath := fs.String("json", "", "write the reports as JSON to this file")
@@ -125,6 +144,7 @@ func run(args []string) error {
 	noTrace := fs.Bool("notrace", false, "disable the per-node trace rings (tracing is on by default; used to measure its overhead)")
 	ring := fs.Bool("ring", false, "place steps by consistent hash (membership layer on) instead of static round-robin wiring")
 	joinMid := fs.Bool("join", false, "boot one extra node mid-run and let the rebalancer migrate its ring share of live agents over (implies -ring)")
+	migrateBurst := fs.Int("migrateburst", 0, "max live-agent migrations per rebalancer sweep (0 = node default, negative = unbounded) — A/B the join-spike throttle")
 	chaosMode := fs.Bool("chaos", false, "run the seeded fault-injection harness instead of the plain load")
 	chaosSeed := fs.Int64("chaos-seed", -1, "chaos: replay exactly this seed (prints the schedule)")
 	chaosSeeds := fs.Int("chaos-seeds", 5, "chaos: number of consecutive seeds to sweep")
@@ -156,15 +176,42 @@ func run(args []string) error {
 		}
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen: -memprofile:", err)
+			}
+		}()
+	}
+
 	if *chaosMode {
 		return runChaos(chaosConfig{
 			seed: *chaosSeed, seeds: *chaosSeeds, base: *chaosBase,
 			store: spec.Engine, workers: *workers, nodes: *nodes,
-			wire:     *wireFmt,
-			repl:     spec.Repl.Followers,
-			replAcks: replAcks,
-			kills:    *chaosKill,
-			jsonPath: *jsonPath,
+			wire:       *wireFmt,
+			noCtlBatch: *noCtlBatch,
+			repl:       spec.Repl.Followers,
+			replAcks:   replAcks,
+			kills:      *chaosKill,
+			jsonPath:   *jsonPath,
 		})
 	}
 	if *chaosKill > 0 {
@@ -188,6 +235,37 @@ func run(args []string) error {
 		backends = experiments.StoreBackends
 	}
 
+	// A load point is one (workers, agents) cell; the plain worker sweep
+	// holds agents fixed, a named profile may vary both.
+	type loadPoint struct{ workers, agents int }
+	points := make([]loadPoint, 0, len(counts)+1)
+	for _, w := range counts {
+		points = append(points, loadPoint{workers: w, agents: *agents})
+	}
+	switch *profileName {
+	case "":
+	case "shard-saturate":
+		// Saturate the machine: enough workers per node to keep every
+		// core busy, then 10x the in-flight agent backlog while holding
+		// everything else fixed. With the control plane batched per peer
+		// the p99 step latency should stay flat across the two points —
+		// the timers, GC writes and acks no longer scale with the number
+		// of in-flight transactions.
+		if *sweep != "" {
+			return fmt.Errorf("-profile shard-saturate and -sweep are mutually exclusive")
+		}
+		w := (runtime.GOMAXPROCS(0) + *nodes - 1) / *nodes
+		if w < 2 {
+			w = 2
+		}
+		points = []loadPoint{
+			{workers: w, agents: *agents},
+			{workers: w, agents: *agents * 10},
+		}
+	default:
+		return fmt.Errorf("unknown -profile %q (want shard-saturate)", *profileName)
+	}
+
 	traceRing := 0
 	if *noTrace {
 		if *tracePath != "" {
@@ -198,12 +276,12 @@ func run(args []string) error {
 
 	var reports []runReport
 	var lastTrace []trace.Record
-	for _, w := range counts {
+	for _, pt := range points {
 		for _, backend := range backends {
 			res, err := experiments.RunThroughput(experiments.ThroughputConfig{
 				Nodes:         *nodes,
-				Workers:       w,
-				Agents:        *agents,
+				Workers:       pt.workers,
+				Agents:        pt.agents,
 				Steps:         *steps,
 				Banks:         *banks,
 				ConflictRatio: *conflict,
@@ -214,24 +292,27 @@ func run(args []string) error {
 				Repl:          spec.Repl,
 				WireGob:       *wireFmt == "gob",
 				NoCoalesce:    *noBatch,
+				NoCtlBatch:    *noCtlBatch,
 				TraceRing:     traceRing,
 				CollectTrace:  *tracePath != "",
 				Ring:          *ring || *joinMid,
 				JoinMidRun:    *joinMid,
+				MigrateBurst:  *migrateBurst,
 			})
 			if err != nil {
 				return err
 			}
 			r := runReport{
-				Workers:        w,
+				Workers:        pt.workers,
 				Nodes:          *nodes,
-				Agents:         *agents,
+				Agents:         pt.agents,
 				Steps:          *steps,
 				Store:          backend,
 				Repl:           spec.Repl.Followers,
 				ReplAcks:       replAcks,
 				Wire:           *wireFmt,
 				Batching:       !*noBatch,
+				CtlBatching:    !*noCtlBatch,
 				Ring:           *ring || *joinMid,
 				JoinMidRun:     *joinMid,
 				Migrations:     res.Metrics.Migrations,
@@ -260,6 +341,14 @@ func run(args []string) error {
 			if r.NetBatches > 0 {
 				r.AvgBatchSize = float64(r.NetBatchedMsgs) / float64(r.NetBatches)
 			}
+			r.DecisionBatches = res.Metrics.DecisionBatches
+			r.DecisionOps = res.Metrics.DecisionOps
+			r.AckPiggybacked = res.Metrics.AckPiggybacked
+			r.TimersArmed = res.Metrics.TimersArmed
+			if st := res.Metrics.StepTxns; st > 0 {
+				r.DecisionCommitsPerTx = float64(r.DecisionBatches) / float64(st)
+				r.TimersPerTxn = float64(r.TimersArmed) / float64(st)
+			}
 			r.NetBatchSize = make(map[string]int64)
 			for i, n := range res.Metrics.NetBatchSize {
 				if n > 0 {
@@ -276,9 +365,11 @@ func run(args []string) error {
 			r.WireMsgsByKind = res.Metrics.WireMsgsByKind
 			lastTrace = res.TraceRecords
 			reports = append(reports, r)
-			fmt.Printf("workers=%-3d store=%-4s wire=%-6s agents/s=%-8.1f steps/s=%-8.1f p50=%6.2fms p99=%7.2fms elapsed=%7.1fms inflight=%-3d goroutines=%-4d claimConf=%-4d lockAborts=%-3d retries=%-4d msgs=%-6d avgBatch=%.2f\n",
-				r.Workers, r.Store, r.Wire, r.AgentsPerSec, r.StepsPerSec, r.P50MS, r.P99MS, r.ElapsedMS,
+			fmt.Printf("workers=%-3d agents=%-5d store=%-4s wire=%-6s agents/s=%-8.1f steps/s=%-8.1f p50=%6.2fms p99=%7.2fms elapsed=%7.1fms inflight=%-3d goroutines=%-4d claimConf=%-4d lockAborts=%-3d retries=%-4d msgs=%-6d avgBatch=%.2f\n",
+				r.Workers, r.Agents, r.Store, r.Wire, r.AgentsPerSec, r.StepsPerSec, r.P50MS, r.P99MS, r.ElapsedMS,
 				r.InFlightPeak, r.GoroutinePeak, r.ClaimConflict, r.LockAborts, r.Retries, r.Messages, r.AvgBatchSize)
+			fmt.Printf("control plane: ctl_batching=%v decision_commits/txn=%.3f decision_ops/commit=%.2f piggybacked=%d timers/txn=%.3f\n",
+				r.CtlBatching, r.DecisionCommitsPerTx, safeDiv(r.DecisionOps, r.DecisionBatches), r.AckPiggybacked, r.TimersPerTxn)
 			if r.Ring {
 				fmt.Printf("ring placement: join_mid_run=%v migrations=%d\n", r.JoinMidRun, r.Migrations)
 			}
@@ -287,7 +378,15 @@ func run(args []string) error {
 			}
 		}
 	}
-	if len(reports) > 1 && len(backends) == 1 {
+	if *profileName == "shard-saturate" && len(reports) == 2 {
+		base, top := reports[0], reports[1]
+		ratio := 0.0
+		if base.P99MS > 0 {
+			ratio = top.P99MS / base.P99MS
+		}
+		fmt.Printf("shard-saturate: %dx in-flight agents (%d→%d) = p99 %.2fms → %.2fms (%.2fx)\n",
+			top.Agents/max(base.Agents, 1), base.Agents, top.Agents, base.P99MS, top.P99MS, ratio)
+	} else if len(reports) > 1 && len(backends) == 1 {
 		base, top := reports[0], reports[len(reports)-1]
 		fmt.Printf("scaling: %d→%d workers = %.2fx agents/sec\n",
 			base.Workers, top.Workers, top.AgentsPerSec/base.AgentsPerSec)
@@ -328,18 +427,27 @@ func writeChromeTrace(path string, rs []trace.Record) error {
 	return os.WriteFile(path, []byte(buf.String()), 0o644)
 }
 
+// safeDiv returns a/b as a float, 0 when b is 0.
+func safeDiv(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
 type chaosConfig struct {
-	seed     int64 // >= 0: replay exactly this seed
-	seeds    int
-	base     int64
-	store    string
-	workers  int
-	nodes    int
-	wire     string
-	repl     int    // follower replicas per shard (0 disables)
-	replAcks string // "quorum" or "async"
-	kills    int    // permanent machine kills per schedule
-	jsonPath string
+	seed       int64 // >= 0: replay exactly this seed
+	seeds      int
+	base       int64
+	store      string
+	workers    int
+	nodes      int
+	wire       string
+	noCtlBatch bool
+	repl       int    // follower replicas per shard (0 disables)
+	replAcks   string // "quorum" or "async"
+	kills      int    // permanent machine kills per schedule
+	jsonPath   string
 }
 
 type chaosReport struct {
@@ -375,14 +483,15 @@ func runChaos(cfg chaosConfig) error {
 	failed := 0
 	for _, seed := range seeds {
 		res, err := chaos.Run(chaos.Options{
-			Seed:     seed,
-			Store:    cfg.store,
-			Workers:  cfg.workers,
-			Nodes:    cfg.nodes,
-			Wire:     cfg.wire,
-			Repl:     cfg.repl,
-			ReplAcks: cfg.replAcks,
-			Kills:    cfg.kills,
+			Seed:       seed,
+			Store:      cfg.store,
+			Workers:    cfg.workers,
+			Nodes:      cfg.nodes,
+			Wire:       cfg.wire,
+			NoCtlBatch: cfg.noCtlBatch,
+			Repl:       cfg.repl,
+			ReplAcks:   cfg.replAcks,
+			Kills:      cfg.kills,
 		})
 		if err != nil {
 			return err

@@ -26,6 +26,7 @@ var (
 	chaosStore   = flag.String("chaos-store", "mem", "stable engine per node: mem|file|wal")
 	chaosWorkers = flag.Int("chaos-workers", 1, "scheduler workers per node")
 	chaosWire    = flag.String("chaos-wire", "binary", "wire format: binary|gob")
+	chaosNoCtl   = flag.Bool("chaos-noctlbatch", false, "disable cross-transaction control-plane batching (legacy per-txn timers)")
 	chaosChurn   = flag.Int("chaos-churn", 0, "membership churn draws per seed (joins + leaves; 0 disables)")
 	chaosRepl    = flag.Int("chaos-repl", 0, "follower replicas per shard (0 disables replication)")
 	chaosAcks    = flag.String("chaos-repl-acks", "quorum", "replication ack mode: quorum|async")
@@ -34,14 +35,15 @@ var (
 
 func chaosOptions(seed int64) chaos.Options {
 	return chaos.Options{
-		Seed:     seed,
-		Store:    *chaosStore,
-		Workers:  *chaosWorkers,
-		Wire:     *chaosWire,
-		Churn:    *chaosChurn,
-		Repl:     *chaosRepl,
-		ReplAcks: *chaosAcks,
-		Kills:    *chaosKill,
+		Seed:       seed,
+		Store:      *chaosStore,
+		Workers:    *chaosWorkers,
+		Wire:       *chaosWire,
+		NoCtlBatch: *chaosNoCtl,
+		Churn:      *chaosChurn,
+		Repl:       *chaosRepl,
+		ReplAcks:   *chaosAcks,
+		Kills:      *chaosKill,
 	}
 }
 

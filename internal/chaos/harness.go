@@ -36,6 +36,12 @@ type Options struct {
 	Dir     string // root for durable engines (temp dir when empty)
 	Wire    string // wire format: binary (coalesced fast path, default) | gob (legacy)
 
+	// NoCtlBatch disables cross-transaction control-plane batching
+	// (node.Config.NoCtlBatch): per-txn resend timers, unstaged GC
+	// writes, no ack piggybacking. Matrix cells run both settings so
+	// a batching bug cannot hide behind the default.
+	NoCtlBatch bool
+
 	// RollbackRatio is the fraction of agents whose decide step triggers
 	// a partial rollback of the whole sub-itinerary. Zero picks the
 	// default 1/3; pass a negative value for a workload with no
@@ -280,6 +286,7 @@ func run(opts Options, fixed *Schedule) (*Result, error) {
 		MaxAttempts: 5000,
 		Workers:     opts.Workers,
 		WireGob:     opts.Wire == "gob",
+		NoCtlBatch:  opts.NoCtlBatch,
 		Counters:    counters,
 		Store:       spec,      // durable engines run real recovery on crash
 		FaultSeed:   opts.Seed, // probabilistic faults replay with the seed

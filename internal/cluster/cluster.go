@@ -89,6 +89,13 @@ type Options struct {
 	// NoCoalesce disables per-destination grouping of one transition's
 	// sends on every node (see node.Config.NoCoalesce).
 	NoCoalesce bool
+	// NoCtlBatch disables cross-transaction control-plane batching on
+	// every node (see node.Config.NoCtlBatch). A/B benchmarks and chaos
+	// matrix cells.
+	NoCtlBatch bool
+	// MigrateBurst bounds migrations per rebalancer sweep on every node
+	// (see node.Config.MigrateBurst); 0 keeps the node default.
+	MigrateBurst int
 	// NodeOverride, when set, may adjust one node's config just before
 	// boot — e.g. pinning a single node to the legacy gob format for a
 	// mixed-version cluster. Called for every boot, including Recover.
@@ -355,6 +362,8 @@ func (c *Cluster) bootNode(name string) error {
 		SagaBaseline: c.opts.SagaBaseline,
 		WireGob:      c.opts.WireGob,
 		NoCoalesce:   c.opts.NoCoalesce,
+		NoCtlBatch:   c.opts.NoCtlBatch,
+		MigrateBurst: c.opts.MigrateBurst,
 		Clock:        c.opts.Clock,
 		Counters:     c.counters,
 		Tracer:       c.nodeTracer(name),

@@ -59,6 +59,12 @@ type ThroughputConfig struct {
 	// NoCoalesce disables per-destination batching of one protocol
 	// transition's sends (cluster.Options.NoCoalesce). A/B sweeps.
 	NoCoalesce bool
+	// NoCtlBatch disables cross-transaction control-plane batching
+	// (cluster.Options.NoCtlBatch). A/B sweeps.
+	NoCtlBatch bool
+	// MigrateBurst bounds migrations per rebalancer sweep
+	// (cluster.Options.MigrateBurst); 0 keeps the node default.
+	MigrateBurst int
 	// Timeout bounds the whole run; zero uses the experiment default
 	// (large load points under the race detector need more).
 	Timeout time.Duration
@@ -143,18 +149,20 @@ func BuildThroughputCluster(cfg ThroughputConfig) (*cluster.Cluster, error) {
 	}
 	spec.Repl = cfg.Repl
 	cl := cluster.New(cluster.Options{
-		Optimized:   cfg.Optimized,
-		Latency:     cfg.Latency,
-		Workers:     cfg.Workers,
-		RetryDelay:  2 * time.Millisecond,
-		AckTimeout:  2 * time.Second,
-		MaxAttempts: 100,
-		WireGob:     cfg.WireGob,
-		NoCoalesce:  cfg.NoCoalesce,
-		Counters:    counters,
-		Store:       spec,
-		TraceRing:   cfg.TraceRing,
-		Membership:  cfg.Ring,
+		Optimized:    cfg.Optimized,
+		Latency:      cfg.Latency,
+		Workers:      cfg.Workers,
+		RetryDelay:   2 * time.Millisecond,
+		AckTimeout:   2 * time.Second,
+		MaxAttempts:  100,
+		WireGob:      cfg.WireGob,
+		NoCoalesce:   cfg.NoCoalesce,
+		NoCtlBatch:   cfg.NoCtlBatch,
+		MigrateBurst: cfg.MigrateBurst,
+		Counters:     counters,
+		Store:        spec,
+		TraceRing:    cfg.TraceRing,
+		Membership:   cfg.Ring,
 	})
 	for i := 0; i < cfg.Nodes; i++ {
 		if err := cl.AddNode(workerName(i), tputFactories(cfg)...); err != nil {

@@ -59,6 +59,13 @@ type Counters struct {
 	netBatchedMsgs atomic.Int64
 	netBatchHist   [len(BatchSizeBuckets) + 1]atomic.Int64
 
+	// Control-plane batching (internal/node's GC stager and ack
+	// piggybacking) instrumentation.
+	decisionBatches   atomic.Int64
+	decisionOps       atomic.Int64
+	decisionBatchHist [len(BatchSizeBuckets) + 1]atomic.Int64
+	ackPiggybacked    atomic.Int64
+
 	wireMu          sync.Mutex
 	wireBytesByKind map[string]int64
 	wireMsgsByKind  map[string]int64
@@ -133,6 +140,11 @@ type Snapshot struct {
 	NetBatchSize    [len(BatchSizeBuckets) + 1]int64 // frames-per-batch histogram (see BatchSizeBuckets)
 	WireBytesByKind map[string]int64                 // payload bytes on the wire per message kind
 	WireMsgsByKind  map[string]int64                 // messages on the wire per message kind
+
+	DecisionBatches   int64                            // control-plane GC group commits flushed
+	DecisionOps       int64                            // decision/done GC ops carried inside those commits
+	DecisionBatchSize [len(BatchSizeBuckets) + 1]int64 // ops-per-commit histogram (see BatchSizeBuckets)
+	AckPiggybacked    int64                            // acks/status replies that rode an existing outbound batch
 
 	ProtocolTransitions int64 // protocol state-machine events processed
 	TimersArmed         int64 // protocol timers armed on the wheel
@@ -273,6 +285,25 @@ func (c *Counters) ObserveNetBatch(frames int) {
 	}
 	c.netBatchHist[i].Add(1)
 }
+
+// ObserveDecisionBatch records one control-plane GC group commit
+// carrying ops staged decision-record clears / done-record drops.
+func (c *Counters) ObserveDecisionBatch(ops int) {
+	if ops <= 0 {
+		return
+	}
+	c.decisionBatches.Add(1)
+	c.decisionOps.Add(int64(ops))
+	i := 0
+	for i < len(BatchSizeBuckets) && int64(ops) > BatchSizeBuckets[i] {
+		i++
+	}
+	c.decisionBatchHist[i].Add(1)
+}
+
+// IncAckPiggybacked records n non-blocking replies that rode an outbound
+// batch already headed to their peer instead of flushing their own frame.
+func (c *Counters) IncAckPiggybacked(n int64) { c.ackPiggybacked.Add(n) }
 
 // AddWireBytes attributes one wire message of n payload bytes to its
 // message kind (every transport calls it exactly once per message, so
@@ -452,9 +483,10 @@ func peakMax(peak *atomic.Int64, n int64) {
 
 // Snapshot returns a copy of the current counter values.
 func (c *Counters) Snapshot() Snapshot {
-	var hist [len(BatchSizeBuckets) + 1]int64
+	var hist, dhist [len(BatchSizeBuckets) + 1]int64
 	for i := range c.netBatchHist {
 		hist[i] = c.netBatchHist[i].Load()
+		dhist[i] = c.decisionBatchHist[i].Load()
 	}
 	c.wireMu.Lock()
 	bytesByKind := copyKindMap(c.wireBytesByKind)
@@ -466,6 +498,11 @@ func (c *Counters) Snapshot() Snapshot {
 		NetBatchSize:    hist,
 		WireBytesByKind: bytesByKind,
 		WireMsgsByKind:  msgsByKind,
+
+		DecisionBatches:   c.decisionBatches.Load(),
+		DecisionOps:       c.decisionOps.Load(),
+		DecisionBatchSize: dhist,
+		AckPiggybacked:    c.ackPiggybacked.Load(),
 
 		Messages:          c.messages.Load(),
 		BytesSent:         c.bytesSent.Load(),
@@ -560,9 +597,10 @@ func subKindMap(s, o map[string]int64) map[string]int64 {
 
 // Sub returns the component-wise difference s - o.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
-	var hist [len(BatchSizeBuckets) + 1]int64
+	var hist, dhist [len(BatchSizeBuckets) + 1]int64
 	for i := range hist {
 		hist[i] = s.NetBatchSize[i] - o.NetBatchSize[i]
+		dhist[i] = s.DecisionBatchSize[i] - o.DecisionBatchSize[i]
 	}
 	return Snapshot{
 		NetBatches:      s.NetBatches - o.NetBatches,
@@ -570,6 +608,11 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		NetBatchSize:    hist,
 		WireBytesByKind: subKindMap(s.WireBytesByKind, o.WireBytesByKind),
 		WireMsgsByKind:  subKindMap(s.WireMsgsByKind, o.WireMsgsByKind),
+
+		DecisionBatches:   s.DecisionBatches - o.DecisionBatches,
+		DecisionOps:       s.DecisionOps - o.DecisionOps,
+		DecisionBatchSize: dhist,
+		AckPiggybacked:    s.AckPiggybacked - o.AckPiggybacked,
 
 		Messages:          s.Messages - o.Messages,
 		BytesSent:         s.BytesSent - o.BytesSent,

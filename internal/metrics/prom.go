@@ -21,9 +21,10 @@ import (
 //     Snapshot.Sub windows;
 //   - map[string]int64 fields become one counter with a kind="…" label
 //     per key, emitted in sorted key order;
-//   - the NetBatchSize array becomes a classic cumulative histogram
-//     over BatchSizeBuckets with _sum = NetBatchedMsgs and
-//     _count = NetBatches.
+//   - the NetBatchSize and DecisionBatchSize arrays become classic
+//     cumulative histograms over BatchSizeBuckets with
+//     _sum = NetBatchedMsgs / DecisionOps and
+//     _count = NetBatches / DecisionBatches.
 //
 // The latency summary is emitted as repro_step_latency_seconds quantile
 // samples plus the reservoir histogram as cumulative le="…" gauges.
@@ -38,7 +39,9 @@ func WritePrometheus(w io.Writer, s Snapshot, lat LatencySummary) error {
 		name := "repro_" + snakeCase(f.Name)
 		switch {
 		case f.Name == "NetBatchSize":
-			writeBatchHistogram(bw, s)
+			writeBatchHistogram(bw, "repro_net_batch_size", s.NetBatchSize, s.NetBatchedMsgs, s.NetBatches)
+		case f.Name == "DecisionBatchSize":
+			writeBatchHistogram(bw, "repro_decision_batch_size", s.DecisionBatchSize, s.DecisionOps, s.DecisionBatches)
 		case f.Type.Kind() == reflect.Int64:
 			if strings.Contains(f.Name, "Peak") {
 				bw.printf("# TYPE %s gauge\n%s %d\n", name, name, v.Field(i).Int())
@@ -78,11 +81,10 @@ func writeKindCounter(w *errWriter, name string, m map[string]int64) {
 	}
 }
 
-func writeBatchHistogram(w *errWriter, s Snapshot) {
-	const name = "repro_net_batch_size"
+func writeBatchHistogram(w *errWriter, name string, hist [len(BatchSizeBuckets) + 1]int64, sum, count int64) {
 	w.printf("# TYPE %s histogram\n", name)
 	var cum int64
-	for i, n := range s.NetBatchSize {
+	for i, n := range hist {
 		cum += n
 		le := "+Inf"
 		if i < len(BatchSizeBuckets) {
@@ -90,7 +92,7 @@ func writeBatchHistogram(w *errWriter, s Snapshot) {
 		}
 		w.printf("%s_bucket{le=%q} %d\n", name, le, cum)
 	}
-	w.printf("%s_sum %d\n%s_count %d\n", name, s.NetBatchedMsgs, name, s.NetBatches)
+	w.printf("%s_sum %d\n%s_count %d\n", name, sum, name, count)
 }
 
 func writeLatency(w *errWriter, lat LatencySummary) {

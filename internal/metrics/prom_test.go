@@ -29,6 +29,9 @@ func promSnapshot() (Snapshot, LatencySummary) {
 	c.ObserveNetBatch(1)
 	c.ObserveNetBatch(3)
 	c.ObserveNetBatch(70)
+	c.ObserveDecisionBatch(1)
+	c.ObserveDecisionBatch(12)
+	c.IncAckPiggybacked(4)
 	c.AddWireBytes("q.prepare", 64)
 	c.AddWireBytes("q.prepare", 36)
 	c.AddWireBytes("a.commit", 8)

@@ -44,6 +44,8 @@ var frameKinds = [...]string{
 	17: "agent.done",
 	18: "agent.done.ack",
 	19: "member.announce",
+	20: "ctl.batch",
+	21: "query.batch",
 }
 
 // frameKindCodes is the inverse of frameKinds.

@@ -1,6 +1,8 @@
 package node
 
 import (
+	"strings"
+
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/network"
@@ -79,8 +81,35 @@ func (n *Node) stepInto(ev protocol.Event, b *outBatch) {
 	}
 }
 
-// onTimer is the wheel's fire callback: a timer event like any other.
+// stepAll feeds a batch frame's per-transaction events through the
+// machine under one shared outbound batch, so the replies to a
+// coalesced frame coalesce on the way back too.
+func (n *Node) stepAll(evs []protocol.Event) {
+	if n.cfg.NoCoalesce {
+		for _, ev := range evs {
+			n.stepInto(ev, nil)
+		}
+		return
+	}
+	var b outBatch
+	for _, ev := range evs {
+		n.stepInto(ev, &b)
+	}
+	b.flush(n)
+}
+
+// onTimer is the wheel's fire callback: a timer event like any other,
+// except for the two driver-level timers (the GC-stager linger and the
+// per-peer hold-buffer lingers), which never reach the machine.
 func (n *Node) onTimer(id string) {
+	if id == stagerFlushID {
+		n.flushCtlStage()
+		return
+	}
+	if peer, ok := strings.CutPrefix(id, holdPrefix); ok {
+		n.flushHeld(peer)
+		return
+	}
 	if tr := n.cfg.Tracer; tr != nil {
 		txnID, agentID := protocol.TimerInfo(id)
 		tr.Rec(trace.OpTimerFire, txnID, agentID, id, "", "", 0)
@@ -127,6 +156,33 @@ func (n *Node) handle(msg network.Message) {
 			return
 		}
 		n.step(protocol.QueryReceived{TxnID: req.TxnID, From: msg.From, StoreDecided: decided})
+	case protocol.KindCtlBatch:
+		// One multi-transaction resend frame explodes into the exact
+		// per-transaction events the unbatched kinds produce; replies
+		// share one outbound batch.
+		var req protocol.CtlBatchMsg
+		if err := protocol.Decode(msg.Payload, &req); err != nil {
+			return
+		}
+		evs := make([]protocol.Event, 0, len(req.Items))
+		for _, it := range req.Items {
+			evs = append(evs, protocol.CtlReceived{TxnID: it.TxnID, From: msg.From, Commit: it.Commit, RCE: it.RCE})
+		}
+		n.stepAll(evs)
+	case protocol.KindQueryBatch:
+		var req protocol.QueryBatchMsg
+		if err := protocol.Decode(msg.Payload, &req); err != nil {
+			return
+		}
+		evs := make([]protocol.Event, 0, len(req.TxnIDs))
+		for _, txnID := range req.TxnIDs {
+			decided, err := n.mgr.Decided(txnID)
+			if err != nil {
+				continue
+			}
+			evs = append(evs, protocol.QueryReceived{TxnID: txnID, From: msg.From, StoreDecided: decided})
+		}
+		n.stepAll(evs)
 	case protocol.KindTxnStatus:
 		var st protocol.StatusMsg
 		if err := protocol.Decode(msg.Payload, &st); err != nil {
@@ -235,11 +291,11 @@ func (n *Node) applyEffect(eff protocol.Effect, b *outBatch) {
 			n.runBranchExec(e.TxnID, e.Ops)
 		}()
 	case protocol.ClearDecision:
-		_ = n.store.Apply(n.mgr.ClearDecisionOp(e.TxnID))
+		n.stageCtlOp(n.mgr.ClearDecisionOp(e.TxnID))
 	case protocol.ResendDone:
-		n.sendDone(e.AgentID)
+		n.sendDone(b, e.AgentID)
 	case protocol.DropDone:
-		_ = n.store.Apply(stableDelDone(e.AgentID))
+		n.stageCtlOp(stableDelDone(e.AgentID))
 	case protocol.ArmTimer:
 		if tr := n.cfg.Tracer; tr != nil {
 			txnID, agentID := protocol.TimerInfo(e.ID)
@@ -301,8 +357,10 @@ func (n *Node) takeBranchTx(txnID string) *txn.Tx {
 	return tx
 }
 
-// sendDone (re)sends one durable completion record to its owner.
-func (n *Node) sendDone(agentID string) {
+// sendDone (re)sends one durable completion record to its owner,
+// joining the enclosing transition's outbound batch when one is active
+// so a coalesced done-resend timer emits one frame group per owner.
+func (n *Node) sendDone(b *outBatch, agentID string) {
 	raw, ok, err := n.store.Get(doneKey(agentID))
 	if err != nil || !ok {
 		return
@@ -311,7 +369,7 @@ func (n *Node) sendDone(agentID string) {
 	if err := wire.Decode(raw, &rec); err != nil {
 		return
 	}
-	n.send(rec.Owner, kindAgentDone, &rec.Msg)
+	n.sendTo(b, rec.Owner, kindAgentDone, &rec.Msg)
 }
 
 // handleLaunch inserts a fresh agent container into the input queue.

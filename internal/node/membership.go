@@ -291,11 +291,23 @@ func (n *Node) rebalanceSweep() (pending bool) {
 	// later ring-routed hand-off back here) forever — the final fence must
 	// cover exactly the entries that still need moving, nothing else.
 	still := make(map[string]bool)
+	attempted := 0
 	for _, mv := range moves {
 		select {
 		case <-n.stop:
 			return true
 		default:
+		}
+		// Migration-burst throttle: a view change over a deep queue would
+		// otherwise convert the whole misplaced backlog into one burst of
+		// back-to-back distributed hand-offs, starving step workers of
+		// store and lock bandwidth exactly when a joining node spikes
+		// load. Overflow moves stay fenced (so workers do not race the
+		// next pass for them) and retry on the next sweep.
+		if n.cfg.MigrateBurst > 0 && attempted >= n.cfg.MigrateBurst {
+			still[mv.e.ID] = true
+			pending = true
+			continue
 		}
 		claimed, ok, err := n.queue.TryClaim(mv.e)
 		if err != nil || !ok {
@@ -308,6 +320,7 @@ func (n *Node) rebalanceSweep() (pending bool) {
 			}
 			continue
 		}
+		attempted++
 		if err := n.migrateEntry(claimed, mv.dest); err != nil {
 			n.queue.Release(claimed)
 			if n.cfg.Counters != nil {

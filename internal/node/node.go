@@ -99,6 +99,19 @@ type Config struct {
 	// grouping the sends of one machine transition per destination (the
 	// batching half of the wire fast path). A/B benchmarks only.
 	NoCoalesce bool
+	// NoCtlBatch disables the PR-10 cross-transaction control-plane
+	// batching end to end: the protocol machine arms per-transaction
+	// resend/query timers again (eagerly canceled), decision-record GC
+	// applies one store transaction per decision instead of staging into
+	// a group commit, and acks never linger for piggybacking. A/B
+	// benchmarks and the loadgen -noctlbatch flag only.
+	NoCtlBatch bool
+	// MigrateBurst bounds the migration hand-offs the rebalancer
+	// attempts per sweep, so one view change cannot convert the whole
+	// misplaced backlog into a single burst that spikes step latency.
+	// Overflow moves stay fenced and retry on the next sweep. The
+	// default is 8; negative means unbounded.
+	MigrateBurst int
 	// Clock drives the node's protocol timers (ack timeouts, control
 	// resends, in-doubt queries, notification resends) through its
 	// timer wheel; nil uses the wall clock. A network.VirtualClock
@@ -140,6 +153,9 @@ func (c *Config) fillDefaults() {
 	if c.Workers < 1 {
 		c.Workers = 1
 	}
+	if c.MigrateBurst == 0 {
+		c.MigrateBurst = 8
+	}
 	if c.Clock == nil {
 		c.Clock = network.WallClock()
 	}
@@ -176,6 +192,20 @@ type Node struct {
 	waiters   map[string]chan protocol.AckMsg
 	branchTx  map[string]*txn.Tx // prepared RCE branch transactions, parked for the verdict
 	pool      *sched.Pool        // step scheduler; set once recovery completes
+
+	// Control-plane write stager (PR-10): decision-record clears and
+	// done-record drops from concurrent transitions coalesce into one
+	// group Apply, flushed on size or after a short linger.
+	stagerMu    sync.Mutex
+	stagerOps   []stable.Op
+	stagerArmed bool
+
+	// Ack piggyback hold buffers (PR-10): non-blocking responses parked
+	// per peer until an outbound batch heads that way or the linger
+	// timer flushes them.
+	holdMu    sync.Mutex
+	held      map[string][]network.Outgoing
+	heldArmed map[string]bool
 
 	ready chan struct{}
 	stop  chan struct{}
@@ -217,6 +247,7 @@ func New(cfg Config, ep network.Endpoint, store stable.Store, registry *agent.Re
 			Node:          cfg.Name,
 			RetryInterval: cfg.RetryDelay * 5,
 			StaleAfter:    2 * cfg.AckTimeout,
+			NoCtlBatch:    cfg.NoCtlBatch,
 		}),
 		factories: factories,
 		members:   cfg.Membership,
@@ -300,6 +331,9 @@ func (n *Node) Stop() {
 		wheel.Stop()
 	}
 	n.wg.Wait()
+	// Courtesy drain of the GC stager: the ops are crash-safe to lose,
+	// but a clean stop should not leave avoidable garbage behind.
+	n.flushCtlStage()
 }
 
 // Ready returns a channel closed when recovery completed. (The protocol
@@ -423,6 +457,9 @@ func (n *Node) sendTo(b *outBatch, to, kind string, payload any) {
 		return
 	}
 	n.traceSend(to, kind, payload, len(data))
+	if n.holdForRide(to, kind, data) {
+		return
+	}
 	b.add(to, kind, data)
 }
 
@@ -467,6 +504,19 @@ func (b *outBatch) add(to, kind string, payload []byte) {
 func (b *outBatch) flush(n *Node) {
 	for _, to := range b.order {
 		msgs := b.byDest[to]
+		// A batch headed to a peer picks up that peer's parked replies:
+		// the piggyback ride.
+		if rides := n.takeHeld(to); len(rides) > 0 {
+			if n.cfg.Counters != nil {
+				n.cfg.Counters.IncAckPiggybacked(int64(len(rides)))
+			}
+			if tr := n.cfg.Tracer; tr != nil {
+				for _, r := range rides {
+					tr.Rec(trace.OpPiggyback, "", "", r.Kind, to, "", int64(len(r.Payload)))
+				}
+			}
+			msgs = append(msgs, rides...)
+		}
 		if tr := n.cfg.Tracer; tr != nil {
 			tr.Rec(trace.OpBatchFlush, "", "", "", to, "", int64(len(msgs)))
 		}

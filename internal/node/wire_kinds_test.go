@@ -32,6 +32,8 @@ func TestAllKindsHaveFrameCodes(t *testing.T) {
 		kindAgentDone,
 		kindAgentDoneAck,
 		kindMemberAnnounce,
+		protocol.KindCtlBatch,
+		protocol.KindQueryBatch,
 	}
 	seen := make(map[byte]string, len(kinds))
 	for _, k := range kinds {

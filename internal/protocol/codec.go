@@ -32,6 +32,10 @@ const (
 	TypeStatus byte = 0x04
 	// TypeRCEExec carries RCEExecMsg (rce.exec).
 	TypeRCEExec byte = 0x05
+	// TypeCtlBatch carries CtlBatchMsg (ctl.batch).
+	TypeCtlBatch byte = 0x06
+	// TypeQueryBatch carries QueryBatchMsg (query.batch).
+	TypeQueryBatch byte = 0x07
 )
 
 // Decode decodes one inbound payload into v, taking the binary fast
@@ -210,6 +214,96 @@ func (m *RCEExecMsg) AppendTo(buf []byte) []byte {
 // checks it against the remaining bytes, so a corrupt header cannot
 // force a giant pre-allocation.
 const maxInlineOps = 1 << 20
+
+// --- CtlBatchMsg ------------------------------------------------------
+
+// AppendTo implements wire.BinaryMessage.
+func (m *CtlBatchMsg) AppendTo(buf []byte) []byte {
+	buf = slices.Grow(buf, 2+8+len(m.Items)*24)
+	buf = append(buf, wire.BinaryVersion, TypeCtlBatch)
+	buf = wire.AppendUvarint(buf, uint64(len(m.Items)))
+	for _, it := range m.Items {
+		buf = wire.AppendString(buf, it.TxnID)
+		buf = wire.AppendBool(buf, it.RCE)
+		buf = wire.AppendBool(buf, it.Commit)
+	}
+	return buf
+}
+
+// DecodeFrom implements wire.BinaryMessage. TxnIDs alias buf.
+func (m *CtlBatchMsg) DecodeFrom(buf []byte) error {
+	b, err := body(buf, TypeCtlBatch)
+	if err != nil {
+		return err
+	}
+	n, b, err := wire.ReadUvarint(b)
+	if err != nil {
+		return err
+	}
+	// Every item costs at least 3 bytes (length prefix + two bools);
+	// reject counts the remaining buffer cannot possibly hold.
+	if n > maxInlineOps || n > uint64(len(b)) {
+		return fmt.Errorf("%w: %d ctl-batch items exceed buffer", wire.ErrCorrupt, n)
+	}
+	m.Items = nil
+	if n > 0 {
+		m.Items = make([]CtlBatchItem, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var it CtlBatchItem
+		if it.TxnID, b, err = wire.ReadString(b); err != nil {
+			return err
+		}
+		if it.RCE, b, err = wire.ReadBool(b); err != nil {
+			return err
+		}
+		if it.Commit, b, err = wire.ReadBool(b); err != nil {
+			return err
+		}
+		m.Items = append(m.Items, it)
+	}
+	return wire.Done(b)
+}
+
+// --- QueryBatchMsg ----------------------------------------------------
+
+// AppendTo implements wire.BinaryMessage.
+func (m *QueryBatchMsg) AppendTo(buf []byte) []byte {
+	buf = slices.Grow(buf, 2+8+len(m.TxnIDs)*20)
+	buf = append(buf, wire.BinaryVersion, TypeQueryBatch)
+	buf = wire.AppendUvarint(buf, uint64(len(m.TxnIDs)))
+	for _, id := range m.TxnIDs {
+		buf = wire.AppendString(buf, id)
+	}
+	return buf
+}
+
+// DecodeFrom implements wire.BinaryMessage. TxnIDs alias buf.
+func (m *QueryBatchMsg) DecodeFrom(buf []byte) error {
+	b, err := body(buf, TypeQueryBatch)
+	if err != nil {
+		return err
+	}
+	n, b, err := wire.ReadUvarint(b)
+	if err != nil {
+		return err
+	}
+	if n > maxInlineOps || n > uint64(len(b)) {
+		return fmt.Errorf("%w: %d query-batch entries exceed buffer", wire.ErrCorrupt, n)
+	}
+	m.TxnIDs = nil
+	if n > 0 {
+		m.TxnIDs = make([]string, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var id string
+		if id, b, err = wire.ReadString(b); err != nil {
+			return err
+		}
+		m.TxnIDs = append(m.TxnIDs, id)
+	}
+	return wire.Done(b)
+}
 
 // DecodeFrom implements wire.BinaryMessage. Params values alias buf.
 func (m *RCEExecMsg) DecodeFrom(buf []byte) error {

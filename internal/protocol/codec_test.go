@@ -34,6 +34,13 @@ func fastPathMessages() []struct {
 			{Kind: core.OpResource, Op: "withdraw", Params: core.Params{"amount": []byte("100"), "acct": []byte("a-9")}},
 			{Kind: core.OpAgent, Op: "noop"},
 		}}, func() wire.BinaryMessage { return &RCEExecMsg{} }},
+		{"ctl-batch", &CtlBatchMsg{Items: []CtlBatchItem{
+			{TxnID: "n1#7", Commit: true},
+			{TxnID: "n1#9", RCE: true, Commit: true},
+			{TxnID: "n2#1"},
+		}}, func() wire.BinaryMessage { return &CtlBatchMsg{} }},
+		{"query-batch", &QueryBatchMsg{TxnIDs: []string{"n1#7", "n2#4"}},
+			func() wire.BinaryMessage { return &QueryBatchMsg{} }},
 	}
 }
 

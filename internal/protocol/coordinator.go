@@ -79,7 +79,15 @@ func (m *Machine) coordDecided(e CoordDecided) []Effect {
 		c.pending[p] = true
 		effs = append(effs, SendMsg{To: p.Node, Kind: p.ctlKind(true), Payload: &CtlMsg{TxnID: e.TxnID}})
 	}
-	effs = append(effs, ArmTimer{ID: timerID(timerCtl, e.TxnID), D: m.cfg.RetryInterval})
+	if !m.batch() {
+		return append(effs, ArmTimer{ID: timerID(timerCtl, e.TxnID), D: m.cfg.RetryInterval})
+	}
+	// Coalesced mode: the first controls still go out per-transaction
+	// (the driver's outbound batch groups them per destination); only the
+	// resend obligation joins the shared per-peer timer.
+	for _, p := range e.Parts {
+		effs = append(effs, m.enqueue(timerPeerCtl, p.Node, dueEntry{id: e.TxnID, aux: partAux(p.Kind)}, m.cfg.RetryInterval)...)
+	}
 	return effs
 }
 
@@ -113,7 +121,12 @@ func (m *Machine) ackReceived(e AckReceived) []Effect {
 		return nil
 	}
 	delete(m.coord, e.TxnID)
-	effs := []Effect{CancelTimer{ID: timerID(timerCtl, e.TxnID)}}
+	var effs []Effect
+	if !m.batch() {
+		// Coalesced entries are dropped lazily at the next per-peer fire;
+		// only the legacy per-transaction timer needs an eager cancel.
+		effs = append(effs, CancelTimer{ID: timerID(timerCtl, e.TxnID)})
+	}
 	if commit {
 		// Every participant acknowledged the commit: the decision
 		// record can be garbage-collected.

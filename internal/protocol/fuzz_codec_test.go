@@ -40,6 +40,8 @@ func FuzzWireRoundTrip(f *testing.F) {
 			{&CtlMsg{TxnID: txn}, func() wire.BinaryMessage { return &CtlMsg{} }},
 			{&StatusMsg{TxnID: txn, Committed: ok}, func() wire.BinaryMessage { return &StatusMsg{} }},
 			{&RCEExecMsg{TxnID: txn, Ops: ops}, func() wire.BinaryMessage { return &RCEExecMsg{} }},
+			{&CtlBatchMsg{Items: batchItems(txn, entry, ok, sel)}, func() wire.BinaryMessage { return &CtlBatchMsg{} }},
+			{&QueryBatchMsg{TxnIDs: batchTxns(txn, entry, sel)}, func() wire.BinaryMessage { return &QueryBatchMsg{} }},
 		}
 		for _, tc := range msgs {
 			gobEnc, err := wire.Encode(tc.msg)
@@ -96,4 +98,29 @@ func FuzzWireRoundTrip(f *testing.F) {
 			_ = Decode(raw, tc.zero())
 		}
 	})
+}
+
+// batchItems derives a CtlBatchMsg item list from the fuzz input: nil,
+// one item or two, with the flag combinations driven by sel.
+func batchItems(txn, entry string, ok bool, sel byte) []CtlBatchItem {
+	if sel&0x20 != 0 {
+		return nil
+	}
+	items := []CtlBatchItem{{TxnID: txn, RCE: ok, Commit: sel&0x01 != 0}}
+	if sel&0x40 != 0 {
+		items = append(items, CtlBatchItem{TxnID: entry, Commit: true})
+	}
+	return items
+}
+
+// batchTxns derives a QueryBatchMsg transaction list the same way.
+func batchTxns(txn, entry string, sel byte) []string {
+	if sel&0x20 != 0 {
+		return nil
+	}
+	txns := []string{txn}
+	if sel&0x40 != 0 {
+		txns = append(txns, entry)
+	}
+	return txns
 }

@@ -172,6 +172,7 @@ var knownKinds = map[string]bool{
 	protocol.KindRCEExec: true, protocol.KindRCEExecAck: true,
 	protocol.KindRCECommit: true, protocol.KindRCECommitAck: true,
 	protocol.KindRCEAbort: true, protocol.KindRCEAbortAck: true,
+	protocol.KindCtlBatch: true, protocol.KindQueryBatch: true,
 }
 
 func (d *driverModel) apply(effs []protocol.Effect) {

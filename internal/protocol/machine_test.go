@@ -8,11 +8,16 @@ import (
 	"repro/internal/protocol"
 )
 
+// newReady builds a ready machine in legacy per-transaction timer mode
+// (NoCtlBatch): the tests below pin the exact per-txn arm/cancel
+// behaviour that mode keeps. The coalesced default is covered by
+// timers_test.go.
 func newReady(node string) *protocol.Machine {
 	m := protocol.NewMachine(protocol.Config{
 		Node:          node,
 		RetryInterval: 50 * time.Millisecond,
 		StaleAfter:    300 * time.Millisecond,
+		NoCtlBatch:    true,
 	})
 	m.Step(protocol.ReadyReached{})
 	return m

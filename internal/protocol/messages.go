@@ -28,6 +28,13 @@ const (
 	KindRCECommitAck = "rce.commit.ack"
 	KindRCEAbort     = "rce.abort"
 	KindRCEAbortAck  = "rce.abort.ack"
+
+	// Cross-transaction control-plane batches (PR-10): one coalesced
+	// resend-timer fire per peer travels as one frame instead of one
+	// frame per transaction. Receivers explode them back into the
+	// per-transaction events of the kinds above.
+	KindCtlBatch   = "ctl.batch"
+	KindQueryBatch = "query.batch"
 )
 
 // PartKind distinguishes the two participant flavors of a distributed
@@ -119,6 +126,29 @@ type RCEExecMsg struct {
 	Ops   []*core.OpEntry
 }
 
+// CtlBatchItem is one coalesced commit/abort control: semantically
+// identical to a CtlMsg of kind ctlKind — RCE selects the rce.* family,
+// Commit the commit/abort verdict.
+type CtlBatchItem struct {
+	TxnID  string
+	RCE    bool
+	Commit bool
+}
+
+// CtlBatchMsg carries every control the per-peer resend timer owed one
+// participant at fire time as a single frame (kind ctl.batch). The
+// receiver applies the items in order as independent CtlReceived events.
+type CtlBatchMsg struct {
+	Items []CtlBatchItem
+}
+
+// QueryBatchMsg carries the coalesced in-doubt queries of one per-peer
+// timer fire to a single coordinator (kind query.batch); each entry is
+// one txn.query.
+type QueryBatchMsg struct {
+	TxnIDs []string
+}
+
 var _ = registerMessages()
 
 // registerMessages keeps the wire names these payloads had when they
@@ -129,5 +159,7 @@ func registerMessages() struct{} {
 	wire.RegisterName("node.txnCtl", &CtlMsg{})
 	wire.RegisterName("node.txnStatus", &StatusMsg{})
 	wire.RegisterName("node.rceExec", &RCEExecMsg{})
+	wire.RegisterName("node.ctlBatch", &CtlBatchMsg{})
+	wire.RegisterName("node.queryBatch", &QueryBatchMsg{})
 	return struct{}{}
 }

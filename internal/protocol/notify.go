@@ -8,10 +8,14 @@ package protocol
 
 func (m *Machine) doneRecorded(e DoneRecorded) []Effect {
 	m.done[e.AgentID] = e.Owner
-	return []Effect{
-		ResendDone{AgentID: e.AgentID},
-		ArmTimer{ID: timerID(timerDone, e.AgentID), D: m.cfg.RetryInterval},
+	effs := []Effect{ResendDone{AgentID: e.AgentID}}
+	if m.batch() {
+		if e.Owner == "" {
+			return effs // unroutable record; nothing to retry against
+		}
+		return append(effs, m.enqueue(timerPeerDone, e.Owner, dueEntry{id: e.AgentID}, m.cfg.RetryInterval)...)
 	}
+	return append(effs, ArmTimer{ID: timerID(timerDone, e.AgentID), D: m.cfg.RetryInterval})
 }
 
 // doneAcked garbage-collects the completion record. The record is
@@ -19,6 +23,9 @@ func (m *Machine) doneRecorded(e DoneRecorded) []Effect {
 // the volatile state but before recovery replayed the record).
 func (m *Machine) doneAcked(e DoneAcked) []Effect {
 	delete(m.done, e.AgentID)
+	if m.batch() {
+		return []Effect{DropDone{AgentID: e.AgentID}}
+	}
 	return []Effect{
 		CancelTimer{ID: timerID(timerDone, e.AgentID)},
 		DropDone{AgentID: e.AgentID},

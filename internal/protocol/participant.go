@@ -45,6 +45,9 @@ func (m *Machine) stageOutcome(e StageOutcome) []Effect {
 	if co == "" || co == m.cfg.Node {
 		return nil // self-coordinated: recovery resolves from the local decision record
 	}
+	if m.batch() {
+		return m.enqueue(timerPeerQuery, co, dueEntry{id: e.TxnID, aux: auxStaged}, m.cfg.RetryInterval)
+	}
 	return []Effect{ArmTimer{ID: timerID(timerStaged, e.TxnID), D: m.cfg.RetryInterval}}
 }
 
@@ -56,10 +59,11 @@ func (m *Machine) recoveredStaged(e RecoveredStaged) []Effect {
 	if co == "" || co == m.cfg.Node {
 		return nil
 	}
-	return []Effect{
-		SendMsg{To: co, Kind: KindTxnQuery, Payload: &CtlMsg{TxnID: e.TxnID}},
-		ArmTimer{ID: timerID(timerStaged, e.TxnID), D: m.cfg.RetryInterval},
+	effs := []Effect{SendMsg{To: co, Kind: KindTxnQuery, Payload: &CtlMsg{TxnID: e.TxnID}}}
+	if m.batch() {
+		return append(effs, m.enqueue(timerPeerQuery, co, dueEntry{id: e.TxnID, aux: auxStaged}, m.cfg.RetryInterval)...)
 	}
+	return append(effs, ArmTimer{ID: timerID(timerStaged, e.TxnID), D: m.cfg.RetryInterval})
 }
 
 // ctlReceived applies the coordinator's explicit commit/abort. Queue
@@ -73,9 +77,13 @@ func (m *Machine) ctlReceived(e CtlReceived) []Effect {
 			ackKind = KindEnqueueCommitAck
 		}
 		m.dropStaged(e.TxnID)
+		resolve := ResolveStaged{TxnID: e.TxnID, Commit: e.Commit, AckTo: e.From, AckKind: ackKind}
+		if m.batch() {
+			return []Effect{resolve}
+		}
 		return []Effect{
 			CancelTimer{ID: timerID(timerStaged, e.TxnID)},
-			ResolveStaged{TxnID: e.TxnID, Commit: e.Commit, AckTo: e.From, AckKind: ackKind},
+			resolve,
 		}
 	}
 	ackKind := KindRCEAbortAck
@@ -96,10 +104,11 @@ func (m *Machine) ctlReceived(e CtlReceived) []Effect {
 // and the crash-surviving branch record. extra effects are appended
 // after the resolution set.
 func (m *Machine) resolve(txnID string, commit bool, extra []Effect) []Effect {
-	effs := []Effect{
-		CancelTimer{ID: timerID(timerStaged, txnID)},
-		ResolveStaged{TxnID: txnID, Commit: commit},
+	var effs []Effect
+	if !m.batch() {
+		effs = append(effs, CancelTimer{ID: timerID(timerStaged, txnID)})
 	}
+	effs = append(effs, ResolveStaged{TxnID: txnID, Commit: commit})
 	m.dropStaged(txnID)
 	effs = append(effs, m.resolveBranch(txnID, commit)...)
 	return append(effs, extra...)

@@ -46,6 +46,12 @@ type Config struct {
 	// before the participant starts querying its coordinator
 	// (2*AckTimeout in node terms).
 	StaleAfter time.Duration
+	// NoCtlBatch restores the per-transaction control-plane timers of
+	// PR ≤9 (one ctl-resend/in-doubt-query/notification timer per txn,
+	// eagerly canceled). The default false runs the coalesced
+	// per-(peer, class) scheduler of timers.go. A/B comparisons and the
+	// loadgen -noctlbatch flag only.
+	NoCtlBatch bool
 }
 
 func (c *Config) fillDefaults() {
@@ -72,6 +78,10 @@ type Machine struct {
 	branches map[string]*branch   // RCE branch per transaction
 	done     map[string]string    // undelivered completion: agent → owner
 
+	// scheds holds the coalesced per-(class, peer) timer slots (see
+	// timers.go), keyed by their wheel timer ID "<class>|<peer>".
+	scheds map[string]*peerSched
+
 	transitions int64
 }
 
@@ -84,6 +94,7 @@ func NewMachine(cfg Config) *Machine {
 		staged:   make(map[string]string),
 		branches: make(map[string]*branch),
 		done:     make(map[string]string),
+		scheds:   make(map[string]*peerSched),
 	}
 }
 
@@ -484,6 +495,14 @@ func (m *Machine) timerFired(e TimerFired) []Effect {
 		return m.branchTimer(id)
 	case timerDone:
 		return m.doneTimer(id)
+	case timerPeerCtl:
+		return m.peerCtlTimer(id)
+	case timerPeerQuery:
+		return m.peerQueryTimer(id)
+	case timerPeerStale:
+		return m.peerStaleTimer(id)
+	case timerPeerDone:
+		return m.peerDoneTimer(id)
 	default:
 		return nil
 	}

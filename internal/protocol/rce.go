@@ -83,9 +83,15 @@ func (m *Machine) rceExecReceived(e RCEExecReceived) []Effect {
 		}
 	}
 	m.branches[e.TxnID] = &branch{state: branchExecuting, replyTo: e.From, ops: int64(len(e.Ops))}
+	exec := ExecBranch{TxnID: e.TxnID, ReplyTo: e.From, Ops: e.Ops}
+	if m.batch() {
+		// Any queued stale/query entry for the previous incarnation is
+		// filtered lazily at the next per-peer fire.
+		return []Effect{exec}
+	}
 	return []Effect{
 		CancelTimer{ID: timerID(timerBranch, e.TxnID)},
-		ExecBranch{TxnID: e.TxnID, ReplyTo: e.From, Ops: e.Ops},
+		exec,
 	}
 }
 
@@ -137,15 +143,23 @@ func (m *Machine) branchPrepared(e BranchPrepared) []Effect {
 		}
 	}
 	b.state = branchPrepared
-	return []Effect{
+	effs := []Effect{
 		CountCompOps{N: b.ops},
 		SendMsg{
 			To:      b.replyTo,
 			Kind:    KindRCEExecAck,
 			Payload: &AckMsg{TxnID: e.TxnID, OK: true},
 		},
-		ArmTimer{ID: timerID(timerBranch, e.TxnID), D: m.cfg.StaleAfter},
 	}
+	if !m.batch() {
+		return append(effs, ArmTimer{ID: timerID(timerBranch, e.TxnID), D: m.cfg.StaleAfter})
+	}
+	co := Coordinator(e.TxnID)
+	if co == "" || co == m.cfg.Node {
+		// No remote coordinator to query; the verdict arrives locally.
+		return effs
+	}
+	return append(effs, m.enqueue(timerPeerStale, co, dueEntry{id: e.TxnID, aux: auxBranch}, m.cfg.StaleAfter)...)
 }
 
 // resolveBranch applies a coordinator verdict to whatever branch state
@@ -166,6 +180,9 @@ func (m *Machine) resolveBranch(txnID string, commit bool) []Effect {
 		if !commit {
 			eff = AbortBranch{TxnID: txnID}
 		}
+		if m.batch() {
+			return []Effect{eff}
+		}
 		return []Effect{CancelTimer{ID: timerID(timerBranch, txnID)}, eff}
 	case branchExecuting:
 		if !commit {
@@ -179,6 +196,9 @@ func (m *Machine) resolveBranch(txnID string, commit bool) []Effect {
 		return []Effect{ResolveBranchRecord{TxnID: txnID, Commit: commit}}
 	case branchInDoubt:
 		delete(m.branches, txnID)
+		if m.batch() {
+			return []Effect{ResolveBranchRecord{TxnID: txnID, Commit: commit}}
+		}
 		return []Effect{
 			CancelTimer{ID: timerID(timerBranch, txnID)},
 			ResolveBranchRecord{TxnID: txnID, Commit: commit},
@@ -200,10 +220,11 @@ func (m *Machine) recoveredBranch(e RecoveredBranch) []Effect {
 	if co == "" || co == m.cfg.Node {
 		return nil
 	}
-	return []Effect{
-		SendMsg{To: co, Kind: KindTxnQuery, Payload: &CtlMsg{TxnID: e.TxnID}},
-		ArmTimer{ID: timerID(timerBranch, e.TxnID), D: m.cfg.RetryInterval},
+	effs := []Effect{SendMsg{To: co, Kind: KindTxnQuery, Payload: &CtlMsg{TxnID: e.TxnID}}}
+	if m.batch() {
+		return append(effs, m.enqueue(timerPeerQuery, co, dueEntry{id: e.TxnID, aux: auxBranch}, m.cfg.RetryInterval)...)
 	}
+	return append(effs, ArmTimer{ID: timerID(timerBranch, e.TxnID), D: m.cfg.RetryInterval})
 }
 
 // branchTimer queries the coordinator about a branch that has sat

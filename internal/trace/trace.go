@@ -61,6 +61,14 @@ const (
 	// commit, abort or refuse; Agent the migrating agent, A the source,
 	// B the destination, N the container bytes).
 	OpMigrate
+	// OpCtlFlush is one coalesced control-plane GC flush: decision-record
+	// clears and done-record drops from concurrent transitions applied as
+	// a single group commit. N is the number of staged ops in the batch.
+	OpCtlFlush
+	// OpPiggyback is one deferred ack/status frame riding an outbound
+	// batch already headed to its peer instead of flushing its own frame
+	// (Name is the message kind, A the peer, N the payload bytes).
+	OpPiggyback
 )
 
 var opNames = [...]string{
@@ -78,6 +86,8 @@ var opNames = [...]string{
 	OpStable:      "stable",
 	OpMember:      "member",
 	OpMigrate:     "migrate",
+	OpCtlFlush:    "ctl-flush",
+	OpPiggyback:   "piggyback",
 }
 
 func (o Op) String() string {
